@@ -1,0 +1,194 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one testing.B benchmark per experiment. Each iteration runs
+// the experiment at a reduced-but-representative scale so the whole suite
+// finishes on a laptop; pass the paper-scale parameters through
+// cmd/experiments for full runs (see EXPERIMENTS.md for recorded results).
+package dmcs_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"dmcs/internal/harness"
+	"dmcs/internal/lfr"
+)
+
+// benchConfig is the reduced configuration shared by the experiment
+// benchmarks.
+func benchConfig() harness.Config {
+	return harness.Config{
+		K:            3,
+		NumQuerySets: 5,
+		QuerySize:    1,
+		Timeout:      30 * time.Second,
+		Seed:         1,
+		Out:          io.Discard,
+	}
+}
+
+// benchLFR is the reduced Table 2 configuration.
+func benchLFR() lfr.Config {
+	cfg := lfr.Default()
+	cfg.N = 1000
+	cfg.MaxDeg = 100
+	cfg.MaxComm = 300
+	return cfg
+}
+
+// standinScale is the node count used for the dblp/youtube/livejournal
+// stand-ins in benchmarks.
+const standinScale = 2000
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.Table1(standinScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2SyntheticConfig(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4CommunityDiameters(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig4(standinScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5RemovalOrders(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8EffectivenessSweeps(b *testing.B) {
+	c := benchConfig()
+	sweeps := []harness.LFRSweep{{Param: "mu", Values: []float64{0.2}}}
+	algos := []string{harness.AlgoKC, harness.AlgoKT, harness.AlgoHighCore, harness.AlgoHighTruss, harness.AlgoFPA}
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig8and9(benchLFR(), sweeps, algos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9EfficiencySweeps(b *testing.B) {
+	// Figure 9 reports the running times of the Figure 8 sweeps; the
+	// bench exercises the full roster including the slow NCA path on a
+	// smaller graph.
+	c := benchConfig()
+	cfg := benchLFR()
+	cfg.N = 600
+	sweeps := []harness.LFRSweep{{Param: "davg", Values: []float64{20}}}
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig8and9(cfg, sweeps, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10MultiQuery(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig10(benchLFR(), []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Scalability(b *testing.B) {
+	c := benchConfig()
+	algos := []string{harness.AlgoKC, harness.AlgoHighCore, harness.AlgoFPA}
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig11(benchLFR(), []int{1000, 2000}, algos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12ObjectiveAblation(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig12(benchLFR()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13PruningAblation(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig13(benchLFR()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14VariantMatrix(b *testing.B) {
+	c := benchConfig()
+	cfg := benchLFR()
+	cfg.N = 600 // NCA variants are quadratic; keep iterations short
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig14(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15SmallRealGraphs(b *testing.B) {
+	c := benchConfig()
+	// skip the slowest baselines (GN/clique/CNM) in the bench loop; the
+	// full roster runs via cmd/experiments -exp fig15
+	algos := []string{
+		harness.AlgoKC, harness.AlgoKT, harness.AlgoKECC, harness.AlgoICWI,
+		harness.AlgoHuang, harness.AlgoWu, harness.AlgoHighCore,
+		harness.AlgoHighTruss, harness.AlgoNCA, harness.AlgoFPA,
+	}
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig15and16(algos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17LargeStandins(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig17and18(standinScale, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig19ParameterK(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.Fig19(standinScale, []int{3, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCaseStudy(b *testing.B) {
+	c := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := c.CaseStudy(standinScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

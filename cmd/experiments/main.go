@@ -1,0 +1,100 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp fig8            # one experiment
+//	experiments -exp all             # everything
+//	experiments -exp fig8 -quick     # reduced sizes for a fast sanity pass
+//	experiments -exp fig17 -scale 20000
+//
+// Experiment ids follow the paper: table1, table2, fig4, fig5, fig8
+// (includes fig9's timings), fig10, fig11, fig12, fig13, fig14, fig15
+// (includes fig16), fig17 (includes fig18), fig19, case.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dmcs/internal/harness"
+	"dmcs/internal/lfr"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table1,table2,fig4,fig5,fig8,fig10,fig11,fig12,fig13,fig14,fig15,fig17,fig19,case,all)")
+		quick   = flag.Bool("quick", false, "reduced sizes: LFR n=1000, large stand-ins 3000 nodes, 5 query sets")
+		scale   = flag.Int("scale", 0, "node count for the dblp/youtube/livejournal stand-ins (0 = defaults)")
+		lfrN    = flag.Int("lfr-n", 0, "override LFR node count (0 = Table 2 default 5000)")
+		timeout = flag.Duration("timeout", 120*time.Second, "per-run cap for slow algorithms")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig(os.Stdout)
+	cfg.Timeout = *timeout
+	cfg.Seed = *seed
+	base := lfr.Default()
+	standScale := *scale
+	fig11Sizes := []int{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000, 90000, 100000}
+	if *quick {
+		base.N = 1000
+		base.MaxComm = 300
+		cfg.NumQuerySets = 5
+		if standScale == 0 {
+			standScale = 3000
+		}
+		fig11Sizes = []int{1000, 2000, 4000}
+	}
+	if *lfrN > 0 {
+		base.N = *lfrN
+	}
+
+	run := func(id string, fn func() error) {
+		if *exp != "all" && *exp != id {
+			return
+		}
+		fmt.Printf("=== %s ===\n", id)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() error { return cfg.Table1(standScale) })
+	run("table2", func() error { return cfg.Table2() })
+	run("fig4", func() error { return cfg.Fig4(standScale) })
+	run("fig5", func() error { return cfg.Fig5() })
+	run("fig8", func() error { return cfg.Fig8and9(base, nil, nil) })
+	run("fig10", func() error { return cfg.Fig10(base, nil) })
+	run("fig11", func() error { return cfg.Fig11(base, fig11Sizes, nil) })
+	run("fig12", func() error { return cfg.Fig12(base) })
+	run("fig13", func() error { return cfg.Fig13(base) })
+	run("fig14", func() error { return cfg.Fig14(base) })
+	run("fig15", func() error { return cfg.Fig15and16(nil) })
+	run("fig17", func() error { return cfg.Fig17and18(standScale, nil) })
+	run("fig19", func() error { return cfg.Fig19(standScale, nil) })
+	run("case", func() error { return cfg.CaseStudy(standScale) })
+	// Extensions beyond the paper's evaluation (Section 7 future work and
+	// NP-hardness calibration). Not part of -exp all; select explicitly
+	// with -exp ext (all three) or an individual id.
+	runExt := func(id string, fn func() error) {
+		if *exp != id && *exp != "ext" {
+			return
+		}
+		fmt.Printf("=== %s ===\n", id)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	runExt("ext-detect", func() error { return cfg.ExtDetect(base) })
+	runExt("ext-gap", func() error { return cfg.ExtOptimalityGap(50) })
+	runExt("ext-weighted", func() error { return cfg.ExtWeighted(base) })
+}

@@ -1,0 +1,111 @@
+// Package dmcs is the public API of the DMCS library — a Go implementation
+// of "DMCS: Density Modularity based Community Search" (SIGMOD 2022).
+//
+// Community search finds a connected subgraph containing given query nodes.
+// DMCS scores candidate communities with *density modularity*, a
+// parameter-free objective that combines classic graph modularity (relative
+// cohesiveness: dense inside, sparse outside) with graph density (absolute
+// cohesiveness), provably alleviating the free-rider and resolution-limit
+// problems of classic modularity.
+//
+// Quick start:
+//
+//	b := dmcs.NewBuilder(0)
+//	b.AddEdge(0, 1) // ... add edges
+//	g := b.Build()
+//	res, err := dmcs.FPA(g, []dmcs.Node{0}, dmcs.Options{})
+//	// res.Community is a connected community containing node 0.
+//
+// Two algorithms are provided. FPA (Fast Peeling Algorithm) runs in
+// log-linear time and is the recommended default; NCA (Non-articulation
+// Cancellation Algorithm) is the more exhaustive O(|V|(|V|+|E|)) variant.
+// The NCADR/FPADMG cross-overs, the layer-pruning strategy and alternative
+// objectives from the paper's ablations are exposed through Options and
+// Search.
+package dmcs
+
+import (
+	"io"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+	"dmcs/internal/modularity"
+)
+
+// Node is a dense node identifier in [0, NumNodes).
+type Node = graph.Node
+
+// Graph is an immutable simple undirected graph.
+type Graph = graph.Graph
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder = graph.Builder
+
+// Options tunes a search; the zero value is the paper's default setup.
+type Options = dmcs.Options
+
+// Result is the outcome of a community search.
+type Result = dmcs.Result
+
+// Variant names one of the paper's four algorithm instantiations.
+type Variant = dmcs.Variant
+
+// Objective selects the best-subgraph goodness function (Figure 12).
+type Objective = dmcs.Objective
+
+// Algorithm variants (Section 5 and Section 6.2.5).
+const (
+	VariantFPA    = dmcs.VariantFPA
+	VariantNCA    = dmcs.VariantNCA
+	VariantNCADR  = dmcs.VariantNCADR
+	VariantFPADMG = dmcs.VariantFPADMG
+)
+
+// Selection objectives (Figure 12 ablation).
+const (
+	DensityModularity            = dmcs.DensityModularity
+	ClassicModularity            = dmcs.ClassicModularity
+	GeneralizedModularityDensity = dmcs.GeneralizedModularityDensity
+)
+
+// Errors returned by the search entry points.
+var (
+	ErrEmptyQuery   = dmcs.ErrEmptyQuery
+	ErrDisconnected = dmcs.ErrDisconnected
+)
+
+// NewBuilder creates a Builder for a graph with n nodes (AddEdge may grow
+// the node count implicitly).
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph from an explicit edge list.
+func FromEdges(n int, edges [][2]Node) *Graph { return graph.FromEdges(n, edges) }
+
+// ParseEdgeList reads a whitespace-separated edge list with arbitrary
+// string node labels (see dmcs/internal/graph for the format).
+func ParseEdgeList(r io.Reader) (*Graph, error) { return graph.ParseEdgeList(r) }
+
+// FPA runs the Fast Peeling Algorithm (Section 5.5) — the recommended,
+// log-linear-time algorithm.
+func FPA(g *Graph, q []Node, opts Options) (*Result, error) { return dmcs.FPA(g, q, opts) }
+
+// NCA runs the Non-articulation Cancellation Algorithm (Section 5.4).
+func NCA(g *Graph, q []Node, opts Options) (*Result, error) { return dmcs.NCA(g, q, opts) }
+
+// Search runs any of the four algorithm variants.
+func Search(g *Graph, q []Node, v Variant, opts Options) (*Result, error) {
+	return dmcs.Search(g, q, v, opts)
+}
+
+// DensityModularityOf evaluates the paper's density modularity DM(G,C)
+// (Definition 2, unweighted form) for an arbitrary node set.
+func DensityModularityOf(g *Graph, c []Node) float64 { return modularity.Density(g, c) }
+
+// ClassicModularityOf evaluates the classic modularity CM(G,C)
+// (Definition 1) for an arbitrary node set.
+func ClassicModularityOf(g *Graph, c []Node) float64 { return modularity.Classic(g, c) }
+
+// WeightedDensityModularityOf evaluates Definition 2 on a weighted graph.
+func WeightedDensityModularityOf(g *Graph, c []Node) float64 {
+	return modularity.DensityWeighted(g, c)
+}

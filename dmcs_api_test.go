@@ -1,0 +1,121 @@
+package dmcs_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dmcs"
+)
+
+// twoCliques is the standard two-K5s-with-a-bridge fixture.
+func twoCliques() *dmcs.Graph {
+	b := dmcs.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(dmcs.Node(i), dmcs.Node(j))
+			b.AddEdge(dmcs.Node(i+5), dmcs.Node(j+5))
+		}
+	}
+	b.AddEdge(4, 5)
+	return b.Build()
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	g := twoCliques()
+	res, err := dmcs.FPA(g, []dmcs.Node{0}, dmcs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Community) != 5 {
+		t.Fatalf("community=%v want the K5", res.Community)
+	}
+	if math.Abs(res.Score-dmcs.DensityModularityOf(g, res.Community)) > 1e-9 {
+		t.Fatal("Score should match DensityModularityOf")
+	}
+}
+
+func TestPublicSearchVariants(t *testing.T) {
+	g := twoCliques()
+	for _, v := range []dmcs.Variant{dmcs.VariantFPA, dmcs.VariantNCA, dmcs.VariantNCADR, dmcs.VariantFPADMG} {
+		res, err := dmcs.Search(g, []dmcs.Node{2}, v, dmcs.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		found := false
+		for _, u := range res.Community {
+			if u == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%v lost the query node", v)
+		}
+	}
+}
+
+func TestPublicParseEdgeList(t *testing.T) {
+	g, err := dmcs.ParseEdgeList(strings.NewReader("a b\nb c\nc a\nc d\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("parsed n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	res, err := dmcs.FPA(g, []dmcs.Node{0}, dmcs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Community) == 0 {
+		t.Fatal("no community found")
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	g := dmcs.FromEdges(4, [][2]dmcs.Node{{0, 1}, {2, 3}})
+	if _, err := dmcs.FPA(g, nil, dmcs.Options{}); err != dmcs.ErrEmptyQuery {
+		t.Fatalf("want ErrEmptyQuery, got %v", err)
+	}
+	if _, err := dmcs.FPA(g, []dmcs.Node{0, 2}, dmcs.Options{}); err != dmcs.ErrDisconnected {
+		t.Fatalf("want ErrDisconnected, got %v", err)
+	}
+}
+
+func TestPublicModularityValues(t *testing.T) {
+	// Example 1/2 arithmetic through the public API: build the Figure 1
+	// toy network inline.
+	b := dmcs.NewBuilder(16)
+	k4 := func(base dmcs.Node) {
+		for i := dmcs.Node(0); i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	k4(0)
+	k4(4)
+	k4(8)
+	k4(12)
+	b.AddEdge(0, 4)
+	b.AddEdge(1, 5)
+	g := b.Build()
+	a := []dmcs.Node{0, 1, 2, 3}
+	if got := dmcs.ClassicModularityOf(g, a); math.Abs(got-0.158284) > 1e-6 {
+		t.Fatalf("CM(A)=%v", got)
+	}
+	if got := dmcs.DensityModularityOf(g, a); math.Abs(got-1.028846) > 1e-6 {
+		t.Fatalf("DM(A)=%v", got)
+	}
+	if got := dmcs.WeightedDensityModularityOf(g, a); math.Abs(got-1.028846) > 1e-6 {
+		t.Fatalf("weighted DM(A)=%v on unweighted graph", got)
+	}
+}
+
+func TestPublicObjectiveConstants(t *testing.T) {
+	g := twoCliques()
+	for _, obj := range []dmcs.Objective{dmcs.DensityModularity, dmcs.ClassicModularity, dmcs.GeneralizedModularityDensity} {
+		if _, err := dmcs.FPA(g, []dmcs.Node{0}, dmcs.Options{Objective: obj}); err != nil {
+			t.Fatalf("objective %v: %v", obj, err)
+		}
+	}
+}

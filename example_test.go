@@ -1,0 +1,102 @@
+package dmcs_test
+
+import (
+	"fmt"
+	"strings"
+
+	"dmcs"
+)
+
+// ExampleFPA searches the community of node 0 in two cliques joined by a
+// bridge: the result is node 0's own clique.
+func ExampleFPA() {
+	b := dmcs.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(dmcs.Node(i), dmcs.Node(j))
+			b.AddEdge(dmcs.Node(i+5), dmcs.Node(j+5))
+		}
+	}
+	b.AddEdge(4, 5) // the bridge
+	g := b.Build()
+
+	res, err := dmcs.FPA(g, []dmcs.Node{0}, dmcs.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Community)
+	// Output: [0 1 2 3 4]
+}
+
+// ExampleSearch runs the NCA variant explicitly.
+func ExampleSearch() {
+	g := dmcs.FromEdges(6, [][2]dmcs.Node{
+		{0, 1}, {1, 2}, {0, 2}, // triangle
+		{3, 4}, {4, 5}, {3, 5}, // triangle
+		{2, 3}, // bridge
+	})
+	res, err := dmcs.Search(g, []dmcs.Node{0}, dmcs.VariantNCA, dmcs.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Community)
+	// Output: [0 1 2]
+}
+
+// ExampleParseEdgeList loads a labeled edge list and searches from a label.
+func ExampleParseEdgeList() {
+	const network = `
+alice bob
+alice carol
+bob carol
+carol dave
+dave erin
+dave frank
+erin frank
+`
+	g, err := dmcs.ParseEdgeList(strings.NewReader(network))
+	if err != nil {
+		panic(err)
+	}
+	// find alice's id
+	var alice dmcs.Node
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Label(dmcs.Node(u)) == "alice" {
+			alice = dmcs.Node(u)
+		}
+	}
+	res, err := dmcs.FPA(g, []dmcs.Node{alice}, dmcs.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, u := range res.Community {
+		fmt.Println(g.Label(u))
+	}
+	// Output:
+	// alice
+	// bob
+	// carol
+}
+
+// ExampleDensityModularityOf evaluates Definition 2 on the paper's
+// Figure 1 community A.
+func ExampleDensityModularityOf() {
+	b := dmcs.NewBuilder(16)
+	k4 := func(base dmcs.Node) {
+		for i := dmcs.Node(0); i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	k4(0)
+	k4(4)
+	k4(8)
+	k4(12)
+	b.AddEdge(0, 4)
+	b.AddEdge(1, 5)
+	g := b.Build()
+
+	fmt.Printf("%.6f\n", dmcs.DensityModularityOf(g, []dmcs.Node{0, 1, 2, 3}))
+	// Output: 1.028846
+}

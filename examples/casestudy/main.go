@@ -1,0 +1,33 @@
+// Casestudy reproduces Section 6.3.2 on a co-authorship-style graph: the
+// community of a hub "author" node found by DMCS (FPA) versus its 3-truss
+// and 3-core communities.
+//
+// The paper's findings, which this example reproduces in shape:
+//   - FPA returns a small community where every member is tied to the
+//     query author, and the query has the top betweenness and eigenvector
+//     centrality ranks inside it;
+//   - the 3-truss community is an order of magnitude larger with the
+//     query adjacent to only a sliver of it;
+//   - the 3-core community is larger still (thousands of nodes), with the
+//     query's centrality ranks deep in the tail.
+//
+// Run with: go run ./examples/casestudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dmcs/internal/harness"
+)
+
+func main() {
+	cfg := harness.DefaultConfig(os.Stdout)
+	fmt.Println("DMCS vs 3-truss vs 3-core around the highest-degree author")
+	fmt.Println("(DBLP-style co-authorship stand-in, 4000 nodes)")
+	fmt.Println()
+	if err := cfg.CaseStudy(4000); err != nil {
+		log.Fatal(err)
+	}
+}

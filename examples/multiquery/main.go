@@ -1,0 +1,35 @@
+// Multiquery demonstrates community search with several query nodes (the
+// paper's Figure 10 scenario): on an LFR benchmark graph, query sets of
+// growing size are drawn from one ground-truth community, and kc, kecc,
+// NCA and FPA answers are scored against the ground truth. More query
+// nodes give DMCS more evidence, so NMI rises with |Q| for NCA/FPA while
+// the parameterized baselines stay flat.
+//
+// Run with: go run ./examples/multiquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dmcs/internal/harness"
+	"dmcs/internal/lfr"
+)
+
+func main() {
+	cfg := harness.DefaultConfig(os.Stdout)
+	cfg.NumQuerySets = 8
+
+	base := lfr.Default()
+	base.N = 1500 // laptop-friendly; pass the paper's 5000 via cmd/experiments
+	base.MaxComm = 400
+
+	fmt.Println("Effect of the query-set size |Q| on an LFR benchmark graph")
+	fmt.Println("(kc and kecc return the same large subgraph regardless of |Q|;")
+	fmt.Println(" NCA/FPA exploit the extra evidence — the paper's Figure 10)")
+	fmt.Println()
+	if err := cfg.Fig10(base, []int{1, 4, 8}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package clique implements k-clique enumeration and the clique-percolation
+// community-search baseline of the paper (Yuan et al. 2017, "index-based
+// densest clique percolation community search"): two k-cliques are adjacent
+// when they share k−1 nodes, and a community is the union of the cliques in
+// one connected class of that adjacency relation. The densest clique
+// percolation community of a query node is the k-clique percolation
+// community with the largest feasible k.
+package clique
+
+import (
+	"sort"
+
+	"dmcs/internal/graph"
+)
+
+// Enumerate lists all k-cliques of g (k ≥ 2) as sorted node slices. The
+// enumeration extends partial cliques with higher-numbered common
+// neighbors, so every clique is emitted exactly once.
+func Enumerate(g *graph.Graph, k int) [][]graph.Node {
+	if k < 2 {
+		return nil
+	}
+	var out [][]graph.Node
+	cur := make([]graph.Node, 0, k)
+	var extend func(cands []graph.Node)
+	extend = func(cands []graph.Node) {
+		if len(cur) == k {
+			out = append(out, append([]graph.Node(nil), cur...))
+			return
+		}
+		for i, v := range cands {
+			cur = append(cur, v)
+			if len(cur) == k {
+				extend(nil)
+			} else {
+				var next []graph.Node
+				for _, w := range cands[i+1:] {
+					if g.HasEdge(v, w) {
+						next = append(next, w)
+					}
+				}
+				// prune: not enough candidates to finish the clique
+				if len(cur)+len(next) >= k {
+					extend(next)
+				}
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		var cands []graph.Node
+		for _, w := range g.Neighbors(graph.Node(u)) {
+			if w > graph.Node(u) {
+				cands = append(cands, w)
+			}
+		}
+		cur = append(cur, graph.Node(u))
+		if len(cands)+1 >= k {
+			extend(cands)
+		}
+		cur = cur[:0]
+	}
+	return out
+}
+
+// MaxCliqueSize returns the size of the largest clique containing node u
+// (at least 1). It uses a greedy-then-exact search over u's neighborhood,
+// exact because neighborhoods in our workloads are small.
+func MaxCliqueSize(g *graph.Graph, u graph.Node) int {
+	nbrs := g.Neighbors(u)
+	best := 1
+	var cur []graph.Node
+	var extend func(cands []graph.Node)
+	extend = func(cands []graph.Node) {
+		if len(cur)+1 > best {
+			best = len(cur) + 1
+		}
+		for i, v := range cands {
+			if len(cur)+1+len(cands)-i <= best {
+				return // bound
+			}
+			var next []graph.Node
+			for _, w := range cands[i+1:] {
+				if g.HasEdge(v, w) {
+					next = append(next, w)
+				}
+			}
+			cur = append(cur, v)
+			extend(next)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	extend(nbrs)
+	return best
+}
+
+// PercolationCommunity returns the union of k-cliques reachable from a
+// k-clique containing q by moves between cliques sharing k−1 nodes, or nil
+// when q is in no k-clique.
+func PercolationCommunity(g *graph.Graph, q graph.Node, k int) []graph.Node {
+	cliques := Enumerate(g, k)
+	if len(cliques) == 0 {
+		return nil
+	}
+	// adjacency between cliques via shared (k-1)-subsets
+	subKey := func(c []graph.Node, skip int) string {
+		buf := make([]byte, 0, (len(c)-1)*4)
+		for i, u := range c {
+			if i == skip {
+				continue
+			}
+			buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		}
+		return string(buf)
+	}
+	bySub := make(map[string][]int)
+	for ci, c := range cliques {
+		for s := range c {
+			key := subKey(c, s)
+			bySub[key] = append(bySub[key], ci)
+		}
+	}
+	// union-find over cliques
+	parent := make([]int, len(cliques))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, group := range bySub {
+		for _, ci := range group[1:] {
+			a, b := find(group[0]), find(ci)
+			if a != b {
+				parent[b] = a
+			}
+		}
+	}
+	// find a clique containing q
+	root := -1
+	for ci, c := range cliques {
+		for _, u := range c {
+			if u == q {
+				root = find(ci)
+				break
+			}
+		}
+		if root >= 0 {
+			break
+		}
+	}
+	if root < 0 {
+		return nil
+	}
+	seen := make(map[graph.Node]bool)
+	for ci, c := range cliques {
+		if find(ci) == root {
+			for _, u := range c {
+				seen[u] = true
+			}
+		}
+	}
+	out := make([]graph.Node, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DensestPercolationCommunity implements the clique baseline: the k-clique
+// percolation community of q with the maximum feasible k. Returns the
+// community and k, or (nil, 0) when q has no edge.
+func DensestPercolationCommunity(g *graph.Graph, q graph.Node) ([]graph.Node, int) {
+	kmax := MaxCliqueSize(g, q)
+	for k := kmax; k >= 2; k-- {
+		if c := PercolationCommunity(g, q, k); c != nil {
+			return c, k
+		}
+	}
+	return nil, 0
+}

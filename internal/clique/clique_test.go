@@ -1,0 +1,178 @@
+package clique
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmcs/internal/graph"
+)
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+		}
+	}
+	return b.Build()
+}
+
+func choose(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func TestEnumerateCliqueCounts(t *testing.T) {
+	g := complete(6)
+	for k := 2; k <= 6; k++ {
+		got := len(Enumerate(g, k))
+		want := choose(6, k)
+		if got != want {
+			t.Fatalf("K6 has %d %d-cliques, want %d", got, k, want)
+		}
+	}
+}
+
+func TestEnumerateTriangleFree(t *testing.T) {
+	// 4-cycle has no triangles
+	g := graph.FromEdges(4, [][2]graph.Node{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if got := Enumerate(g, 3); len(got) != 0 {
+		t.Fatalf("C4 should have no triangles, got %v", got)
+	}
+	if got := Enumerate(g, 2); len(got) != 4 {
+		t.Fatalf("C4 has 4 edges, got %d", len(got))
+	}
+}
+
+func TestEnumerateRejectsK1(t *testing.T) {
+	if Enumerate(complete(3), 1) != nil {
+		t.Fatal("k<2 should return nil")
+	}
+}
+
+// Property: every enumerated set is a clique, all distinct.
+func TestEnumerateProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(12)
+		for i := 0; i < 12; i++ {
+			for j := i + 1; j < 12; j++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(graph.Node(i), graph.Node(j))
+				}
+			}
+		}
+		g := b.Build()
+		k := 3 + rng.Intn(2)
+		seen := make(map[[4]graph.Node]bool)
+		for _, c := range Enumerate(g, k) {
+			if len(c) != k {
+				return false
+			}
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if !g.HasEdge(c[i], c[j]) {
+						return false
+					}
+				}
+			}
+			var key [4]graph.Node
+			copy(key[:], c)
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCliqueSize(t *testing.T) {
+	g := complete(5)
+	if got := MaxCliqueSize(g, 0); got != 5 {
+		t.Fatalf("K5 max clique=%d want 5", got)
+	}
+	// triangle + pendant
+	g2 := graph.FromEdges(4, [][2]graph.Node{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if got := MaxCliqueSize(g2, 3); got != 2 {
+		t.Fatalf("pendant max clique=%d want 2", got)
+	}
+	if got := MaxCliqueSize(g2, 0); got != 3 {
+		t.Fatalf("triangle node max clique=%d want 3", got)
+	}
+	iso := graph.FromEdges(2, nil)
+	if got := MaxCliqueSize(iso, 0); got != 1 {
+		t.Fatalf("isolated max clique=%d want 1", got)
+	}
+}
+
+func TestPercolationCommunityTwoTrianglesSharedEdge(t *testing.T) {
+	// triangles {0,1,2} and {1,2,3} share edge (1,2): one 3-clique
+	// percolation community covering all 4 nodes.
+	g := graph.FromEdges(4, [][2]graph.Node{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}})
+	c := PercolationCommunity(g, 0, 3)
+	if len(c) != 4 {
+		t.Fatalf("community=%v want all 4 nodes", c)
+	}
+}
+
+func TestPercolationCommunitySeparatedTriangles(t *testing.T) {
+	// two triangles sharing only node 2: NOT adjacent for k=3 (share 1 < 2
+	// nodes), so the community of node 0 is just its triangle.
+	g := graph.FromEdges(5, [][2]graph.Node{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}})
+	c := PercolationCommunity(g, 0, 3)
+	if len(c) != 3 {
+		t.Fatalf("community=%v want one triangle", c)
+	}
+	for _, u := range c {
+		if u > 2 {
+			t.Fatalf("community leaked: %v", c)
+		}
+	}
+}
+
+func TestPercolationCommunityNoClique(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.Node{{0, 1}, {1, 2}})
+	if c := PercolationCommunity(g, 0, 3); c != nil {
+		t.Fatalf("no triangle exists, got %v", c)
+	}
+}
+
+func TestDensestPercolationCommunity(t *testing.T) {
+	// K4 joined to a triangle via a shared node: densest for a K4 member
+	// is k=4 covering the K4 only.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+		}
+	}
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	g := b.Build()
+	c, k := DensestPercolationCommunity(g, 0)
+	if k != 4 || len(c) != 4 {
+		t.Fatalf("densest percolation k=%d c=%v want k=4 over the K4", k, c)
+	}
+	// for the triangle node 5, densest is the triangle at k=3
+	c, k = DensestPercolationCommunity(g, 5)
+	if k != 3 || len(c) != 3 {
+		t.Fatalf("densest percolation k=%d c=%v want the triangle", k, c)
+	}
+	// isolated node
+	iso := graph.FromEdges(2, nil)
+	if c, k := DensestPercolationCommunity(iso, 0); c != nil || k != 0 {
+		t.Fatal("isolated node should have no percolation community")
+	}
+}

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"testing"
+
+	"dmcs/internal/graph"
+)
+
+func TestKarateShape(t *testing.T) {
+	d := Karate()
+	if d.G.NumNodes() != 34 {
+		t.Fatalf("karate nodes=%d want 34", d.G.NumNodes())
+	}
+	if d.G.NumEdges() != 78 {
+		t.Fatalf("karate edges=%d want 78", d.G.NumEdges())
+	}
+	if len(d.Communities) != 2 {
+		t.Fatalf("karate communities=%d want 2", len(d.Communities))
+	}
+	if len(d.Communities[0])+len(d.Communities[1]) != 34 {
+		t.Fatal("karate communities must cover all nodes")
+	}
+	if _, k := graph.ConnectedComponents(d.G); k != 1 {
+		t.Fatal("karate should be connected")
+	}
+	// spot-check famous structure: node 1 (id 0) and node 34 (id 33) are
+	// the two faction leaders with the highest degrees
+	if d.G.Degree(0) != 16 {
+		t.Fatalf("deg(node1)=%d want 16", d.G.Degree(0))
+	}
+	if d.G.Degree(33) != 17 {
+		t.Fatalf("deg(node34)=%d want 17", d.G.Degree(33))
+	}
+	// labels are 1-indexed strings
+	if d.G.Label(0) != "1" || d.G.Label(33) != "34" {
+		t.Fatal("karate labels should be 1-indexed")
+	}
+}
+
+func TestKarateLeadersInOppositeFactions(t *testing.T) {
+	d := Karate()
+	sameSide := func(a, b graph.Node) bool {
+		for _, c := range d.Communities {
+			hasA, hasB := false, false
+			for _, u := range c {
+				if u == a {
+					hasA = true
+				}
+				if u == b {
+					hasB = true
+				}
+			}
+			if hasA && hasB {
+				return true
+			}
+		}
+		return false
+	}
+	if sameSide(0, 33) {
+		t.Fatal("Mr. Hi and the officer must be in different factions")
+	}
+}
+
+func TestSmallStandinsMatchTable1Scale(t *testing.T) {
+	cases := []struct {
+		d          *Dataset
+		n          int
+		minE, maxE int
+	}{
+		{Dolphin(), 62, 120, 200},
+		{Mexican(), 35, 90, 145},
+		{Polblogs(), 1224, 13000, 21000},
+	}
+	for _, c := range cases {
+		if c.d.G.NumNodes() != c.n {
+			t.Fatalf("%s nodes=%d want %d", c.d.Name, c.d.G.NumNodes(), c.n)
+		}
+		if e := c.d.G.NumEdges(); e < c.minE || e > c.maxE {
+			t.Fatalf("%s edges=%d want [%d,%d]", c.d.Name, e, c.minE, c.maxE)
+		}
+		if len(c.d.Communities) != 2 {
+			t.Fatalf("%s communities=%d want 2", c.d.Name, len(c.d.Communities))
+		}
+		if _, k := graph.ConnectedComponents(c.d.G); k != 1 {
+			t.Fatalf("%s should be connected", c.d.Name)
+		}
+	}
+}
+
+func TestStandinsDeterministic(t *testing.T) {
+	a, b := Dolphin(), Dolphin()
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("stand-in generation must be deterministic")
+	}
+	ea, eb := a.G.EdgeList(), b.G.EdgeList()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("stand-in edge lists differ between runs")
+		}
+	}
+}
+
+func TestLargeStandinsSmallScale(t *testing.T) {
+	for _, name := range []string{"dblp", "youtube", "livejournal"} {
+		d, err := LoadScaled(name, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.G.NumNodes() != 2000 {
+			t.Fatalf("%s nodes=%d want 2000", name, d.G.NumNodes())
+		}
+		if !d.Overlap {
+			t.Fatalf("%s should use the overlapping-evaluation protocol", name)
+		}
+		if len(d.Communities) < 10 {
+			t.Fatalf("%s has %d communities, want many small ones", name, len(d.Communities))
+		}
+	}
+}
+
+func TestLoadAndNames(t *testing.T) {
+	for _, name := range []string{"karate", "dolphin", "mexican", "polblogs"} {
+		d, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != name {
+			t.Fatalf("loaded %q got %q", name, d.Name)
+		}
+	}
+	if _, err := Load("nosuch"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if len(Names()) != 7 {
+		t.Fatalf("Names()=%v want the 7 Table 1 datasets", Names())
+	}
+}
+
+func TestMembership(t *testing.T) {
+	d := Karate()
+	lab := d.Membership()
+	if len(lab) != 34 {
+		t.Fatal("labels length")
+	}
+	for u, l := range lab {
+		if l < 0 || l > 1 {
+			t.Fatalf("node %d label %d", u, l)
+		}
+	}
+}
+
+func TestCommunityOf(t *testing.T) {
+	d := Karate()
+	cs := d.CommunityOf(0)
+	if len(cs) != 1 {
+		t.Fatalf("node 0 should be in exactly 1 faction, got %d", len(cs))
+	}
+}
+
+func TestDiameterHistogram(t *testing.T) {
+	d := Karate()
+	hist := d.DiameterHistogram(0)
+	total := 0
+	for diam, cnt := range hist {
+		if diam <= 0 || diam > 10 {
+			t.Fatalf("implausible faction diameter %d", diam)
+		}
+		total += cnt
+	}
+	if total != 2 {
+		t.Fatalf("histogram covers %d communities, want 2", total)
+	}
+	// maxSize filter skips everything
+	if h := d.DiameterHistogram(5); len(h) != 0 {
+		t.Fatalf("size filter should skip both factions, got %v", h)
+	}
+}
+
+func TestSortedCommunitySizes(t *testing.T) {
+	d := Karate()
+	s := d.SortedCommunitySizes()
+	if len(s) != 2 || s[0] > s[1] {
+		t.Fatalf("sizes=%v", s)
+	}
+	if s[0]+s[1] != 34 {
+		t.Fatalf("sizes=%v should sum to 34", s)
+	}
+}
+
+func TestLargeStandinsHaveOverlap(t *testing.T) {
+	d, err := LoadScaled("dblp", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := make(map[graph.Node]int)
+	for _, c := range d.Communities {
+		for _, u := range c {
+			count[u]++
+		}
+	}
+	multi := 0
+	for _, k := range count {
+		if k > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("dblp stand-in should have overlapping memberships")
+	}
+	// roughly 5% of nodes
+	if multi < 50 || multi > 200 {
+		t.Fatalf("overlapping nodes=%d want ≈100 of 2000", multi)
+	}
+}

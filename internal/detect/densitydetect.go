@@ -1,0 +1,225 @@
+package detect
+
+import (
+	"sort"
+
+	"dmcs/internal/graph"
+	"dmcs/internal/modularity"
+)
+
+// DensityDetect implements the paper's future-work proposal (Section 7):
+// community *detection* driven by density modularity. It is an
+// agglomerative algorithm in the CNM mold whose objective is the *mean*
+// density modularity (Σ_C DM(C)) / |partition|.
+//
+// The aggregation matters. Summing DM naively rewards fragmentation (every
+// extra dense fragment adds a positive term), while the size-weighted sum
+// Σ|C|·DM(C) telescopes to Σ(l_C − d_C²/4|E|) = |E|·CM — exactly classic
+// modularity, resolution limit included (TestSumDMIdentity verifies this
+// identity). The mean sits in between: it inherits DM's per-community
+// density signal yet penalizes gratuitous splitting, so on the
+// ring-of-cliques gadget it stops at the individual cliques instead of
+// merging neighbours.
+//
+// It returns the final partition as a node labeling.
+func DensityDetect(g *graph.Graph) []int {
+	n := g.NumNodes()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	m := int64(g.NumEdges())
+	if m == 0 {
+		return labels
+	}
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// per-root sufficient statistics
+	l := make([]int64, n) // internal edges
+	d := make([]int64, n) // degree sum
+	sz := make([]int, n)  // size
+	for u := 0; u < n; u++ {
+		d[u] = int64(g.Degree(graph.Node(u)))
+		sz[u] = 1
+	}
+	dm := func(root int32) float64 {
+		return modularity.DensityParts(modularity.Stats{L: l[root], D: d[root], Size: sz[root]}, m)
+	}
+	// current objective state: Σ DM over communities, community count
+	sum := 0.0
+	for u := 0; u < n; u++ {
+		sum += dm(int32(u))
+	}
+	count := n
+	edges := g.EdgeList()
+	for count > 1 {
+		// aggregate inter-community edges by root pair
+		between := make(map[[2]int32]int64)
+		for _, e := range edges {
+			ru, rv := find(int32(e[0])), find(int32(e[1]))
+			if ru == rv {
+				continue
+			}
+			if ru > rv {
+				ru, rv = rv, ru
+			}
+			between[[2]int32{ru, rv}]++
+		}
+		if len(between) == 0 {
+			break
+		}
+		// best merge by gain in mean DM: (sum+δ)/(count−1) − sum/count
+		var bi, bj int32 = -1, -1
+		bestGain := 0.0
+		bestDelta := 0.0
+		mean := sum / float64(count)
+		for pair, e := range between {
+			ri, rj := pair[0], pair[1]
+			merged := modularity.DensityParts(modularity.Stats{
+				L: l[ri] + l[rj] + e, D: d[ri] + d[rj], Size: sz[ri] + sz[rj],
+			}, m)
+			delta := merged - dm(ri) - dm(rj)
+			gain := (sum+delta)/float64(count-1) - mean
+			if gain > bestGain+1e-12 {
+				bestGain, bestDelta, bi, bj = gain, delta, pair[0], pair[1]
+			}
+		}
+		if bi < 0 {
+			break // no merge improves the mean density modularity
+		}
+		e := between[[2]int32{bi, bj}]
+		parent[bj] = bi
+		l[bi] += l[bj] + e
+		d[bi] += d[bj]
+		sz[bi] += sz[bj]
+		sum += bestDelta
+		count--
+	}
+	// densely renumber roots
+	renum := map[int32]int{}
+	for u := 0; u < n; u++ {
+		r := find(int32(u))
+		if _, ok := renum[r]; !ok {
+			renum[r] = len(renum)
+		}
+		labels[u] = renum[r]
+	}
+	refineByLocalMoves(g, labels, m)
+	return labels
+}
+
+// refineByLocalMoves greedily relocates single nodes between neighboring
+// communities while the summed density modularity improves. Agglomeration
+// can strand peripheral nodes in fragments (a merge is all-or-nothing);
+// node-level moves clean those up without changing the objective.
+func refineByLocalMoves(g *graph.Graph, labels []int, m int64) {
+	n := g.NumNodes()
+	k := 0
+	for _, lab := range labels {
+		if lab+1 > k {
+			k = lab + 1
+		}
+	}
+	l := make([]int64, k)
+	d := make([]int64, k)
+	sz := make([]int, k)
+	for u := 0; u < n; u++ {
+		d[labels[u]] += int64(g.Degree(graph.Node(u)))
+		sz[labels[u]]++
+	}
+	g.Edges(func(u, v graph.Node) bool {
+		if labels[u] == labels[v] {
+			l[labels[u]]++
+		}
+		return true
+	})
+	dm := func(c int) float64 {
+		return modularity.DensityParts(modularity.Stats{L: l[c], D: d[c], Size: sz[c]}, m)
+	}
+	sum := 0.0
+	count := 0
+	for c := 0; c < k; c++ {
+		if sz[c] > 0 {
+			sum += dm(c)
+			count++
+		}
+	}
+	for pass := 0; pass < 30; pass++ {
+		moved := false
+		for u := 0; u < n; u++ {
+			cu := labels[u]
+			// edges from u into each neighboring community
+			kTo := map[int]int64{}
+			for _, w := range g.Neighbors(graph.Node(u)) {
+				kTo[labels[w]]++
+			}
+			du := int64(g.Degree(graph.Node(u)))
+			base := dm(cu)
+			afterLeave := modularity.DensityParts(modularity.Stats{
+				L: l[cu] - kTo[cu], D: d[cu] - du, Size: sz[cu] - 1,
+			}, m)
+			countAfter := count
+			if sz[cu] == 1 {
+				countAfter-- // moving the last member dissolves cu
+			}
+			bestC, bestGain, bestDelta := cu, 0.0, 0.0
+			for c := range kTo {
+				if c == cu {
+					continue
+				}
+				delta := afterLeave +
+					modularity.DensityParts(modularity.Stats{
+						L: l[c] + kTo[c], D: d[c] + du, Size: sz[c] + 1,
+					}, m) - base - dm(c)
+				gain := (sum+delta)/float64(countAfter) - sum/float64(count)
+				if gain > bestGain+1e-12 {
+					bestGain, bestDelta, bestC = gain, delta, c
+				}
+			}
+			if bestC != cu {
+				l[cu] -= kTo[cu]
+				d[cu] -= du
+				sz[cu]--
+				l[bestC] += kTo[bestC]
+				d[bestC] += du
+				sz[bestC]++
+				labels[u] = bestC
+				sum += bestDelta
+				count = countAfter
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// PartitionCommunities converts a labeling into explicit community node
+// sets, sorted by community id then node id.
+func PartitionCommunities(labels []int) [][]graph.Node {
+	k := 0
+	for _, lab := range labels {
+		if lab+1 > k {
+			k = lab + 1
+		}
+	}
+	out := make([][]graph.Node, k)
+	for u, lab := range labels {
+		out[lab] = append(out[lab], graph.Node(u))
+	}
+	for _, c := range out {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	return out
+}

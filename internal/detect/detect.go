@@ -1,0 +1,505 @@
+// Package detect implements the community-detection baselines the paper
+// compares against: the Girvan–Newman divisive algorithm (GN), the
+// Clauset–Newman–Moore agglomerative algorithm (CNM), Luo's local
+// modularity greedy (icwi2008), and — from the related-work discussion —
+// the Louvain algorithm.
+//
+// Following Section 6.1, GN and CNM are adapted to community search by
+// scanning their intermediate partitions: among all intermediate subgraphs
+// containing the query nodes, the one with the largest density modularity
+// is returned.
+package detect
+
+import (
+	"sort"
+
+	"dmcs/internal/graph"
+	"dmcs/internal/modularity"
+)
+
+// mutableGraph is a small adjacency-set graph supporting edge deletion,
+// used by the divisive GN algorithm.
+type mutableGraph struct {
+	adj []map[graph.Node]bool
+	m   int
+}
+
+func newMutable(g *graph.Graph) *mutableGraph {
+	mg := &mutableGraph{adj: make([]map[graph.Node]bool, g.NumNodes()), m: g.NumEdges()}
+	for u := 0; u < g.NumNodes(); u++ {
+		mg.adj[u] = make(map[graph.Node]bool, g.Degree(graph.Node(u)))
+		for _, w := range g.Neighbors(graph.Node(u)) {
+			mg.adj[u][w] = true
+		}
+	}
+	return mg
+}
+
+func (mg *mutableGraph) removeEdge(u, v graph.Node) {
+	if mg.adj[u][v] {
+		delete(mg.adj[u], v)
+		delete(mg.adj[v], u)
+		mg.m--
+	}
+}
+
+func (mg *mutableGraph) component(src graph.Node) []graph.Node {
+	seen := map[graph.Node]bool{src: true}
+	queue := []graph.Node{src}
+	out := []graph.Node{src}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for w := range mg.adj[u] {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	return out
+}
+
+// edgeBetweenness computes Brandes edge betweenness over the mutable graph.
+func (mg *mutableGraph) edgeBetweenness() map[[2]graph.Node]float64 {
+	n := len(mg.adj)
+	out := make(map[[2]graph.Node]float64)
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	preds := make([][]graph.Node, n)
+	for s := 0; s < n; s++ {
+		if len(mg.adj[s]) == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		src := graph.Node(s)
+		dist[src] = 0
+		sigma[src] = 1
+		queue := []graph.Node{src}
+		var stack []graph.Node
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			stack = append(stack, x)
+			for w := range mg.adj[x] {
+				if dist[w] < 0 {
+					dist[w] = dist[x] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[x]+1 {
+					sigma[w] += sigma[x]
+					preds[w] = append(preds[w], x)
+				}
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, x := range preds[w] {
+				c := sigma[x] / sigma[w] * (1 + delta[w])
+				delta[x] += c
+				a, b := x, w
+				if a > b {
+					a, b = b, a
+				}
+				out[[2]graph.Node{a, b}] += c
+			}
+		}
+	}
+	return out
+}
+
+// GirvanNewman runs the divisive GN baseline for community search: remove
+// the highest-betweenness edge repeatedly; among the intermediate
+// components containing all query nodes, return the one maximizing the
+// density modularity. maxRemovals bounds the number of edge removals
+// (≤ 0 means no bound). Returns nil when the query nodes start
+// disconnected.
+func GirvanNewman(g *graph.Graph, q []graph.Node, maxRemovals int) []graph.Node {
+	if len(q) == 0 || !graph.SameComponent(g, q) {
+		return nil
+	}
+	mg := newMutable(g)
+	containsAll := func(comp []graph.Node) bool {
+		in := make(map[graph.Node]bool, len(comp))
+		for _, u := range comp {
+			in[u] = true
+		}
+		for _, u := range q {
+			if !in[u] {
+				return false
+			}
+		}
+		return true
+	}
+	best := mg.component(q[0])
+	bestScore := modularity.Density(g, best)
+	removals := 0
+	for mg.m > 0 {
+		if maxRemovals > 0 && removals >= maxRemovals {
+			break
+		}
+		eb := mg.edgeBetweenness()
+		var maxE [2]graph.Node
+		maxV := -1.0
+		for e, v := range eb {
+			if v > maxV {
+				maxV, maxE = v, e
+			}
+		}
+		if maxV < 0 {
+			break
+		}
+		mg.removeEdge(maxE[0], maxE[1])
+		removals++
+		comp := mg.component(q[0])
+		if !containsAll(comp) {
+			break // Q can never reunite under further removals
+		}
+		if s := modularity.Density(g, comp); s > bestScore {
+			bestScore = s
+			best = append(best[:0], comp...)
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return best
+}
+
+// CNM runs the agglomerative Clauset–Newman–Moore baseline for community
+// search: merge the community pair with the largest classic-modularity
+// gain until a single community remains; among the intermediate
+// communities containing all query nodes, return the one with the largest
+// density modularity.
+func CNM(g *graph.Graph, q []graph.Node) []graph.Node {
+	if len(q) == 0 || !graph.SameComponent(g, q) {
+		return nil
+	}
+	m := int64(g.NumEdges())
+	if m == 0 {
+		return nil
+	}
+	n := g.NumNodes()
+	// community state: union-find roots own degree sums and member lists
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	deg := make([]int64, n) // total degree per community root
+	members := make([][]graph.Node, n)
+	for u := 0; u < n; u++ {
+		deg[u] = int64(g.Degree(graph.Node(u)))
+		members[u] = []graph.Node{graph.Node(u)}
+	}
+	// track where the query nodes live and score whenever they share one
+	best := []graph.Node(nil)
+	bestScore := 0.0
+	scoreIfQueryCommunity := func(root int32) {
+		in := make(map[graph.Node]bool, len(members[root]))
+		for _, u := range members[root] {
+			in[u] = true
+		}
+		for _, u := range q {
+			if !in[u] {
+				return
+			}
+		}
+		if s := modularity.Density(g, members[root]); best == nil || s > bestScore {
+			bestScore = s
+			best = append([]graph.Node(nil), members[root]...)
+		}
+	}
+	scoreIfQueryCommunity(find(int32(q[0])))
+	edges := g.EdgeList()
+	for active := n; active > 1; {
+		// aggregate inter-community edge counts by root pair, then pick
+		// the connected pair with the largest ΔQ = e_ij/m − d_i d_j/(2m²)
+		between := make(map[[2]int32]int64)
+		for _, e := range edges {
+			ru, rv := find(int32(e[0])), find(int32(e[1]))
+			if ru == rv {
+				continue
+			}
+			if ru > rv {
+				ru, rv = rv, ru
+			}
+			between[[2]int32{ru, rv}]++
+		}
+		if len(between) == 0 {
+			break // remaining communities are disconnected
+		}
+		var bi, bj int32 = -1, -1
+		bestGain := 0.0
+		first := true
+		for pair, e := range between {
+			gain := float64(e)/float64(m) -
+				float64(deg[pair[0]])*float64(deg[pair[1]])/(2*float64(m)*float64(m))
+			// deterministic tie-break on the pair ids
+			if first || gain > bestGain ||
+				(gain == bestGain && (pair[0] < bi || (pair[0] == bi && pair[1] < bj))) {
+				first = false
+				bestGain, bi, bj = gain, pair[0], pair[1]
+			}
+		}
+		parent[bj] = bi
+		deg[bi] += deg[bj]
+		members[bi] = append(members[bi], members[bj]...)
+		members[bj] = nil
+		active--
+		scoreIfQueryCommunity(bi)
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return best
+}
+
+// Louvain runs the Louvain community-detection algorithm (Blondel et al.
+// 2008) and returns the final partition as a node labeling. It is used by
+// the ablation experiments; deterministic given the node order.
+func Louvain(g *graph.Graph) []int {
+	n := g.NumNodes()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	// current condensed graph: weights between super-nodes
+	type wedge map[int]float64
+	adj := make([]wedge, n)
+	self := make([]float64, n)
+	node2super := make([]int, n)
+	for i := range node2super {
+		node2super[i] = i
+	}
+	for u := 0; u < n; u++ {
+		adj[u] = wedge{}
+	}
+	var m2 float64 // 2m (total weight × 2)
+	g.Edges(func(u, v graph.Node) bool {
+		w := g.EdgeWeight(u, v)
+		adj[u][int(v)] += w
+		adj[v][int(u)] += w
+		m2 += 2 * w
+		return true
+	})
+	if m2 == 0 {
+		return labels
+	}
+	for pass := 0; pass < 16; pass++ {
+		nn := len(adj)
+		comm := make([]int, nn)
+		ktot := make([]float64, nn) // community total degree
+		kdeg := make([]float64, nn) // node degree
+		for u := 0; u < nn; u++ {
+			comm[u] = u
+			for _, w := range adj[u] {
+				kdeg[u] += w
+			}
+			kdeg[u] += 2 * self[u]
+			ktot[u] = kdeg[u]
+		}
+		improvedAny := false
+		for moved := true; moved; {
+			moved = false
+			for u := 0; u < nn; u++ {
+				// weights to neighbor communities
+				wc := map[int]float64{}
+				for v, w := range adj[u] {
+					wc[comm[v]] += w
+				}
+				cur := comm[u]
+				ktot[cur] -= kdeg[u]
+				bestC, bestGain := cur, 0.0
+				for c, w := range wc {
+					gain := w - ktot[c]*kdeg[u]/m2
+					if gain > bestGain+1e-12 {
+						bestGain, bestC = gain, c
+					}
+				}
+				// compare against staying
+				if wStay, ok := wc[cur]; ok {
+					stay := wStay - ktot[cur]*kdeg[u]/m2
+					if stay >= bestGain-1e-12 {
+						bestC = cur
+					}
+				}
+				ktot[bestC] += kdeg[u]
+				if bestC != cur {
+					comm[u] = bestC
+					moved = true
+					improvedAny = true
+				}
+			}
+		}
+		if !improvedAny {
+			break
+		}
+		// renumber communities densely
+		renum := map[int]int{}
+		for u := 0; u < nn; u++ {
+			if _, ok := renum[comm[u]]; !ok {
+				renum[comm[u]] = len(renum)
+			}
+		}
+		// write back to original nodes
+		for i := range node2super {
+			node2super[i] = renum[comm[node2super[i]]]
+			labels[i] = node2super[i]
+		}
+		// condense
+		cn := len(renum)
+		nadj := make([]wedge, cn)
+		nself := make([]float64, cn)
+		for i := range nadj {
+			nadj[i] = wedge{}
+		}
+		for u := 0; u < nn; u++ {
+			cu := renum[comm[u]]
+			nself[cu] += self[u]
+			for v, w := range adj[u] {
+				cv := renum[comm[v]]
+				if cu == cv {
+					if u < v {
+						nself[cu] += w
+					}
+				} else {
+					nadj[cu][cv] += w
+				}
+			}
+		}
+		adj, self = nadj, nself
+		if cn == nn {
+			break
+		}
+	}
+	return labels
+}
+
+// LocalModularity is Luo's local modularity M(S) = internal edges /
+// external edges of the subgraph S (icwi2008). Returns +Inf when S has no
+// external edge.
+func LocalModularity(g *graph.Graph, s map[graph.Node]bool) float64 {
+	var in, out float64
+	for u := range s {
+		for _, w := range g.Neighbors(u) {
+			if s[w] {
+				if u < w {
+					in++
+				}
+			} else {
+				out++
+			}
+		}
+	}
+	if out == 0 {
+		if in == 0 {
+			return 0
+		}
+		return 1e18
+	}
+	return in / out
+}
+
+// ICWI2008 runs Luo's local-modularity greedy (icwi2008): grow the
+// community from the query nodes by additions that improve M, then prune
+// removable nodes that improve M, alternating until stable. The returned
+// community always contains the query nodes and is connected.
+func ICWI2008(g *graph.Graph, q []graph.Node) []graph.Node {
+	if len(q) == 0 {
+		return nil
+	}
+	s := make(map[graph.Node]bool, len(q))
+	for _, u := range q {
+		s[u] = true
+	}
+	isQuery := make(map[graph.Node]bool, len(q))
+	for _, u := range q {
+		isQuery[u] = true
+	}
+	for iter := 0; iter < 200; iter++ {
+		changed := false
+		// addition step: add the neighbor giving the best improvement
+		cur := LocalModularity(g, s)
+		frontier := map[graph.Node]bool{}
+		for u := range s {
+			for _, w := range g.Neighbors(u) {
+				if !s[w] {
+					frontier[w] = true
+				}
+			}
+		}
+		var bestAdd graph.Node = -1
+		bestM := cur
+		for w := range frontier {
+			s[w] = true
+			if m := LocalModularity(g, s); m > bestM {
+				bestM, bestAdd = m, w
+			}
+			delete(s, w)
+		}
+		if bestAdd >= 0 {
+			s[bestAdd] = true
+			changed = true
+		}
+		// deletion step: remove any node that improves M, keeping Q and
+		// connectivity
+		cur = LocalModularity(g, s)
+		var bestDel graph.Node = -1
+		bestM = cur
+		for u := range s {
+			if isQuery[u] {
+				continue
+			}
+			delete(s, u)
+			if connectedSet(g, s, q[0]) {
+				if m := LocalModularity(g, s); m > bestM {
+					bestM, bestDel = m, u
+				}
+			}
+			s[u] = true
+		}
+		if bestDel >= 0 {
+			delete(s, bestDel)
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([]graph.Node, 0, len(s))
+	for u := range s {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func connectedSet(g *graph.Graph, s map[graph.Node]bool, src graph.Node) bool {
+	if !s[src] {
+		return false
+	}
+	seen := map[graph.Node]bool{src: true}
+	queue := []graph.Node{src}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, w := range g.Neighbors(u) {
+			if s[w] && !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(seen) == len(s)
+}

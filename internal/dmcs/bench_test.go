@@ -1,0 +1,99 @@
+package dmcs
+
+import (
+	"testing"
+
+	"dmcs/internal/graph"
+	"dmcs/internal/lfr"
+)
+
+// benchGraph generates a mid-size LFR graph once per benchmark binary.
+func benchGraph(b *testing.B, n int) (*graph.Graph, []graph.Node) {
+	b.Helper()
+	cfg := lfr.Default()
+	cfg.N = n
+	cfg.MaxDeg = 100
+	cfg.MaxComm = 300
+	res, err := lfr.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.G, []graph.Node{res.Communities[0][0]}
+}
+
+// BenchmarkFPA measures the paper's headline algorithm (with pruning, as
+// run in the evaluation).
+func BenchmarkFPA(b *testing.B) {
+	g, q := benchGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPA(g, q, Options{LayerPruning: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFPANoPruning is the Figure 13 ablation partner: FPA without the
+// layer-based pruning strategy.
+func BenchmarkFPANoPruning(b *testing.B) {
+	g, q := benchGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPA(g, q, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFPADMG is the Figure 14 ablation: the unstable Λ pick forces a
+// full candidate rescan per removal (the paper reports ~150× slower).
+func BenchmarkFPADMG(b *testing.B) {
+	g, q := benchGraph(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPADMG(g, q, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNCA measures the quadratic articulation-recomputation loop.
+func BenchmarkNCA(b *testing.B) {
+	g, q := benchGraph(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NCA(g, q, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNCADR is the Figure 14 (a)+(d) cell.
+func BenchmarkNCADR(b *testing.B) {
+	g, q := benchGraph(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NCADR(g, q, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFPAMultiQuery measures the Steiner-merge multi-query path.
+func BenchmarkFPAMultiQuery(b *testing.B) {
+	cfg := lfr.Default()
+	cfg.N = 5000
+	cfg.MaxDeg = 100
+	cfg.MaxComm = 300
+	res, err := lfr.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := append([]graph.Node(nil), res.Communities[0][:4]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPA(res.G, q, Options{LayerPruning: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package dmcs implements the paper's contribution: Density Modularity
+// based Community Search. Given a graph G and query nodes Q, it finds a
+// connected subgraph containing Q with high density modularity using the
+// top-down greedy peeling framework of Section 5 (Algorithm 1) in its four
+// instantiations:
+//
+//   - NCA  — non-articulation candidates + density-modularity-gain Λ (§5.4)
+//   - FPA  — farthest-distance candidates + density-ratio Θ (§5.5, Alg. 2)
+//   - NCADR — non-articulation candidates + density ratio (§6.2.5)
+//   - FPADMG — farthest-distance candidates + Λ (§6.2.5)
+//
+// plus the layer-based pruning strategy of Section 5.7 and the multi-query
+// Steiner merge of Section 5.6.
+package dmcs
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"dmcs/internal/graph"
+	"dmcs/internal/modularity"
+)
+
+// Errors returned by the search entry points.
+var (
+	// ErrEmptyQuery is returned when no query nodes are given.
+	ErrEmptyQuery = errors.New("dmcs: empty query")
+	// ErrDisconnected is returned when the query nodes are not in one
+	// connected component, so no community can contain them all.
+	ErrDisconnected = errors.New("dmcs: query nodes are not in one connected component")
+)
+
+// Objective selects the goodness function used to pick the best
+// intermediate subgraph (the paper's Figure 12 ablation). The node-removal
+// criterion (Λ or Θ) is unchanged; only the selection objective varies.
+type Objective int
+
+const (
+	// DensityModularity is the paper's DM (Definition 2), the default.
+	DensityModularity Objective = iota
+	// ClassicModularity is Newman's CM (Definition 1).
+	ClassicModularity
+	// GeneralizedModularityDensity is the Guo et al. 2020 comparator.
+	GeneralizedModularityDensity
+)
+
+// Variant names one of the four algorithm instantiations.
+type Variant int
+
+const (
+	// VariantFPA is farthest-distance candidates + density ratio.
+	VariantFPA Variant = iota
+	// VariantNCA is non-articulation candidates + Λ gain.
+	VariantNCA
+	// VariantNCADR is non-articulation candidates + density ratio.
+	VariantNCADR
+	// VariantFPADMG is farthest-distance candidates + Λ gain.
+	VariantFPADMG
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantFPA:
+		return "FPA"
+	case VariantNCA:
+		return "NCA"
+	case VariantNCADR:
+		return "NCA-DR"
+	case VariantFPADMG:
+		return "FPA-DMG"
+	}
+	return "unknown"
+}
+
+// Options tunes a search. The zero value is the paper's default
+// configuration: density-modularity objective, no layer pruning, no
+// timeout.
+type Options struct {
+	// Objective picks the best-subgraph selection function (Figure 12).
+	Objective Objective
+	// Chi is the exponent of the generalized modularity density (χ);
+	// 0 means the comparator's default of 1.
+	Chi float64
+	// LayerPruning enables the Section 5.7 layer-based pruning strategy
+	// (FPA variants only).
+	LayerPruning bool
+	// Timeout bounds the wall-clock time; on expiry the best community
+	// found so far is returned with TimedOut set. Zero means no bound.
+	Timeout time.Duration
+	// TrackOrder records the node-removal order in the result (used by
+	// the Figure 5 experiment).
+	TrackOrder bool
+}
+
+// Result is the outcome of a community search.
+type Result struct {
+	// Community is the identified community (sorted node ids). It always
+	// contains the query nodes and induces a connected subgraph.
+	Community []graph.Node
+	// Score is the objective value of Community.
+	Score float64
+	// Iterations is the number of node removals performed.
+	Iterations int
+	// RemovalOrder lists removed nodes in order (only when TrackOrder).
+	RemovalOrder []graph.Node
+	// TimedOut reports whether the search stopped on Options.Timeout.
+	TimedOut bool
+}
+
+// Search runs the selected variant. It is the single entry point used by
+// the benchmark harness; the named functions NCA, FPA, NCADR and FPADMG
+// are thin wrappers around it.
+func Search(g *graph.Graph, q []graph.Node, variant Variant, opts Options) (*Result, error) {
+	switch variant {
+	case VariantNCA:
+		return runNCA(g, q, opts, pickLambda)
+	case VariantNCADR:
+		return runNCA(g, q, opts, pickTheta)
+	case VariantFPA:
+		return runFPA(g, q, opts, true)
+	case VariantFPADMG:
+		return runFPA(g, q, opts, false)
+	}
+	return nil, errors.New("dmcs: unknown variant")
+}
+
+// NCA runs the Non-articulation Cancellation Algorithm (Section 5.4).
+func NCA(g *graph.Graph, q []graph.Node, opts Options) (*Result, error) {
+	return Search(g, q, VariantNCA, opts)
+}
+
+// NCADR runs NCA with the density-ratio pick (Section 6.2.5).
+func NCADR(g *graph.Graph, q []graph.Node, opts Options) (*Result, error) {
+	return Search(g, q, VariantNCADR, opts)
+}
+
+// FPA runs the Fast Peeling Algorithm (Section 5.5, Algorithm 2).
+func FPA(g *graph.Graph, q []graph.Node, opts Options) (*Result, error) {
+	return Search(g, q, VariantFPA, opts)
+}
+
+// FPADMG runs FPA with the density-modularity-gain pick (Section 6.2.5).
+func FPADMG(g *graph.Graph, q []graph.Node, opts Options) (*Result, error) {
+	return Search(g, q, VariantFPADMG, opts)
+}
+
+// peelState tracks the incrementally maintained sufficient statistics of
+// the alive subgraph during peeling, the removal trace, and the best
+// intermediate subgraph seen so far. Statistics are kept as floats so the
+// same code path serves unweighted graphs (where they are exact integers)
+// and the weighted Definition 2.
+type peelState struct {
+	g        *graph.Graph
+	v        *graph.View
+	weighted bool
+	wG       float64   // total edge weight of G (|E| when unweighted)
+	wC       float64   // internal edge weight of the alive subgraph
+	dS       float64   // sum over alive nodes of node weight (degree in G)
+	wdeg     []float64 // cached node weights, indexed by node id
+	opts     Options
+	comp     []graph.Node // initial component (node universe of the search)
+	trace    []graph.Node // removal order
+	// best intermediate subgraph = comp minus trace[:bestIdx]
+	bestIdx   int
+	bestScore float64
+	deadline  time.Time
+	timedOut  bool
+}
+
+func newPeelState(g *graph.Graph, comp []graph.Node, opts Options) *peelState {
+	s := &peelState{
+		g:        g,
+		v:        graph.NewViewOf(g, comp),
+		weighted: g.Weighted(),
+		wG:       g.TotalWeight(),
+		opts:     opts,
+		comp:     comp,
+	}
+	s.wdeg = make([]float64, g.NumNodes())
+	for _, u := range comp {
+		s.wdeg[u] = g.WeightedDegree(u)
+		s.dS += s.wdeg[u]
+	}
+	if s.weighted {
+		for _, u := range comp {
+			for _, w := range g.Neighbors(u) {
+				if s.v.Alive(w) && u < w {
+					s.wC += g.EdgeWeight(u, w)
+				}
+			}
+		}
+	} else {
+		s.wC = float64(s.v.NumAliveEdges())
+	}
+	s.bestScore = s.score()
+	if opts.Timeout > 0 {
+		s.deadline = time.Now().Add(opts.Timeout)
+	}
+	return s
+}
+
+// kOf returns the (weighted) degree of u into the alive subgraph — the
+// k_{v,S} of Definitions 5–7. O(1) unweighted, O(deg) weighted.
+func (s *peelState) kOf(u graph.Node) float64 {
+	if !s.weighted {
+		return float64(s.v.DegreeIn(u))
+	}
+	var k float64
+	s.v.EachNeighbor(u, func(w graph.Node) {
+		k += s.g.EdgeWeight(u, w)
+	})
+	return k
+}
+
+// dOf returns u's node weight (its degree in G).
+func (s *peelState) dOf(u graph.Node) float64 { return s.wdeg[u] }
+
+// score evaluates the selection objective on the current alive subgraph.
+func (s *peelState) score() float64 {
+	size := s.v.NumAlive()
+	switch s.opts.Objective {
+	case ClassicModularity:
+		return modularity.ClassicPartsF(s.wC, s.dS, s.wG)
+	case GeneralizedModularityDensity:
+		chi := s.opts.Chi
+		if chi == 0 {
+			chi = 1
+		}
+		return modularity.GeneralizedDensityPartsF(s.wC, s.dS, s.wG, size, chi)
+	default:
+		return modularity.DensityPartsF(s.wC, s.dS, s.wG, size)
+	}
+}
+
+// remove deletes u, updates statistics, and records the new subgraph as
+// best when it scores at least as well (Algorithm 2 line 13 uses ≥, which
+// prefers the smaller of equally good communities).
+func (s *peelState) remove(u graph.Node) {
+	s.wC -= s.kOf(u)
+	s.v.Remove(u)
+	s.dS -= s.wdeg[u]
+	s.trace = append(s.trace, u)
+	if sc := s.score(); sc >= s.bestScore {
+		s.bestScore = sc
+		s.bestIdx = len(s.trace)
+	}
+}
+
+// expired polls the deadline (cheaply, only when one is set).
+func (s *peelState) expired() bool {
+	if s.deadline.IsZero() || s.timedOut {
+		return s.timedOut
+	}
+	if time.Now().After(s.deadline) {
+		s.timedOut = true
+	}
+	return s.timedOut
+}
+
+// result reconstructs the best intermediate subgraph.
+func (s *peelState) result() *Result {
+	dead := make(map[graph.Node]bool, s.bestIdx)
+	for _, u := range s.trace[:s.bestIdx] {
+		dead[u] = true
+	}
+	community := make([]graph.Node, 0, len(s.comp)-s.bestIdx)
+	for _, u := range s.comp {
+		if !dead[u] {
+			community = append(community, u)
+		}
+	}
+	r := &Result{
+		Community:  community,
+		Score:      s.bestScore,
+		Iterations: len(s.trace),
+		TimedOut:   s.timedOut,
+	}
+	if s.opts.TrackOrder {
+		r.RemovalOrder = append([]graph.Node(nil), s.trace...)
+	}
+	return r
+}
+
+// queryComponent validates the query and returns the connected component
+// containing it, sorted.
+func queryComponent(g *graph.Graph, q []graph.Node) ([]graph.Node, error) {
+	if len(q) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	for _, u := range q {
+		if u < 0 || int(u) >= g.NumNodes() {
+			return nil, errors.New("dmcs: query node out of range")
+		}
+	}
+	if !graph.SameComponent(g, q) {
+		return nil, ErrDisconnected
+	}
+	v := graph.NewView(g)
+	comp := graph.ComponentOf(v, q[0])
+	// ComponentOf returns discovery order; sort for deterministic traces
+	sortNodes(comp)
+	return comp, nil
+}
+
+func sortNodes(a []graph.Node) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,279 @@
+package dmcs
+
+import (
+	"container/heap"
+	"math"
+
+	"dmcs/internal/graph"
+	"dmcs/internal/modularity"
+)
+
+// steinerProtect returns the protected node set of Section 5.6: the query
+// nodes plus, when there are several, the nodes on shortest paths from a
+// root query node to every other query node. Protected nodes get distance
+// 0 and are never removed, which guarantees that removing any farthest
+// node keeps the subgraph connected.
+func steinerProtect(g *graph.Graph, q []graph.Node) []graph.Node {
+	if len(q) <= 1 {
+		return append([]graph.Node(nil), q...)
+	}
+	// BFS parents from the root query node
+	parent := make([]graph.Node, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	root := q[0]
+	parent[root] = root
+	queue := []graph.Node{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if parent[w] < 0 {
+				parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	set := map[graph.Node]bool{root: true}
+	for _, t := range q[1:] {
+		for u := t; !set[u]; u = parent[u] {
+			if parent[u] < 0 {
+				break // unreachable; caller validates connectivity
+			}
+			set[u] = true
+		}
+	}
+	out := make([]graph.Node, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sortNodes(out)
+	return out
+}
+
+// thetaItem is a candidate in the Θ max-heap. k caches the candidate's
+// (weighted) subgraph degree at push time; entries whose k is stale are
+// skipped.
+type thetaItem struct {
+	node  graph.Node
+	theta float64
+	k     float64
+}
+
+type thetaHeap []thetaItem
+
+func (h thetaHeap) Len() int { return len(h) }
+func (h thetaHeap) Less(i, j int) bool {
+	if h[i].theta != h[j].theta {
+		return h[i].theta > h[j].theta // max-heap on Θ
+	}
+	// Θ ties are common (every fully-internal node has Θ = 1). Break them
+	// the way the exact criterion Λ would: with k_v = Θ·d_v fixed, Λ =
+	// k_v·(Θ(2d_S − Θk_v) − 4w_G) is maximized by the smallest k_v at the
+	// start of peeling, so remove low-degree nodes first.
+	if h[i].k != h[j].k {
+		return h[i].k < h[j].k
+	}
+	return h[i].node < h[j].node
+}
+func (h thetaHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *thetaHeap) Push(x interface{}) { *h = append(*h, x.(thetaItem)) }
+func (h *thetaHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// runFPA implements Algorithm 2 and its FPA-DMG sibling. useTheta selects
+// the density-ratio pick (stable, heap-driven); otherwise the density
+// modularity gain Λ is rescanned over the remaining layer candidates each
+// iteration (unstable, the 150× slowdown of Section 6.2.5).
+func runFPA(g *graph.Graph, q []graph.Node, opts Options, useTheta bool) (*Result, error) {
+	comp, err := queryComponent(g, q)
+	if err != nil {
+		return nil, err
+	}
+	protected := steinerProtect(g, q)
+	if opts.LayerPruning {
+		return fpaWithPruning(g, comp, protected, opts, useTheta)
+	}
+	s := newPeelState(g, comp, opts)
+	dist := graph.MultiSourceBFSView(s.v, protected)
+	layers, maxD := groupLayers(comp, dist)
+	for d := maxD; d >= 1; d-- {
+		if s.expired() {
+			break
+		}
+		peelLayer(s, layers[d], useTheta)
+	}
+	return s.result(), nil
+}
+
+// groupLayers buckets comp by distance; unreachable nodes cannot occur
+// because comp is a connected component containing the sources.
+func groupLayers(comp []graph.Node, dist []int32) ([][]graph.Node, int) {
+	maxD := int32(0)
+	for _, u := range comp {
+		if dist[u] > maxD {
+			maxD = dist[u]
+		}
+	}
+	layers := make([][]graph.Node, maxD+1)
+	for _, u := range comp {
+		layers[dist[u]] = append(layers[dist[u]], u)
+	}
+	return layers, int(maxD)
+}
+
+// peelLayer removes every node of one distance layer in goodness order.
+func peelLayer(s *peelState, cand []graph.Node, useTheta bool) {
+	if useTheta {
+		peelLayerTheta(s, cand)
+	} else {
+		peelLayerLambda(s, cand)
+	}
+}
+
+// peelLayerTheta removes the layer in density-ratio order using a lazy
+// max-heap: when a removal changes a neighbor's Θ, a fresh entry is pushed
+// and the stale one is skipped on pop (Lemma 5 makes these the only
+// updates needed).
+func peelLayerTheta(s *peelState, cand []graph.Node) {
+	inLayer := make(map[graph.Node]bool, len(cand))
+	for _, u := range cand {
+		inLayer[u] = true
+	}
+	h := make(thetaHeap, 0, len(cand))
+	for _, u := range cand {
+		k := s.kOf(u)
+		h = append(h, thetaItem{u, modularity.ThetaF(s.dOf(u), k), k})
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		if s.expired() {
+			return
+		}
+		it := heap.Pop(&h).(thetaItem)
+		u := it.node
+		if !s.v.Alive(u) || s.kOf(u) != it.k {
+			continue // removed or stale entry
+		}
+		s.remove(u)
+		delete(inLayer, u)
+		for _, w := range s.g.Neighbors(u) {
+			if s.v.Alive(w) && inLayer[w] {
+				k := s.kOf(w)
+				heap.Push(&h, thetaItem{w, modularity.ThetaF(s.dOf(w), k), k})
+			}
+		}
+	}
+}
+
+// peelLayerLambda removes the layer in Λ order; Λ depends on d_S, which
+// every removal changes, so the whole candidate set is rescanned per
+// iteration.
+func peelLayerLambda(s *peelState, cand []graph.Node) {
+	remaining := append([]graph.Node(nil), cand...)
+	for len(remaining) > 0 {
+		if s.expired() {
+			return
+		}
+		bestI := -1
+		bestScore := math.Inf(-1)
+		for i, u := range remaining {
+			sc := modularity.LambdaF(s.wG, s.dS, s.kOf(u), s.dOf(u))
+			if sc > bestScore || (sc == bestScore && bestI >= 0 && u < remaining[bestI]) {
+				bestScore, bestI = sc, i
+			}
+		}
+		u := remaining[bestI]
+		remaining[bestI] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		s.remove(u)
+	}
+}
+
+// fpaWithPruning implements the Section 5.7 layer-based pruning strategy:
+// (1) iteratively drop whole outermost layers, scoring each prefix
+// subgraph; (2) keep the best-scoring prefix and apply the node-removal
+// process to its outermost layer only.
+func fpaWithPruning(g *graph.Graph, comp, protected []graph.Node, opts Options, useTheta bool) (*Result, error) {
+	vAll := graph.NewViewOf(g, comp)
+	dist := graph.MultiSourceBFSView(vAll, protected)
+	layers, maxD := groupLayers(comp, dist)
+	wG := g.TotalWeight()
+	weighted := g.Weighted()
+
+	// Phase 1: score every prefix "keep layers 0..j", maintaining the
+	// weighted statistics incrementally.
+	var dSum, wC float64
+	for _, u := range comp {
+		dSum += g.WeightedDegree(u)
+	}
+	if weighted {
+		for _, u := range comp {
+			for _, w := range g.Neighbors(u) {
+				if vAll.Alive(w) && u < w {
+					wC += g.EdgeWeight(u, w)
+				}
+			}
+		}
+	} else {
+		wC = float64(vAll.NumAliveEdges())
+	}
+	kOf := func(u graph.Node) float64 {
+		if !weighted {
+			return float64(vAll.DegreeIn(u))
+		}
+		var k float64
+		vAll.EachNeighbor(u, func(w graph.Node) { k += g.EdgeWeight(u, w) })
+		return k
+	}
+	scoreOf := func() float64 {
+		size := vAll.NumAlive()
+		switch opts.Objective {
+		case ClassicModularity:
+			return modularity.ClassicPartsF(wC, dSum, wG)
+		case GeneralizedModularityDensity:
+			chi := opts.Chi
+			if chi == 0 {
+				chi = 1
+			}
+			return modularity.GeneralizedDensityPartsF(wC, dSum, wG, size, chi)
+		default:
+			return modularity.DensityPartsF(wC, dSum, wG, size)
+		}
+	}
+	bestJ, bestScore := maxD, scoreOf()
+	phase1 := 0
+	for d := maxD; d >= 1; d-- {
+		for _, u := range layers[d] {
+			wC -= kOf(u)
+			vAll.Remove(u)
+			dSum -= g.WeightedDegree(u)
+			phase1++
+		}
+		if sc := scoreOf(); sc >= bestScore {
+			bestScore, bestJ = sc, d-1
+		}
+	}
+
+	// Phase 2: fresh peel over the selected prefix, removing only its
+	// outermost layer.
+	var comp2 []graph.Node
+	for _, u := range comp {
+		if int(dist[u]) <= bestJ {
+			comp2 = append(comp2, u)
+		}
+	}
+	s := newPeelState(g, comp2, opts)
+	if bestJ >= 1 {
+		peelLayer(s, layers[bestJ], useTheta)
+	}
+	r := s.result()
+	r.Iterations += phase1
+	return r, nil
+}

@@ -1,0 +1,73 @@
+package dmcs
+
+import (
+	"math"
+
+	"dmcs/internal/graph"
+	"dmcs/internal/modularity"
+)
+
+// pickFunc scores a removable candidate; larger is better (removed first).
+// kv is the candidate's (weighted) degree into the current subgraph, dv
+// its node weight, dS the current node-weight sum, wG the total edge
+// weight (|E| when unweighted).
+type pickFunc func(wG, dS, kv, dv float64) float64
+
+// pickLambda is the density modularity gain Λ of Definition 6.
+func pickLambda(wG, dS, kv, dv float64) float64 {
+	return modularity.LambdaF(wG, dS, kv, dv)
+}
+
+// pickTheta is the density ratio Θ of Definition 7 (ignores wG and dS,
+// which is exactly what makes it stable).
+func pickTheta(_, _, kv, dv float64) float64 {
+	return modularity.ThetaF(dv, kv)
+}
+
+// runNCA implements the non-articulation peeling loop shared by NCA and
+// NCA-DR: every iteration recomputes the articulation points of the
+// current subgraph, then removes the non-articulation non-query node with
+// the best pick score. Ties keep the node closer to the query (the farther
+// node is removed), then break on node id for determinism.
+func runNCA(g *graph.Graph, q []graph.Node, opts Options, pick pickFunc) (*Result, error) {
+	comp, err := queryComponent(g, q)
+	if err != nil {
+		return nil, err
+	}
+	s := newPeelState(g, comp, opts)
+	isQuery := make(map[graph.Node]bool, len(q))
+	for _, u := range q {
+		isQuery[u] = true
+	}
+	// minimum shortest-path distance from the query nodes, for tie-breaks
+	dist := graph.MultiSourceBFS(g, q)
+
+	for s.v.NumAlive() > len(q) {
+		if s.expired() {
+			break
+		}
+		art := graph.ArticulationPoints(s.v)
+		var best graph.Node = -1
+		bestScore := math.Inf(-1)
+		for _, u := range comp {
+			if !s.v.Alive(u) || art[u] || isQuery[u] {
+				continue
+			}
+			sc := pick(s.wG, s.dS, s.kOf(u), s.dOf(u))
+			switch {
+			case sc > bestScore:
+				bestScore, best = sc, u
+			case sc == bestScore && best >= 0:
+				// prefer removing the node farther from the query
+				if dist[u] > dist[best] || (dist[u] == dist[best] && u < best) {
+					best = u
+				}
+			}
+		}
+		if best < 0 {
+			break // only articulation or query nodes remain
+		}
+		s.remove(best)
+	}
+	return s.result(), nil
+}

@@ -1,0 +1,257 @@
+// Package gen provides deterministic synthetic graph generators: the
+// paper's worked-example topologies (Figure 1 toy network, the ring of
+// cliques of Example 3), classic random-graph models (Erdős–Rényi,
+// Barabási–Albert), and planted-partition generators used as stand-ins for
+// real datasets that cannot be redistributed (see DESIGN.md §2).
+//
+// Every generator takes an explicit seed and uses its own rand.Rand, so
+// outputs are reproducible across runs and platforms.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"dmcs/internal/graph"
+)
+
+// Figure1Toy builds the 16-node toy network consistent with the paper's
+// Figure 1 arithmetic: community A (nodes 0–3) is a K4, community B (nodes
+// 4–7) is a K4, A and B are joined by two edges, and nodes 8–15 form two
+// disjoint K4s, for |E| = 26 in total. It returns the graph plus the A and
+// A∪B node sets used in Examples 1 and 2.
+func Figure1Toy() (g *graph.Graph, a, ab []graph.Node) {
+	b := graph.NewBuilder(16)
+	k4 := func(base graph.Node) {
+		for i := graph.Node(0); i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	k4(0)
+	k4(4)
+	k4(8)
+	k4(12)
+	b.AddEdge(0, 4)
+	b.AddEdge(1, 5)
+	return b.Build(),
+		[]graph.Node{0, 1, 2, 3},
+		[]graph.Node{0, 1, 2, 3, 4, 5, 6, 7}
+}
+
+// RingOfCliques builds the classic resolution-limit gadget of Example 3: k
+// cliques of size s arranged in a ring, consecutive cliques joined by a
+// single edge. It returns the graph and the ground-truth communities (one
+// per clique). Nodes of clique i are [i*s, (i+1)*s).
+func RingOfCliques(k, s int) (*graph.Graph, [][]graph.Node) {
+	b := graph.NewBuilder(k * s)
+	comms := make([][]graph.Node, k)
+	for c := 0; c < k; c++ {
+		base := graph.Node(c * s)
+		members := make([]graph.Node, s)
+		for i := 0; i < s; i++ {
+			members[i] = base + graph.Node(i)
+			for j := i + 1; j < s; j++ {
+				b.AddEdge(base+graph.Node(i), base+graph.Node(j))
+			}
+		}
+		comms[c] = members
+	}
+	// Ring edges: last node of clique c to first node of clique c+1.
+	for c := 0; c < k; c++ {
+		u := graph.Node(c*s + s - 1)
+		v := graph.Node(((c + 1) % k) * s)
+		b.AddEdge(u, v)
+	}
+	return b.Build(), comms
+}
+
+// ErdosRenyi samples G(n, p).
+func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(graph.Node(i), graph.Node(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GNM samples a uniform graph with exactly m distinct edges (or fewer when
+// m exceeds the number of possible edges).
+func GNM(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	b := graph.NewBuilder(n)
+	for b.NumEdges() < m {
+		u := graph.Node(rng.Intn(n))
+		v := graph.Node(rng.Intn(n))
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert grows a scale-free graph by preferential attachment: it
+// starts from a clique on m0 nodes and attaches each new node to m distinct
+// existing nodes chosen proportionally to degree.
+func BarabasiAlbert(n, m0, m int, seed int64) *graph.Graph {
+	if m0 < m {
+		m0 = m
+	}
+	if m0 < 2 {
+		m0 = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// repeated-endpoint list implements preferential attachment
+	var targets []graph.Node
+	for i := 0; i < m0; i++ {
+		for j := i + 1; j < m0; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+			targets = append(targets, graph.Node(i), graph.Node(j))
+		}
+	}
+	for u := m0; u < n; u++ {
+		chosen := make(map[graph.Node]bool, m)
+		for len(chosen) < m {
+			chosen[targets[rng.Intn(len(targets))]] = true
+		}
+		for v := range chosen {
+			b.AddEdge(graph.Node(u), v)
+			targets = append(targets, graph.Node(u), v)
+		}
+	}
+	return b.Build()
+}
+
+// PlantedPartition builds a graph whose nodes are split into communities of
+// the given sizes; each intra-community pair is an edge with probability
+// pin and each inter-community pair with probability pout. A random
+// spanning tree is always added inside each community so ground-truth
+// communities are connected, and single bridge edges join consecutive
+// communities so the whole graph is connected. Returns the graph and the
+// ground-truth communities.
+func PlantedPartition(sizes []int, pin, pout float64, seed int64) (*graph.Graph, [][]graph.Node) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	b := graph.NewBuilder(n)
+	comms := make([][]graph.Node, len(sizes))
+	base := 0
+	for c, s := range sizes {
+		members := make([]graph.Node, s)
+		for i := 0; i < s; i++ {
+			members[i] = graph.Node(base + i)
+		}
+		comms[c] = members
+		// random spanning tree keeps the community connected
+		for i := 1; i < s; i++ {
+			b.AddEdge(members[i], members[rng.Intn(i)])
+		}
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				if rng.Float64() < pin {
+					b.AddEdge(members[i], members[j])
+				}
+			}
+		}
+		base += s
+	}
+	// inter-community noise
+	for c := 0; c < len(comms); c++ {
+		for d := c + 1; d < len(comms); d++ {
+			for _, u := range comms[c] {
+				for _, v := range comms[d] {
+					if rng.Float64() < pout {
+						b.AddEdge(u, v)
+					}
+				}
+			}
+		}
+	}
+	// guarantee global connectivity with a ring of bridges
+	for c := 0; c+1 < len(comms); c++ {
+		u := comms[c][rng.Intn(len(comms[c]))]
+		v := comms[c+1][rng.Intn(len(comms[c+1]))]
+		b.AddEdge(u, v)
+	}
+	return b.Build(), comms
+}
+
+// ChungLuPartition builds a two-community graph with heterogeneous
+// (power-law-ish) expected degrees, used as the Polblogs stand-in: hub
+// nodes acquire high degree, and a fraction mu of each node's edges point
+// across the community boundary. Returns the graph and the two ground-truth
+// communities.
+func ChungLuPartition(sizes [2]int, avgDeg float64, exponent float64, mu float64, seed int64) (*graph.Graph, [][]graph.Node) {
+	rng := rand.New(rand.NewSource(seed))
+	n := sizes[0] + sizes[1]
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		// power-law weights w_i ∝ (i+1)^(-1/(exponent-1))
+		w[i] = math.Pow(float64(i%max(sizes[0], sizes[1])+1), -1/(exponent-1))
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	comm := make([]int, n)
+	comms := make([][]graph.Node, 2)
+	for i := 0; i < n; i++ {
+		c := 0
+		if i >= sizes[0] {
+			c = 1
+		}
+		comm[i] = c
+		comms[c] = append(comms[c], graph.Node(i))
+	}
+	b := graph.NewBuilder(n)
+	// Chung–Lu sampling: edge (i,j) with prob ~ w_i w_j / (sum w), damped
+	// across communities by mu/(1-mu).
+	totalW := 0.0
+	for _, x := range w {
+		totalW += x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := w[i] * w[j] / totalW
+			if comm[i] != comm[j] {
+				p *= mu / (1 - mu)
+			}
+			if p > 1 {
+				p = 1
+			}
+			if rng.Float64() < p {
+				b.AddEdge(graph.Node(i), graph.Node(j))
+			}
+		}
+	}
+	// spanning trees for community connectivity + one bridge
+	base := 0
+	for _, s := range []int{sizes[0], sizes[1]} {
+		for i := 1; i < s; i++ {
+			b.AddEdge(graph.Node(base+i), graph.Node(base+rng.Intn(i)))
+		}
+		base += s
+	}
+	b.AddEdge(comms[0][0], comms[1][0])
+	return b.Build(), comms
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

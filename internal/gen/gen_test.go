@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"testing"
+
+	"dmcs/internal/graph"
+)
+
+func TestFigure1ToyMatchesPaperStatistics(t *testing.T) {
+	g, a, ab := Figure1Toy()
+	if g.NumNodes() != 16 || g.NumEdges() != 26 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if len(a) != 4 || len(ab) != 8 {
+		t.Fatalf("|A|=%d |A∪B|=%d", len(a), len(ab))
+	}
+	// d_A = 14 per the paper
+	d := 0
+	for _, u := range a {
+		d += g.Degree(u)
+	}
+	if d != 14 {
+		t.Fatalf("d_A=%d want 14", d)
+	}
+}
+
+func TestRingOfCliquesShape(t *testing.T) {
+	g, comms := RingOfCliques(30, 6)
+	if g.NumNodes() != 180 {
+		t.Fatalf("n=%d want 180", g.NumNodes())
+	}
+	// 30 * C(6,2) + 30 ring edges = 450 + 30 = 480, as in Example 3
+	if g.NumEdges() != 480 {
+		t.Fatalf("m=%d want 480", g.NumEdges())
+	}
+	if len(comms) != 30 || len(comms[0]) != 6 {
+		t.Fatalf("communities %d × %d", len(comms), len(comms[0]))
+	}
+	comp, k := graph.ConnectedComponents(g)
+	_ = comp
+	if k != 1 {
+		t.Fatalf("ring of cliques should be connected, got %d components", k)
+	}
+}
+
+func TestRingOfCliquesDegrees(t *testing.T) {
+	g, _ := RingOfCliques(5, 4)
+	// every clique has exactly two nodes with an extra ring edge
+	extra := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		switch g.Degree(graph.Node(u)) {
+		case 3:
+		case 4:
+			extra++
+		default:
+			t.Fatalf("unexpected degree %d", g.Degree(graph.Node(u)))
+		}
+	}
+	if extra != 10 {
+		t.Fatalf("extra-degree nodes=%d want 10", extra)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 0.1, 9)
+	b := ErdosRenyi(50, 0.1, 9)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should give the same graph")
+	}
+	if c := ErdosRenyi(50, 0.1, 10); c.NumEdges() == a.NumEdges() {
+		ea, ec := a.EdgeList(), c.EdgeList()
+		same := true
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical graphs")
+		}
+	}
+}
+
+func TestGNMEdgeCount(t *testing.T) {
+	g := GNM(30, 100, 4)
+	if g.NumEdges() != 100 {
+		t.Fatalf("m=%d want 100", g.NumEdges())
+	}
+	// m larger than possible is clamped
+	g2 := GNM(5, 100, 4)
+	if g2.NumEdges() != 10 {
+		t.Fatalf("clamped m=%d want 10", g2.NumEdges())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(200, 3, 3, 5)
+	if g.NumNodes() != 200 {
+		t.Fatalf("n=%d", g.NumNodes())
+	}
+	// expected edge count: C(3,2) + 197*3 = 3 + 591 (deduping may remove a few)
+	if g.NumEdges() < 550 || g.NumEdges() > 594 {
+		t.Fatalf("m=%d outside plausible range", g.NumEdges())
+	}
+	if _, k := graph.ConnectedComponents(g); k != 1 {
+		t.Fatal("BA graph should be connected")
+	}
+	// scale-free: max degree far above average
+	maxd := 0
+	for u := 0; u < 200; u++ {
+		if d := g.Degree(graph.Node(u)); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd < 12 {
+		t.Fatalf("max degree %d suspiciously small for BA", maxd)
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	sizes := []int{30, 30, 40}
+	g, comms := PlantedPartition(sizes, 0.3, 0.01, 77)
+	if g.NumNodes() != 100 || len(comms) != 3 {
+		t.Fatalf("n=%d comms=%d", g.NumNodes(), len(comms))
+	}
+	if _, k := graph.ConnectedComponents(g); k != 1 {
+		t.Fatal("planted partition should be globally connected")
+	}
+	// each community individually connected (spanning tree guarantee)
+	for ci, c := range comms {
+		sub, _ := g.InducedSubgraph(c)
+		if _, k := graph.ConnectedComponents(sub); k != 1 {
+			t.Fatalf("community %d disconnected", ci)
+		}
+	}
+	// intra edges dominate inter edges
+	memb := make([]int, 100)
+	for ci, c := range comms {
+		for _, u := range c {
+			memb[u] = ci
+		}
+	}
+	intra, inter := 0, 0
+	g.Edges(func(u, v graph.Node) bool {
+		if memb[u] == memb[v] {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	if intra <= inter*3 {
+		t.Fatalf("intra=%d inter=%d; expected strong community structure", intra, inter)
+	}
+}
+
+func TestChungLuPartition(t *testing.T) {
+	g, comms := ChungLuPartition([2]int{80, 60}, 8, 2.5, 0.2, 3)
+	if g.NumNodes() != 140 || len(comms) != 2 {
+		t.Fatalf("n=%d comms=%d", g.NumNodes(), len(comms))
+	}
+	if len(comms[0]) != 80 || len(comms[1]) != 60 {
+		t.Fatalf("sizes %d/%d", len(comms[0]), len(comms[1]))
+	}
+	if _, k := graph.ConnectedComponents(g); k != 1 {
+		t.Fatal("stand-in should be connected")
+	}
+	// heterogeneous degrees: max degree well above the mean
+	maxd, sum := 0, 0
+	for u := 0; u < 140; u++ {
+		d := g.Degree(graph.Node(u))
+		sum += d
+		if d > maxd {
+			maxd = d
+		}
+	}
+	if float64(maxd) < 2.5*float64(sum)/140 {
+		t.Fatalf("max degree %d not hub-like (avg %.1f)", maxd, float64(sum)/140)
+	}
+}

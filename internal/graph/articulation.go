@@ -1,0 +1,93 @@
+package graph
+
+// ArticulationPoints returns a boolean mask over the alive nodes of the
+// view: mask[u] is true when removing u disconnects the alive subgraph.
+// It is the Hopcroft–Tarjan DFS-tree low-link algorithm (the paper's
+// Section 5.2.1), implemented iteratively so deep graphs cannot overflow
+// the goroutine stack. Runs in O(|V|+|E|) over the alive subgraph.
+func ArticulationPoints(v *View) []bool {
+	g := v.Graph()
+	n := g.NumNodes()
+	isArt := make([]bool, n)
+	disc := make([]int32, n)  // discovery time, 0 = unvisited
+	low := make([]int32, n)   // low-link value
+	parent := make([]Node, n) // DFS-tree parent
+	childCnt := make([]int32, n)
+	iter := make([]int, n) // per-node adjacency cursor
+	for i := range parent {
+		parent[i] = -1
+	}
+	var timer int32 = 1
+	stack := make([]Node, 0, 64)
+
+	for s := 0; s < n; s++ {
+		if !v.Alive(Node(s)) || disc[s] != 0 {
+			continue
+		}
+		// Iterative DFS rooted at s.
+		disc[s], low[s] = timer, timer
+		timer++
+		stack = append(stack[:0], Node(s))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			adj := g.Neighbors(u)
+			advanced := false
+			for iter[u] < len(adj) {
+				w := adj[iter[u]]
+				iter[u]++
+				if !v.Alive(w) {
+					continue
+				}
+				if disc[w] == 0 {
+					parent[w] = u
+					childCnt[u]++
+					disc[w], low[w] = timer, timer
+					timer++
+					stack = append(stack, w)
+					advanced = true
+					break
+				}
+				if w != parent[u] && disc[w] < low[u] {
+					low[u] = disc[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// u is finished: pop and propagate low to the parent.
+			stack = stack[:len(stack)-1]
+			p := parent[u]
+			if p >= 0 {
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+				// Non-root p is an articulation point when no node in u's
+				// subtree reaches above p.
+				if parent[p] >= 0 && low[u] >= disc[p] {
+					isArt[p] = true
+				}
+			}
+		}
+		// Root rule: articulation iff it has >= 2 DFS-tree children.
+		if childCnt[s] >= 2 {
+			isArt[s] = true
+		}
+	}
+	// Reset cursors for reuse of the shared iter slice is unnecessary:
+	// the slice is local. Dead nodes keep isArt=false.
+	return isArt
+}
+
+// NonArticulationNodes lists alive nodes whose removal keeps the alive
+// subgraph connected (the removable-candidate set of NCA, before excluding
+// query nodes).
+func NonArticulationNodes(v *View) []Node {
+	isArt := ArticulationPoints(v)
+	out := make([]Node, 0, v.NumAlive())
+	for u := 0; u < v.Graph().NumNodes(); u++ {
+		if v.Alive(Node(u)) && !isArt[u] {
+			out = append(out, Node(u))
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchRandom(n int, p float64) *Graph {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(Node(i), Node(rng.Intn(i)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(Node(i), Node(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BenchmarkViewRemove measures the core peeling primitive.
+func BenchmarkViewRemove(b *testing.B) {
+	g := benchRandom(2000, 0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := NewView(g)
+		for u := 0; u < g.NumNodes(); u++ {
+			v.Remove(Node(u))
+		}
+	}
+}
+
+// BenchmarkArticulationPoints measures the per-iteration cost of NCA.
+func BenchmarkArticulationPoints(b *testing.B) {
+	g := benchRandom(2000, 0.005)
+	v := NewView(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ArticulationPoints(v)
+	}
+}
+
+// BenchmarkMultiSourceBFS measures FPA's distance-layer setup.
+func BenchmarkMultiSourceBFS(b *testing.B) {
+	g := benchRandom(5000, 0.002)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MultiSourceBFS(g, []Node{0, 1, 2})
+	}
+}

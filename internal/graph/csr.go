@@ -1,0 +1,134 @@
+package graph
+
+// CSR is a compressed-sparse-row snapshot of a Graph: all adjacency lists
+// packed into one contiguous slice with per-node offsets. Traversal-heavy
+// read-only workloads (BFS floods, support counting) benefit from the
+// cache locality; peeling algorithms keep using Graph+View because CSR is
+// immutable. BenchmarkCSRTraversal quantifies the difference.
+type CSR struct {
+	offsets []int32
+	targets []Node
+}
+
+// NewCSR packs g into CSR form.
+func NewCSR(g *Graph) *CSR {
+	n := g.NumNodes()
+	c := &CSR{
+		offsets: make([]int32, n+1),
+		targets: make([]Node, 0, 2*g.NumEdges()),
+	}
+	for u := 0; u < n; u++ {
+		c.offsets[u] = int32(len(c.targets))
+		c.targets = append(c.targets, g.Neighbors(Node(u))...)
+	}
+	c.offsets[n] = int32(len(c.targets))
+	return c
+}
+
+// NumNodes returns |V|.
+func (c *CSR) NumNodes() int { return len(c.offsets) - 1 }
+
+// Degree returns the degree of u.
+func (c *CSR) Degree(u Node) int { return int(c.offsets[u+1] - c.offsets[u]) }
+
+// Neighbors returns u's packed, sorted adjacency slice (do not modify).
+func (c *CSR) Neighbors(u Node) []Node {
+	return c.targets[c.offsets[u]:c.offsets[u+1]]
+}
+
+// BFS computes unweighted distances from src over the CSR snapshot.
+func (c *CSR) BFS(src Node) []int32 {
+	n := c.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = INF
+	}
+	dist[src] = 0
+	queue := make([]Node, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range c.Neighbors(u) {
+			if dist[w] == INF {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Triangles counts the triangles incident to every node using the packed
+// lists (merge-intersection over sorted adjacencies).
+func (c *CSR) Triangles() []int32 {
+	n := c.NumNodes()
+	tri := make([]int32, n)
+	for u := 0; u < n; u++ {
+		nu := c.Neighbors(Node(u))
+		for _, v := range nu {
+			if v <= Node(u) {
+				continue
+			}
+			nv := c.Neighbors(v)
+			i, j := 0, 0
+			for i < len(nu) && j < len(nv) {
+				switch {
+				case nu[i] == nv[j]:
+					if nu[i] > v { // count each triangle once at its apex
+						tri[u]++
+						tri[v]++
+						tri[nu[i]]++
+					}
+					i++
+					j++
+				case nu[i] < nv[j]:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return tri
+}
+
+// LocalClustering returns each node's local clustering coefficient
+// 2·tri(u) / (deg(u)·(deg(u)−1)), 0 for degree < 2. The paper uses the
+// average difference of local clustering coefficients between ground-truth
+// communities to explain NCA's behaviour on Dolphin/Polblogs (§6.3).
+func (c *CSR) LocalClustering() []float64 {
+	tri := c.Triangles()
+	out := make([]float64, c.NumNodes())
+	for u := range out {
+		d := c.Degree(Node(u))
+		if d >= 2 {
+			out[u] = 2 * float64(tri[u]) / (float64(d) * float64(d-1))
+		}
+	}
+	return out
+}
+
+// AvgClustering returns the mean local clustering coefficient over the
+// given node set (over all nodes when set is nil).
+func (c *CSR) AvgClustering(set []Node) float64 {
+	cc := c.LocalClustering()
+	if set == nil {
+		var t float64
+		for _, x := range cc {
+			t += x
+		}
+		if len(cc) == 0 {
+			return 0
+		}
+		return t / float64(len(cc))
+	}
+	if len(set) == 0 {
+		return 0
+	}
+	var t float64
+	for _, u := range set {
+		t += cc[u]
+	}
+	return t / float64(len(set))
+}

@@ -1,0 +1,284 @@
+// Package graph provides the undirected-graph substrate used by every
+// algorithm in this repository: construction, adjacency access, mutable
+// subgraph views for peeling algorithms, traversals (BFS, Dijkstra),
+// connectivity, diameter, articulation points, and plain-text I/O.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected.
+// Nodes are dense indices of type Node ([0, N)). Loaders that read edge
+// lists with arbitrary string labels keep a label table on the side.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is a dense node identifier in [0, NumNodes).
+type Node = int32
+
+// Graph is an immutable simple undirected graph. Build one with a Builder.
+//
+// The zero value is an empty graph. Adjacency lists are sorted by neighbor
+// id, enabling binary-search membership tests via HasEdge.
+type Graph struct {
+	adj    [][]Node
+	m      int       // number of undirected edges
+	labels []string  // optional external labels, len 0 or NumNodes
+	w      []float64 // optional per-node... (unused; weights live on edges)
+	ew     map[[2]Node]float64
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns |E| (each undirected edge counted once).
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u Node) int { return len(g.adj[u]) }
+
+// Neighbors returns the sorted adjacency list of u. The caller must not
+// modify the returned slice.
+func (g *Graph) Neighbors(u Node) []Node { return g.adj[u] }
+
+// HasEdge reports whether the undirected edge (u,v) exists.
+func (g *Graph) HasEdge(u, v Node) bool {
+	if int(u) >= len(g.adj) || int(v) >= len(g.adj) || u < 0 || v < 0 {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, u, v = g.adj[v], v, u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// Label returns the external label of node u, or its decimal id when the
+// graph was built without labels.
+func (g *Graph) Label(u Node) string {
+	if len(g.labels) == 0 {
+		return fmt.Sprintf("%d", u)
+	}
+	return g.labels[u]
+}
+
+// Labels returns the label table (nil when the graph is unlabeled).
+func (g *Graph) Labels() []string { return g.labels }
+
+// EdgeWeight returns the weight of edge (u,v). Unweighted graphs (and
+// missing edges) report 1 so the unweighted formulas fall out of the
+// weighted ones.
+func (g *Graph) EdgeWeight(u, v Node) float64 {
+	if g.ew == nil {
+		return 1
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if w, ok := g.ew[[2]Node{u, v}]; ok {
+		return w
+	}
+	return 1
+}
+
+// Weighted reports whether any edge carries a non-unit weight.
+func (g *Graph) Weighted() bool { return g.ew != nil }
+
+// TotalWeight returns the sum of edge weights (|E| for unweighted graphs).
+func (g *Graph) TotalWeight() float64 {
+	if g.ew == nil {
+		return float64(g.m)
+	}
+	var t float64
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if Node(u) < v {
+				t += g.EdgeWeight(Node(u), v)
+			}
+		}
+	}
+	return t
+}
+
+// WeightedDegree returns the sum of adjacent edge weights of u (the node
+// weight in the paper's Definition 2).
+func (g *Graph) WeightedDegree(u Node) float64 {
+	if g.ew == nil {
+		return float64(len(g.adj[u]))
+	}
+	var t float64
+	for _, v := range g.adj[u] {
+		t += g.EdgeWeight(u, v)
+	}
+	return t
+}
+
+// Edges calls fn once per undirected edge with u < v. Iteration stops early
+// if fn returns false.
+func (g *Graph) Edges(fn func(u, v Node) bool) {
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if Node(u) < v {
+				if !fn(Node(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// EdgeList materializes all undirected edges with u < v.
+func (g *Graph) EdgeList() [][2]Node {
+	out := make([][2]Node, 0, g.m)
+	g.Edges(func(u, v Node) bool {
+		out = append(out, [2]Node{u, v})
+		return true
+	})
+	return out
+}
+
+// InducedSubgraph builds a new compact Graph over the node set keep. The
+// second return value maps new ids back to ids in g.
+func (g *Graph) InducedSubgraph(keep []Node) (*Graph, []Node) {
+	old2new := make(map[Node]Node, len(keep))
+	back := make([]Node, len(keep))
+	sorted := append([]Node(nil), keep...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, u := range sorted {
+		old2new[u] = Node(i)
+		back[i] = u
+	}
+	b := NewBuilder(len(sorted))
+	for _, u := range sorted {
+		for _, v := range g.adj[u] {
+			if nv, ok := old2new[v]; ok && u < v {
+				b.AddEdge(old2new[u], nv)
+				if g.ew != nil {
+					b.SetWeight(old2new[u], nv, g.EdgeWeight(u, v))
+				}
+			}
+		}
+	}
+	sub := b.Build()
+	if len(g.labels) > 0 {
+		sub.labels = make([]string, len(sorted))
+		for i, u := range back {
+			sub.labels[i] = g.labels[u]
+		}
+	}
+	return sub, back
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{m: g.m}
+	c.adj = make([][]Node, len(g.adj))
+	for u := range g.adj {
+		c.adj[u] = append([]Node(nil), g.adj[u]...)
+	}
+	if g.labels != nil {
+		c.labels = append([]string(nil), g.labels...)
+	}
+	if g.ew != nil {
+		c.ew = make(map[[2]Node]float64, len(g.ew))
+		for k, v := range g.ew {
+			c.ew[k] = v
+		}
+	}
+	return c
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are silently dropped.
+type Builder struct {
+	n      int
+	edges  map[[2]Node]struct{}
+	ew     map[[2]Node]float64
+	labels []string
+}
+
+// NewBuilder creates a Builder for a graph with n nodes. AddEdge may grow n
+// implicitly when given larger endpoints.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[[2]Node]struct{})}
+}
+
+// SetLabels attaches external node labels; len(labels) fixes the node count
+// if larger than the current one.
+func (b *Builder) SetLabels(labels []string) {
+	b.labels = labels
+	if len(labels) > b.n {
+		b.n = len(labels)
+	}
+}
+
+// AddEdge records the undirected edge (u,v). Self-loops are ignored.
+func (b *Builder) AddEdge(u, v Node) {
+	if u == v || u < 0 || v < 0 {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+	b.edges[[2]Node{u, v}] = struct{}{}
+}
+
+// SetWeight sets the weight of edge (u,v), adding the edge if absent.
+func (b *Builder) SetWeight(u, v Node, w float64) {
+	b.AddEdge(u, v)
+	if u > v {
+		u, v = v, u
+	}
+	if b.ew == nil {
+		b.ew = make(map[[2]Node]float64)
+	}
+	b.ew[[2]Node{u, v}] = w
+}
+
+// NumEdges returns the number of distinct edges recorded so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build finalizes the graph. The Builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	g := &Graph{m: len(b.edges)}
+	g.adj = make([][]Node, b.n)
+	deg := make([]int, b.n)
+	for e := range b.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for u := range g.adj {
+		g.adj[u] = make([]Node, 0, deg[u])
+	}
+	for e := range b.edges {
+		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+	}
+	for u := range g.adj {
+		a := g.adj[u]
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	if b.labels != nil {
+		g.labels = append([]string(nil), b.labels...)
+	}
+	if b.ew != nil {
+		g.ew = make(map[[2]Node]float64, len(b.ew))
+		for k, v := range b.ew {
+			g.ew[k] = v
+		}
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor for tests and examples.
+func FromEdges(n int, edges [][2]Node) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

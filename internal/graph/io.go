@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseEdgeList reads a whitespace-separated edge list, one edge per line.
+// Lines starting with '#' or '%' are comments. Endpoints may be arbitrary
+// string tokens; they are interned into dense node ids in first-seen order
+// and kept as labels. An optional third numeric column is an edge weight.
+func ParseEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	ids := make(map[string]Node)
+	var labels []string
+	intern := func(tok string) Node {
+		if id, ok := ids[tok]; ok {
+			return id
+		}
+		id := Node(len(labels))
+		ids[tok] = id
+		labels = append(labels, tok)
+		return id
+	}
+	b := NewBuilder(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(f))
+		}
+		u, v := intern(f[0]), intern(f[1])
+		if len(f) >= 3 {
+			w, err := strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, f[2], err)
+			}
+			b.SetWeight(u, v, w)
+		} else {
+			b.AddEdge(u, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %v", err)
+	}
+	b.SetLabels(labels)
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes g as "u v" lines using labels when present.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.Edges(func(u, v Node) bool {
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "%s %s %g\n", g.Label(u), g.Label(v), g.EdgeWeight(u, v))
+		} else {
+			_, err = fmt.Fprintf(bw, "%s %s\n", g.Label(u), g.Label(v))
+		}
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ParseCommunities reads a ground-truth community file: one community per
+// line, whitespace-separated member tokens resolved against the graph's
+// labels (or decimal ids for unlabeled graphs). Unknown tokens are an error.
+func ParseCommunities(r io.Reader, g *Graph) ([][]Node, error) {
+	byLabel := make(map[string]Node, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		byLabel[g.Label(Node(u))] = Node(u)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var comms [][]Node
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		var c []Node
+		for _, tok := range strings.Fields(line) {
+			u, ok := byLabel[tok]
+			if !ok {
+				return nil, fmt.Errorf("graph: communities line %d: unknown node %q", lineNo, tok)
+			}
+			c = append(c, u)
+		}
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		comms = append(comms, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading communities: %v", err)
+	}
+	return comms, nil
+}
+
+// WriteCommunities writes one community per line using node labels.
+func WriteCommunities(w io.Writer, g *Graph, comms [][]Node) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comms {
+		for i, u := range c {
+			if i > 0 {
+				if _, err := bw.WriteString(" "); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(g.Label(u)); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,241 @@
+package graph
+
+import "container/heap"
+
+// INF marks unreachable nodes in distance slices.
+const INF int32 = 1<<31 - 1
+
+// BFS computes unweighted shortest-path distances from src. Unreachable
+// nodes get INF.
+func BFS(g *Graph, src Node) []int32 {
+	return MultiSourceBFS(g, []Node{src})
+}
+
+// MultiSourceBFS computes, for every node, the minimum unweighted distance
+// to any of the sources (the paper's dist(v) = min over q in Q of d(q,v)).
+func MultiSourceBFS(g *Graph, sources []Node) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = INF
+	}
+	queue := make([]Node, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] == INF {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if dist[w] == INF {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// MultiSourceBFSView is MultiSourceBFS restricted to the alive nodes of a
+// view. Dead nodes and unreachable alive nodes get INF. Dead sources are
+// skipped.
+func MultiSourceBFSView(v *View, sources []Node) []int32 {
+	g := v.Graph()
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = INF
+	}
+	queue := make([]Node, 0, len(sources))
+	for _, s := range sources {
+		if v.Alive(s) && dist[s] == INF {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if v.Alive(w) && dist[w] == INF {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents labels every node with a component id in [0,k) and
+// returns the labels plus k.
+func ConnectedComponents(g *Graph) (comp []int32, count int) {
+	comp = make([]int32, g.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []Node
+	for s := 0; s < g.NumNodes(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[s] = id
+		queue = append(queue[:0], Node(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(u) {
+				if comp[w] == -1 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// ComponentOf returns the alive nodes reachable from src inside the view
+// (including src). Returns nil when src is dead.
+func ComponentOf(v *View, src Node) []Node {
+	if !v.Alive(src) {
+		return nil
+	}
+	seen := map[Node]bool{src: true}
+	out := []Node{src}
+	queue := []Node{src}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		v.EachNeighbor(u, func(w Node) {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+				queue = append(queue, w)
+			}
+		})
+	}
+	return out
+}
+
+// ConnectedWithin reports whether all alive nodes of the view form a single
+// connected subgraph. An empty view is connected by convention.
+func ConnectedWithin(v *View) bool {
+	if v.NumAlive() == 0 {
+		return true
+	}
+	var src Node = -1
+	for u := 0; u < v.Graph().NumNodes(); u++ {
+		if v.Alive(Node(u)) {
+			src = Node(u)
+			break
+		}
+	}
+	return len(ComponentOf(v, src)) == v.NumAlive()
+}
+
+// SameComponent reports whether all the given nodes lie in one connected
+// component of g.
+func SameComponent(g *Graph, nodes []Node) bool {
+	if len(nodes) <= 1 {
+		return true
+	}
+	dist := BFS(g, nodes[0])
+	for _, u := range nodes[1:] {
+		if dist[u] == INF {
+			return false
+		}
+	}
+	return true
+}
+
+type dijkstraItem struct {
+	node Node
+	dist float64
+}
+
+type dijkstraHeap []dijkstraItem
+
+func (h dijkstraHeap) Len() int            { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *dijkstraHeap) Push(x interface{}) { *h = append(*h, x.(dijkstraItem)) }
+func (h *dijkstraHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes weighted shortest-path distances from the sources,
+// using EdgeWeight (1 for unweighted graphs, so it degenerates to BFS
+// distances). Unreachable nodes get +Inf encoded as -1.
+func Dijkstra(g *Graph, sources []Node) []float64 {
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	h := &dijkstraHeap{}
+	for _, s := range sources {
+		if dist[s] < 0 {
+			dist[s] = 0
+			heap.Push(h, dijkstraItem{s, 0})
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(dijkstraItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, w := range g.Neighbors(it.node) {
+			nd := it.dist + g.EdgeWeight(it.node, w)
+			if dist[w] < 0 || nd < dist[w] {
+				dist[w] = nd
+				heap.Push(h, dijkstraItem{w, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum finite BFS distance from src.
+func Eccentricity(g *Graph, src Node) int {
+	dist := BFS(g, src)
+	ecc := 0
+	for _, d := range dist {
+		if d != INF && int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// Diameter computes the exact diameter of g (the largest eccentricity over
+// all nodes, ignoring unreachable pairs) by running a BFS from every node.
+// Suitable for the small community subgraphs of Figure 4; use
+// ApproxDiameter for whole large graphs.
+func Diameter(g *Graph) int {
+	d := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if e := Eccentricity(g, Node(u)); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// ApproxDiameter lower-bounds the diameter with the classic double-sweep
+// heuristic: BFS from src, then BFS from the farthest node found.
+func ApproxDiameter(g *Graph, src Node) int {
+	dist := BFS(g, src)
+	far := src
+	for u, d := range dist {
+		if d != INF && d > dist[far] {
+			far = Node(u)
+		}
+	}
+	return Eccentricity(g, far)
+}

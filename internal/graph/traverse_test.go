@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := path(5)
+	dist := BFS(g, 0)
+	for i := 0; i < 5; i++ {
+		if dist[i] != int32(i) {
+			t.Fatalf("dist[%d]=%d want %d", i, dist[i], i)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := FromEdges(4, [][2]Node{{0, 1}, {2, 3}})
+	dist := BFS(g, 0)
+	if dist[2] != INF || dist[3] != INF {
+		t.Fatalf("disconnected nodes should be INF: %v", dist)
+	}
+}
+
+func TestMultiSourceBFS(t *testing.T) {
+	g := path(7)
+	dist := MultiSourceBFS(g, []Node{0, 6})
+	want := []int32{0, 1, 2, 3, 2, 1, 0}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist=%v want %v", dist, want)
+		}
+	}
+}
+
+func TestMultiSourceBFSView(t *testing.T) {
+	g := cycle(6)
+	v := NewView(g)
+	v.Remove(3)
+	dist := MultiSourceBFSView(v, []Node{0})
+	if dist[3] != INF {
+		t.Fatal("dead node must be INF")
+	}
+	// With node 3 removed, node 4 is reached the long way: 0-5-4.
+	if dist[4] != 2 {
+		t.Fatalf("dist[4]=%d want 2", dist[4])
+	}
+	if dist[2] != 2 {
+		t.Fatalf("dist[2]=%d want 2", dist[2])
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := FromEdges(6, [][2]Node{{0, 1}, {1, 2}, {3, 4}})
+	comp, k := ConnectedComponents(g)
+	if k != 3 {
+		t.Fatalf("k=%d want 3 (two edges comps + isolated 5)", k)
+	}
+	if comp[0] != comp[2] || comp[0] == comp[3] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatalf("comp=%v", comp)
+	}
+}
+
+func TestComponentOfView(t *testing.T) {
+	g := cycle(6)
+	v := NewView(g)
+	v.Remove(1)
+	v.Remove(4)
+	comp := ComponentOf(v, 0)
+	// Removing 1 and 4 from the 6-cycle leaves 0-5 and 2-3.
+	if len(comp) != 2 {
+		t.Fatalf("component=%v", comp)
+	}
+	if ComponentOf(v, 1) != nil {
+		t.Fatal("component of dead node should be nil")
+	}
+}
+
+func TestConnectedWithin(t *testing.T) {
+	g := cycle(6)
+	v := NewView(g)
+	if !ConnectedWithin(v) {
+		t.Fatal("cycle should be connected")
+	}
+	v.Remove(0)
+	if !ConnectedWithin(v) {
+		t.Fatal("cycle minus one node is a path, still connected")
+	}
+	v.Remove(3)
+	if ConnectedWithin(v) {
+		t.Fatal("cycle minus two opposite nodes disconnects")
+	}
+}
+
+func TestSameComponent(t *testing.T) {
+	g := FromEdges(5, [][2]Node{{0, 1}, {1, 2}, {3, 4}})
+	if !SameComponent(g, []Node{0, 2}) {
+		t.Fatal("0 and 2 are connected")
+	}
+	if SameComponent(g, []Node{0, 3}) {
+		t.Fatal("0 and 3 are not connected")
+	}
+	if !SameComponent(g, []Node{2}) {
+		t.Fatal("singleton is trivially same-component")
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnweighted(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(25, 0.15, seed)
+		bfs := BFS(g, 0)
+		dj := Dijkstra(g, []Node{0})
+		for i := range bfs {
+			if bfs[i] == INF {
+				if dj[i] >= 0 {
+					return false
+				}
+				continue
+			}
+			if dj[i] != float64(bfs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	b := NewBuilder(3)
+	b.SetWeight(0, 1, 5)
+	b.SetWeight(1, 2, 5)
+	b.SetWeight(0, 2, 20)
+	g := b.Build()
+	d := Dijkstra(g, []Node{0})
+	if d[2] != 10 {
+		t.Fatalf("dist[2]=%g want 10 (via node 1)", d[2])
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter(path(5)); d != 4 {
+		t.Fatalf("path diameter=%d want 4", d)
+	}
+	if d := Diameter(cycle(6)); d != 3 {
+		t.Fatalf("cycle diameter=%d want 3", d)
+	}
+	if d := Diameter(complete(7)); d != 1 {
+		t.Fatalf("K7 diameter=%d want 1", d)
+	}
+}
+
+func TestApproxDiameterLowerBoundsExact(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(30, 0.12, seed)
+		// restrict to a connected component for a meaningful comparison
+		comp, _ := ConnectedComponents(g)
+		var keep []Node
+		for u, c := range comp {
+			if c == comp[0] {
+				keep = append(keep, Node(u))
+			}
+		}
+		sub, _ := g.InducedSubgraph(keep)
+		if sub.NumNodes() < 2 {
+			return true
+		}
+		return ApproxDiameter(sub, 0) <= Diameter(sub)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArticulationPointsPath(t *testing.T) {
+	g := path(5)
+	v := NewView(g)
+	art := ArticulationPoints(v)
+	want := []bool{false, true, true, true, false}
+	for i := range want {
+		if art[i] != want[i] {
+			t.Fatalf("art=%v want %v", art, want)
+		}
+	}
+}
+
+func TestArticulationPointsCycleHasNone(t *testing.T) {
+	g := cycle(8)
+	art := ArticulationPoints(NewView(g))
+	for u, a := range art {
+		if a {
+			t.Fatalf("cycle has no articulation points, got node %d", u)
+		}
+	}
+}
+
+func TestArticulationPointsBridge(t *testing.T) {
+	// Two triangles joined by a bridge 2-3: nodes 2 and 3 are articulation.
+	g := FromEdges(6, [][2]Node{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}})
+	art := ArticulationPoints(NewView(g))
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if art[i] != want[i] {
+			t.Fatalf("art=%v want %v", art, want)
+		}
+	}
+}
+
+func TestArticulationPointsRespectsView(t *testing.T) {
+	// Path 0-1-2-3 plus chord 0-2: with all alive, only 2 is articulation
+	// (1 is on a cycle). After removing 3, nothing is articulation.
+	g := FromEdges(4, [][2]Node{{0, 1}, {1, 2}, {2, 3}, {0, 2}})
+	v := NewView(g)
+	art := ArticulationPoints(v)
+	if !art[2] || art[1] || art[0] {
+		t.Fatalf("art=%v", art)
+	}
+	v.Remove(3)
+	art = ArticulationPoints(v)
+	for u := 0; u < 3; u++ {
+		if art[u] {
+			t.Fatalf("triangle has no articulation nodes: %v", art)
+		}
+	}
+}
+
+// Property: brute-force check of articulation points on random graphs — a
+// node is articulation iff removing it increases the number of connected
+// components among the remaining alive nodes.
+func TestArticulationPointsMatchBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(18, 0.15, seed)
+		v := NewView(g)
+		art := ArticulationPoints(v)
+		// count components of alive subgraph
+		countComps := func(v *View) int {
+			seen := make(map[Node]bool)
+			comps := 0
+			for u := 0; u < g.NumNodes(); u++ {
+				if v.Alive(Node(u)) && !seen[Node(u)] {
+					comps++
+					for _, x := range ComponentOf(v, Node(u)) {
+						seen[x] = true
+					}
+				}
+			}
+			return comps
+		}
+		base := countComps(v)
+		for u := 0; u < g.NumNodes(); u++ {
+			if g.Degree(Node(u)) == 0 {
+				continue // isolated nodes are never articulation
+			}
+			v.Remove(Node(u))
+			after := countComps(v)
+			v.Restore(Node(u))
+			isArt := after > base
+			if isArt != art[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonArticulationNodes(t *testing.T) {
+	g := path(4)
+	nodes := NonArticulationNodes(NewView(g))
+	if len(nodes) != 2 || nodes[0] != 0 || nodes[1] != 3 {
+		t.Fatalf("non-articulation=%v want [0 3]", nodes)
+	}
+}

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestViewInitialState(t *testing.T) {
+	g := complete(5)
+	v := NewView(g)
+	if v.NumAlive() != 5 || v.NumAliveEdges() != 10 {
+		t.Fatalf("alive=%d edges=%d", v.NumAlive(), v.NumAliveEdges())
+	}
+	for u := Node(0); u < 5; u++ {
+		if v.DegreeIn(u) != 4 {
+			t.Fatalf("DegreeIn(%d)=%d want 4", u, v.DegreeIn(u))
+		}
+	}
+}
+
+func TestViewRemoveUpdatesDegreesAndEdges(t *testing.T) {
+	g := complete(5)
+	v := NewView(g)
+	v.Remove(0)
+	if v.NumAlive() != 4 || v.NumAliveEdges() != 6 {
+		t.Fatalf("after remove: alive=%d edges=%d", v.NumAlive(), v.NumAliveEdges())
+	}
+	if v.DegreeIn(1) != 3 {
+		t.Fatalf("DegreeIn(1)=%d want 3", v.DegreeIn(1))
+	}
+	v.Remove(0) // idempotent
+	if v.NumAlive() != 4 {
+		t.Fatal("double remove changed count")
+	}
+}
+
+func TestViewRestore(t *testing.T) {
+	g := cycle(6)
+	v := NewView(g)
+	v.Remove(3)
+	v.Restore(3)
+	if v.NumAlive() != 6 || v.NumAliveEdges() != 6 {
+		t.Fatalf("restore: alive=%d edges=%d", v.NumAlive(), v.NumAliveEdges())
+	}
+	if v.DegreeIn(3) != 2 {
+		t.Fatalf("DegreeIn(3)=%d want 2", v.DegreeIn(3))
+	}
+}
+
+func TestNewViewOf(t *testing.T) {
+	g := complete(5)
+	v := NewViewOf(g, []Node{0, 1, 2})
+	if v.NumAlive() != 3 || v.NumAliveEdges() != 3 {
+		t.Fatalf("viewOf: alive=%d edges=%d", v.NumAlive(), v.NumAliveEdges())
+	}
+	if v.Alive(3) {
+		t.Fatal("node 3 should be dead")
+	}
+	if v.DegreeIn(0) != 2 {
+		t.Fatalf("DegreeIn(0)=%d want 2", v.DegreeIn(0))
+	}
+}
+
+// Property: after any sequence of removals the view's edge count equals the
+// count of edges with both endpoints alive, and DegreeIn matches a direct
+// recount.
+func TestViewInvariantsUnderRandomRemovals(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(30, 0.2, seed^0x5f)
+		v := NewView(g)
+		order := rng.Perm(30)
+		for _, u := range order[:20] {
+			v.Remove(Node(u))
+			// recount
+			m := 0
+			for x := 0; x < g.NumNodes(); x++ {
+				if !v.Alive(Node(x)) {
+					continue
+				}
+				d := 0
+				for _, w := range g.Neighbors(Node(x)) {
+					if v.Alive(w) {
+						d++
+						if Node(x) < w {
+							m++
+						}
+					}
+				}
+				if d != v.DegreeIn(Node(x)) {
+					return false
+				}
+			}
+			if m != v.NumAliveEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewLiveNodesAndInduced(t *testing.T) {
+	g := complete(6)
+	v := NewView(g)
+	v.Remove(1)
+	v.Remove(4)
+	live := v.LiveNodes()
+	want := []Node{0, 2, 3, 5}
+	if len(live) != len(want) {
+		t.Fatalf("live=%v", live)
+	}
+	for i := range want {
+		if live[i] != want[i] {
+			t.Fatalf("live=%v want %v", live, want)
+		}
+	}
+	sub, back := v.InducedGraph()
+	if sub.NumNodes() != 4 || sub.NumEdges() != 6 {
+		t.Fatalf("induced n=%d m=%d", sub.NumNodes(), sub.NumEdges())
+	}
+	if back[1] != 2 {
+		t.Fatalf("back=%v", back)
+	}
+}
+
+func TestViewCloneIndependent(t *testing.T) {
+	g := cycle(5)
+	v := NewView(g)
+	c := v.Clone()
+	c.Remove(0)
+	if !v.Alive(0) {
+		t.Fatal("clone removal affected original")
+	}
+	if c.NumAlive() != 4 || v.NumAlive() != 5 {
+		t.Fatal("counts wrong after clone removal")
+	}
+}
+
+func TestViewSumDegreesUsesOriginalDegrees(t *testing.T) {
+	g := complete(4) // all degrees 3
+	v := NewView(g)
+	v.Remove(0)
+	// d_C sums *original* degrees of alive nodes: 3 nodes × degree 3.
+	if s := v.SumDegrees(); s != 9 {
+		t.Fatalf("SumDegrees=%d want 9", s)
+	}
+}

@@ -1,0 +1,112 @@
+package harness
+
+// Cross-substrate validation: relationships between the baseline community
+// models that must hold on any graph, checked on random LFR instances.
+// These catch integration bugs that per-package unit tests cannot see.
+
+import (
+	"testing"
+
+	"dmcs/internal/graph"
+	"dmcs/internal/kcore"
+	"dmcs/internal/kecc"
+	"dmcs/internal/ktruss"
+	"dmcs/internal/lfr"
+)
+
+func crossGraph(t *testing.T, seed int64) *graph.Graph {
+	t.Helper()
+	cfg := lfr.Default()
+	cfg.N = 300
+	cfg.AvgDeg = 10
+	cfg.MaxDeg = 40
+	cfg.MinComm = 15
+	cfg.MaxComm = 60
+	cfg.Seed = seed
+	res, err := lfr.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.G
+}
+
+// Every node of a (k+1)-truss belongs to the k-core: trussness t implies
+// degree ≥ t−1 within the truss subgraph.
+func TestTrussInsideCore(t *testing.T) {
+	g := crossGraph(t, 31)
+	core := kcore.Decompose(g)
+	d := ktruss.Decompose(g)
+	for id, e := range d.Edges {
+		k := int(d.Truss[id])
+		for _, u := range []graph.Node{e[0], e[1]} {
+			if int(core[u]) < k-1 {
+				t.Fatalf("edge %v has trussness %d but endpoint %d has core %d < %d",
+					e, k, u, core[u], k-1)
+			}
+		}
+	}
+}
+
+// A k-edge-connected subgraph has minimum degree ≥ k, so its nodes lie in
+// the k-core.
+func TestKECCInsideCore(t *testing.T) {
+	g := crossGraph(t, 32)
+	core := kcore.Decompose(g)
+	for _, comp := range kecc.Decompose(g, 3, 1) {
+		for _, u := range comp {
+			if core[u] < 3 {
+				t.Fatalf("3-ECC member %d has core number %d < 3", u, core[u])
+			}
+		}
+	}
+}
+
+// The k-core community of a query (when it exists) contains the
+// (k+1)-truss community of the same query: trussness k+1 implies core ≥ k
+// and the truss component is connected inside the core.
+func TestTrussCommunityInsideCoreCommunity(t *testing.T) {
+	g := crossGraph(t, 33)
+	q := graph.Node(0)
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Degree(graph.Node(u)) > g.Degree(q) {
+			q = graph.Node(u)
+		}
+	}
+	truss := ktruss.Community(g, []graph.Node{q}, 4)
+	if truss == nil {
+		t.Skip("query not in any 4-truss")
+	}
+	core := kcore.Community(g, []graph.Node{q}, 3)
+	in := make(map[graph.Node]bool, len(core))
+	for _, u := range core {
+		in[u] = true
+	}
+	for _, u := range truss {
+		if !in[u] {
+			t.Fatalf("4-truss member %d outside the 3-core community", u)
+		}
+	}
+}
+
+// HighestCore k never exceeds the query's core number; HighestTruss k
+// never exceeds the max trussness of the query's incident edges.
+func TestHighestCoreTrussBounds(t *testing.T) {
+	g := crossGraph(t, 34)
+	core := kcore.Decompose(g)
+	d := ktruss.Decompose(g)
+	for _, qi := range []int{0, 17, 101, 250} {
+		q := graph.Node(qi)
+		if _, k := kcore.HighestCore(g, []graph.Node{q}); k > int(core[q]) {
+			t.Fatalf("highcore k=%d exceeds core number %d", k, core[q])
+		}
+		maxT := 0
+		for _, w := range g.Neighbors(q) {
+			if tr := d.Trussness(q, w); tr > maxT {
+				maxT = tr
+			}
+		}
+		if _, k := ktruss.HighestTruss(g, []graph.Node{q}); k > maxT {
+			t.Fatalf("hightruss k=%d exceeds max incident trussness %d", k, maxT)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+
+	"dmcs/internal/dataset"
+	"dmcs/internal/detect"
+	core "dmcs/internal/dmcs"
+	"dmcs/internal/gen"
+	"dmcs/internal/graph"
+	"dmcs/internal/lfr"
+	"dmcs/internal/metrics"
+	"dmcs/internal/queries"
+)
+
+// ExtDetect runs the future-work extension of the paper's Section 7:
+// density-modularity-driven community *detection*, compared against
+// Louvain (classic modularity) on the resolution-limit gadget and an LFR
+// benchmark. Reported: partition NMI against ground truth and the number
+// of communities found.
+func (c Config) ExtDetect(base lfr.Config) error {
+	type job struct {
+		name  string
+		g     *graph.Graph
+		truth []int
+		comms int
+	}
+	var jobs []job
+
+	ringG, ringComms := gen.RingOfCliques(30, 6)
+	truth := make([]int, ringG.NumNodes())
+	for ci, cm := range ringComms {
+		for _, u := range cm {
+			truth[u] = ci
+		}
+	}
+	jobs = append(jobs, job{"ring-of-cliques(30x6)", ringG, truth, len(ringComms)})
+
+	res, err := lfr.Generate(base)
+	if err != nil {
+		return err
+	}
+	ltruth := make([]int, res.G.NumNodes())
+	for ci, cm := range res.Communities {
+		for _, u := range cm {
+			ltruth[u] = ci
+		}
+	}
+	jobs = append(jobs, job{fmt.Sprintf("lfr(n=%d)", base.N), res.G, ltruth, len(res.Communities)})
+
+	t := newTable(c.Out, "graph", "truth |C|", "method", "NMI", "found |C|")
+	for _, j := range jobs {
+		for _, method := range []struct {
+			name string
+			run  func(*graph.Graph) []int
+		}{
+			{"louvain (CM)", detect.Louvain},
+			{"density-detect (DM)", detect.DensityDetect},
+		} {
+			labels := method.run(j.g)
+			found := map[int]bool{}
+			for _, l := range labels {
+				found[l] = true
+			}
+			t.row(j.name, j.comms, method.name,
+				fmt.Sprintf("%.4f", metrics.PartitionNMI(labels, j.truth)), len(found))
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// ExtOptimalityGap measures the heuristics' optimality gap against the
+// exponential exact solver on small random graphs — a calibration the
+// paper could not run at scale (Theorem 3: the problem is NP-hard).
+func (c Config) ExtOptimalityGap(trials int) error {
+	if trials <= 0 {
+		trials = 30
+	}
+	t := newTable(c.Out, "variant", "mean gap", "worst gap", "exact matches")
+	type acc struct {
+		sum, worst float64
+		exactHits  int
+		runs       int
+	}
+	results := map[core.Variant]*acc{
+		core.VariantFPA: {}, core.VariantNCA: {},
+	}
+	for trial := 0; trial < trials; trial++ {
+		g := gen.ErdosRenyi(12, 0.3, c.Seed+int64(trial))
+		// connect it: add a spanning path
+		b := graph.NewBuilder(12)
+		g.Edges(func(u, v graph.Node) bool { b.AddEdge(u, v); return true })
+		for i := 1; i < 12; i++ {
+			b.AddEdge(graph.Node(i-1), graph.Node(i))
+		}
+		g = b.Build()
+		q := []graph.Node{graph.Node(trial % 12)}
+		exact, err := core.ExactSmall(g, q, 0)
+		if err != nil {
+			continue
+		}
+		for variant, a := range results {
+			r, err := core.Search(g, q, variant, core.Options{})
+			if err != nil {
+				continue
+			}
+			a.runs++
+			gap := 0.0
+			if exact.Score > 0 {
+				gap = (exact.Score - r.Score) / exact.Score
+			}
+			if gap < 1e-9 {
+				a.exactHits++
+			}
+			a.sum += gap
+			if gap > a.worst {
+				a.worst = gap
+			}
+		}
+	}
+	for _, variant := range []core.Variant{core.VariantFPA, core.VariantNCA} {
+		a := results[variant]
+		if a.runs == 0 {
+			t.row(variant.String(), "NA", "NA", "NA")
+			continue
+		}
+		t.row(variant.String(),
+			fmt.Sprintf("%.1f%%", 100*a.sum/float64(a.runs)),
+			fmt.Sprintf("%.1f%%", 100*a.worst),
+			fmt.Sprintf("%d/%d", a.exactHits, a.runs))
+	}
+	t.flush()
+	return nil
+}
+
+// ExtWeighted demonstrates weighted community search (Definition 2 is
+// stated for weighted graphs): an LFR graph is reweighted so that
+// intra-community edges are heavy, and FPA's accuracy with and without
+// the weights is compared.
+func (c Config) ExtWeighted(base lfr.Config) error {
+	res, err := lfr.Generate(base)
+	if err != nil {
+		return err
+	}
+	// weighted twin: intra-community edges weight 3, inter weight 1
+	b := graph.NewBuilder(res.G.NumNodes())
+	res.G.Edges(func(u, v graph.Node) bool {
+		if res.Membership[u] == res.Membership[v] {
+			b.SetWeight(u, v, 3)
+		} else {
+			b.AddEdge(u, v)
+		}
+		return true
+	})
+	weighted := b.Build()
+	d := &dataset.Dataset{Name: "lfr", G: res.G, Communities: res.Communities}
+	qs := queries.Generate(d.G, d.Communities, queries.Options{
+		NumSets: c.NumQuerySets, Size: c.QuerySize, TrussK: c.K, Seed: c.Seed,
+	})
+	t := newTable(c.Out, "graph", "NMI", "ARI")
+	for _, variant := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"unweighted", res.G},
+		{"intra-weighted ×3", weighted},
+	} {
+		var nmi, ari []float64
+		for _, q := range qs {
+			r, err := core.FPA(variant.g, q, core.Options{LayerPruning: true, Timeout: c.Timeout})
+			if err != nil {
+				continue
+			}
+			truth := groundTruthOf(d, q)
+			if truth == nil {
+				continue
+			}
+			n := variant.g.NumNodes()
+			nmi = append(nmi, metrics.NMI(r.Community, truth, n))
+			ari = append(ari, metrics.ARI(r.Community, truth, n))
+		}
+		t.row(variant.name,
+			fmt.Sprintf("%.4f", metrics.Median(nmi)),
+			fmt.Sprintf("%.4f", metrics.Median(ari)))
+	}
+	t.flush()
+	return nil
+}

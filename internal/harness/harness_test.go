@@ -1,0 +1,363 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dmcs/internal/dataset"
+	"dmcs/internal/graph"
+	"dmcs/internal/lfr"
+	"dmcs/internal/queries"
+)
+
+// quickConfig is a scaled-down configuration so tests finish in seconds.
+func quickConfig(out *bytes.Buffer) Config {
+	return Config{
+		K:            3,
+		NumQuerySets: 4,
+		QuerySize:    1,
+		Timeout:      5 * time.Second,
+		Seed:         1,
+		Out:          out,
+	}
+}
+
+// quickLFR is a small Table 2 configuration.
+func quickLFR() lfr.Config {
+	cfg := lfr.Default()
+	cfg.N = 400
+	cfg.AvgDeg = 12
+	cfg.MaxDeg = 40
+	cfg.MinComm = 15
+	cfg.MaxComm = 60
+	return cfg
+}
+
+func TestRunAllAlgorithmsOnKarate(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	d := dataset.Karate()
+	for _, algo := range Fig15Algos {
+		comm, elapsed, err := c.Run(algo, d.G, []graph.Node{0})
+		if err != nil {
+			t.Fatalf("%s failed: %v", algo, err)
+		}
+		if len(comm) == 0 {
+			t.Fatalf("%s returned empty community", algo)
+		}
+		if elapsed < 0 {
+			t.Fatalf("%s negative elapsed", algo)
+		}
+		// community must contain the query
+		found := false
+		for _, u := range comm {
+			if u == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s community %v misses the query", algo, comm)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	d := dataset.Karate()
+	if _, _, err := c.Run("nosuch", d.G, []graph.Node{0}); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestNAPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	// GN must be skipped on graphs above its size limit
+	big, err := dataset.LoadScaled("dblp", 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Run(AlgoGN, big.G, []graph.Node{0}); err != ErrNA {
+		t.Fatalf("GN on 2500-node graph: want ErrNA, got %v", err)
+	}
+}
+
+func TestEvaluateKarate(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	d := dataset.Karate()
+	qs := queries.Generate(d.G, d.Communities, queries.Options{NumSets: 6, Size: 1, TrussK: 3, Seed: 1})
+	scores := c.Evaluate(d, AlgoFPA, qs)
+	if len(scores) != len(qs) {
+		t.Fatalf("scores=%d want %d", len(scores), len(qs))
+	}
+	agg := AggregateScores(scores)
+	if agg.Succeeded == 0 {
+		t.Fatal("no FPA run succeeded on karate")
+	}
+	if agg.NMI < 0 || agg.NMI > 1 || agg.ARI < -1 || agg.ARI > 1 {
+		t.Fatalf("implausible aggregate %+v", agg)
+	}
+}
+
+func TestFPABeatsParameterBaselinesOnKarate(t *testing.T) {
+	// the headline claim at small scale: FPA should beat kc on median NMI
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	d := dataset.Karate()
+	qs := queries.Generate(d.G, d.Communities, queries.Options{NumSets: 10, Size: 1, TrussK: 3, Seed: 2})
+	fpa := AggregateScores(c.Evaluate(d, AlgoFPA, qs))
+	kc := AggregateScores(c.Evaluate(d, AlgoKC, qs))
+	if fpa.NMI <= kc.NMI {
+		t.Fatalf("FPA NMI %.3f should beat kc %.3f on karate", fpa.NMI, kc.NMI)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Table1(1200); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range dataset.Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table1 output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "d_avg") || !strings.Contains(buf.String(), "5000") {
+		t.Fatalf("Table2 output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFig4(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Fig4(1500); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dblp diameter") || !strings.Contains(out, "youtube diameter") {
+		t.Fatalf("Fig4 output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "cumulative%") {
+		t.Fatal("Fig4 missing cumulative column")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Fig5(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Θ removal rank") {
+		t.Fatalf("Fig5 output incomplete:\n%s", out)
+	}
+	// 33 non-query karate nodes → 33 data rows
+	if lines := strings.Count(out, "\n"); lines < 34 {
+		t.Fatalf("Fig5 printed %d lines, want ≥34", lines)
+	}
+}
+
+func TestFig8and9Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	sweeps := []LFRSweep{{Param: "mu", Values: []float64{0.2}}}
+	algos := []string{AlgoKC, AlgoHighCore, AlgoFPA}
+	if err := c.Fig8and9(quickLFR(), sweeps, algos); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, a := range algos {
+		if !strings.Contains(out, a) {
+			t.Fatalf("Fig8 output missing %s:\n%s", a, out)
+		}
+	}
+}
+
+func TestFig10Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Fig10(quickLFR(), []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|Q|") {
+		t.Fatalf("Fig10 output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFig11Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Fig11(quickLFR(), []int{400, 800}, []string{AlgoKC, AlgoFPA}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "400") || !strings.Contains(out, "800") {
+		t.Fatalf("Fig11 output incomplete:\n%s", out)
+	}
+}
+
+func TestFig12Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Fig12(quickLFR()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, obj := range []string{"classic-modularity", "generalized-mod-density", "density-modularity"} {
+		if !strings.Contains(out, obj) {
+			t.Fatalf("Fig12 missing %s:\n%s", obj, out)
+		}
+	}
+}
+
+func TestFig13Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Fig13(quickLFR()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "w/o pruning") {
+		t.Fatalf("Fig13 output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFig14Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Fig14(quickLFR()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, v := range []string{AlgoNCA, AlgoNCADR, AlgoFPADMG, AlgoFPA} {
+		if !strings.Contains(out, v) {
+			t.Fatalf("Fig14 missing %s:\n%s", v, out)
+		}
+	}
+}
+
+func TestFig15and16Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	algos := []string{AlgoKC, AlgoCNM, AlgoFPA}
+	if err := c.Fig15and16(algos); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"dolphin", "karate", "mexican", "polblogs"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Fig15 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig17and18Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Fig17and18(1200, []string{AlgoKC, AlgoFPA}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"dblp", "youtube", "livejournal"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Fig17 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig19Reduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.Fig19(1200, []int{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "kt") {
+		t.Fatalf("Fig19 output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestCaseStudyReduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.CaseStudy(1200); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, s := range []string{"FPA (DMCS)", "3-truss", "3-core"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("case study missing %s:\n%s", s, out)
+		}
+	}
+}
+
+func TestCommunitySizesSummary(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	c.CommunitySizesSummary(dataset.Karate())
+	if !strings.Contains(buf.String(), "karate") {
+		t.Fatal("summary missing dataset name")
+	}
+}
+
+func TestAggregateScoresEmpty(t *testing.T) {
+	agg := AggregateScores(nil)
+	if agg.Succeeded != 0 || agg.NMI != 0 {
+		t.Fatalf("empty aggregate %+v", agg)
+	}
+	if fmtAgg(agg, "nmi") != "NA" {
+		t.Fatal("empty aggregate should render NA")
+	}
+}
+
+func TestExtDetectReduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.ExtDetect(quickLFR()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "density-detect (DM)") || !strings.Contains(out, "louvain (CM)") {
+		t.Fatalf("ExtDetect output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "ring-of-cliques") {
+		t.Fatal("ExtDetect missing the resolution-limit gadget row")
+	}
+}
+
+func TestExtOptimalityGap(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.ExtOptimalityGap(10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FPA") || !strings.Contains(out, "worst gap") {
+		t.Fatalf("ExtOptimalityGap output incomplete:\n%s", out)
+	}
+}
+
+func TestExtWeightedReduced(t *testing.T) {
+	var buf bytes.Buffer
+	c := quickConfig(&buf)
+	if err := c.ExtWeighted(quickLFR()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "intra-weighted") {
+		t.Fatalf("ExtWeighted output incomplete:\n%s", out)
+	}
+}

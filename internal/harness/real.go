@@ -1,0 +1,304 @@
+package harness
+
+import (
+	"fmt"
+
+	"dmcs/internal/centrality"
+	"dmcs/internal/dataset"
+	core "dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+	"dmcs/internal/kcore"
+	"dmcs/internal/ktruss"
+	"dmcs/internal/lfr"
+	"dmcs/internal/queries"
+)
+
+// Fig15Algos is the roster of Figure 15 (small real graphs).
+var Fig15Algos = []string{
+	AlgoClique, AlgoKC, AlgoKT, AlgoKECC, AlgoGN, AlgoCNM, AlgoICWI,
+	AlgoHuang, AlgoWu, AlgoHighCore, AlgoHighTruss, AlgoNCA, AlgoFPA,
+}
+
+// Fig17Algos is the roster of Figures 17–19 (large graphs).
+var Fig17Algos = []string{AlgoKC, AlgoKT, AlgoKECC, AlgoHighCore, AlgoHighTruss, AlgoFPA}
+
+// Table1 prints the dataset statistics table (Table 1).
+func (c Config) Table1(scale int) error {
+	t := newTable(c.Out, "dataset", "|V|", "|E|", "|C|", "overlap", "kind")
+	for _, name := range dataset.Names() {
+		d, err := dataset.LoadScaled(name, scale)
+		if err != nil {
+			return err
+		}
+		overlap := "✗"
+		if d.Overlap {
+			overlap = "✓"
+		}
+		t.row(d.Name, d.G.NumNodes(), d.G.NumEdges(), d.NumCommunities(), overlap, d.Kind)
+	}
+	t.flush()
+	return nil
+}
+
+// Table2 prints the synthetic-network configuration (Table 2).
+func (c Config) Table2() error {
+	def := lfr.Default()
+	t := newTable(c.Out, "var", "values", "default", "description")
+	t.row("|V|", "5,000", def.N, "number of nodes")
+	t.row("d_avg", "20,30,40,50", def.AvgDeg, "average degree")
+	t.row("d_max", "200,300,400,500", def.MaxDeg, "maximum degree")
+	t.row("mu", "0.2,0.3,0.4", def.Mu, "mixing parameter (inter/intra edge ratio)")
+	t.row("min C", "20", def.MinComm, "minimum community size")
+	t.row("max C", "1,000", def.MaxComm, "maximum community size")
+	t.flush()
+	return nil
+}
+
+// Fig4 prints the community-diameter histograms of the DBLP and Youtube
+// stand-ins, reproducing the "≈80% of DBLP communities have diameter ≤4"
+// observation that motivates distance-based peeling.
+func (c Config) Fig4(scale int) error {
+	for _, name := range []string{"dblp", "youtube"} {
+		d, err := dataset.LoadScaled(name, scale)
+		if err != nil {
+			return err
+		}
+		hist := d.DiameterHistogram(500)
+		total := 0
+		for _, cnt := range hist {
+			total += cnt
+		}
+		cum := 0
+		t := newTable(c.Out, name+" diameter", "count", "cumulative%")
+		for _, diam := range sortedKeys(hist) {
+			cum += hist[diam]
+			t.row(diam, hist[diam], fmt.Sprintf("%.1f%%", 100*float64(cum)/float64(total)))
+		}
+		t.flush()
+	}
+	return nil
+}
+
+// Fig5 prints the node-removal orders of the Λ and Θ goodness functions on
+// the Karate network (query node 1), the paper's update-order heatmap.
+func (c Config) Fig5() error {
+	d := dataset.Karate()
+	q := []graph.Node{0} // node "1"
+	orders := map[string][]graph.Node{}
+	for _, v := range []core.Variant{core.VariantFPADMG, core.VariantFPA} {
+		res, err := core.Search(d.G, q, v, core.Options{TrackOrder: true})
+		if err != nil {
+			return err
+		}
+		orders[v.String()] = res.RemovalOrder
+	}
+	t := newTable(c.Out, "node", "Λ removal rank (FPA-DMG)", "Θ removal rank (FPA)")
+	rank := func(order []graph.Node, u graph.Node) string {
+		for i, x := range order {
+			if x == u {
+				return fmt.Sprintf("%d", i+1)
+			}
+		}
+		return "kept"
+	}
+	for u := graph.Node(1); u < 34; u++ {
+		t.row(d.G.Label(u), rank(orders["FPA-DMG"], u), rank(orders["FPA"], u))
+	}
+	t.flush()
+	return nil
+}
+
+// Fig15and16 reproduces effectiveness (Fig 15) and running time (Fig 16)
+// on the four small real graphs across all thirteen algorithms.
+func (c Config) Fig15and16(algos []string) error {
+	if algos == nil {
+		algos = Fig15Algos
+	}
+	t := newTable(c.Out, "dataset", "algo", "NMI", "ARI", "seconds")
+	for _, name := range []string{"dolphin", "karate", "mexican", "polblogs"} {
+		d, err := dataset.Load(name)
+		if err != nil {
+			return err
+		}
+		qs := queries.Generate(d.G, d.Communities, queries.Options{
+			NumSets: 10, Size: c.QuerySize, TrussK: c.K, Seed: c.Seed,
+		})
+		for _, algo := range algos {
+			agg := AggregateScores(c.Evaluate(d, algo, qs))
+			t.row(d.Name, algo, fmtAgg(agg, "nmi"), fmtAgg(agg, "ari"), fmtAgg(agg, "sec"))
+		}
+	}
+	t.flush()
+	// The paper explains NCA's per-dataset behaviour by the imbalance of
+	// local clustering coefficients between the two ground-truth
+	// communities (~10% on Karate/Mexican, 20–50% on Dolphin/Polblogs).
+	for _, name := range []string{"dolphin", "karate", "mexican", "polblogs"} {
+		d, err := dataset.Load(name)
+		if err != nil {
+			return err
+		}
+		if len(d.Communities) != 2 {
+			continue
+		}
+		csr := graph.NewCSR(d.G)
+		c0 := csr.AvgClustering(d.Communities[0])
+		c1 := csr.AvgClustering(d.Communities[1])
+		hi := c0
+		if c1 > hi {
+			hi = c1
+		}
+		imb := 0.0
+		if hi > 0 {
+			imb = 100 * absF(c0-c1) / hi
+		}
+		fmt.Fprintf(c.Out, "%s: avg local clustering %.3f vs %.3f (imbalance %.0f%%)\n",
+			name, c0, c1, imb)
+	}
+	return nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Fig17and18 reproduces effectiveness (Fig 17) and running time (Fig 18)
+// on the large overlapping-ground-truth stand-ins.
+func (c Config) Fig17and18(scale int, algos []string) error {
+	if algos == nil {
+		algos = Fig17Algos
+	}
+	t := newTable(c.Out, "dataset", "algo", "NMI", "ARI", "seconds")
+	for _, name := range []string{"dblp", "youtube", "livejournal"} {
+		d, err := dataset.LoadScaled(name, scale)
+		if err != nil {
+			return err
+		}
+		qs := queries.Generate(d.G, d.Communities, queries.Options{
+			NumSets: c.NumQuerySets, Size: c.QuerySize, TrussK: c.K, Seed: c.Seed,
+		})
+		for _, algo := range algos {
+			agg := AggregateScores(c.Evaluate(d, algo, qs))
+			t.row(d.Name, algo, fmtAgg(agg, "nmi"), fmtAgg(agg, "ari"), fmtAgg(agg, "sec"))
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// Fig19 reproduces the parameter-sensitivity experiment: kc/kt/kecc with
+// k ∈ ks (paper: 3..6) against parameter-free FPA on the DBLP and Youtube
+// stand-ins.
+func (c Config) Fig19(scale int, ks []int) error {
+	if ks == nil {
+		ks = []int{3, 4, 5, 6}
+	}
+	t := newTable(c.Out, "dataset", "k", "algo", "NMI", "ARI")
+	for _, name := range []string{"dblp", "youtube"} {
+		d, err := dataset.LoadScaled(name, scale)
+		if err != nil {
+			return err
+		}
+		qs := queries.Generate(d.G, d.Communities, queries.Options{
+			NumSets: c.NumQuerySets, Size: c.QuerySize, TrussK: c.K, Seed: c.Seed,
+		})
+		for _, k := range ks {
+			kc := c
+			kc.K = k
+			for _, algo := range []string{AlgoKC, AlgoKT, AlgoKECC, AlgoFPA} {
+				agg := AggregateScores(kc.Evaluate(d, algo, qs))
+				t.row(d.Name, k, algo, fmtAgg(agg, "nmi"), fmtAgg(agg, "ari"))
+			}
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// CaseStudy reproduces Section 6.3.2: on a DBLP-like co-authorship graph,
+// compare the DMCS community of a hub query node against its 3-truss and
+// 3-core communities — sizes, the fraction of members adjacent to the
+// query, and the query's betweenness/eigenvector centrality ranks within
+// each community.
+func (c Config) CaseStudy(scale int) error {
+	if scale <= 0 {
+		scale = 4000
+	}
+	d, err := dataset.LoadScaled("dblp", scale)
+	if err != nil {
+		return err
+	}
+	g := d.G
+	// the query is the highest-degree node, the stand-in's "Philip S. Yu"
+	q := graph.Node(0)
+	for u := 1; u < g.NumNodes(); u++ {
+		if g.Degree(graph.Node(u)) > g.Degree(q) {
+			q = graph.Node(u)
+		}
+	}
+	res, err := core.FPA(g, []graph.Node{q}, core.Options{LayerPruning: true, Timeout: c.Timeout})
+	if err != nil {
+		return err
+	}
+	truss := ktruss.Community(g, []graph.Node{q}, 3)
+	coreComm := kcore.Community(g, []graph.Node{q}, 3)
+
+	t := newTable(c.Out, "community", "size", "%adjacent to query", "betweenness rank", "eigenvector rank")
+	for _, row := range []struct {
+		name string
+		comm []graph.Node
+	}{
+		{"FPA (DMCS)", res.Community},
+		{"3-truss", truss},
+		{"3-core", coreComm},
+	} {
+		if len(row.comm) == 0 {
+			t.row(row.name, "NA", "NA", "NA", "NA")
+			continue
+		}
+		sub, back := g.InducedSubgraph(row.comm)
+		var qLocal graph.Node = -1
+		for i, u := range back {
+			if u == q {
+				qLocal = graph.Node(i)
+				break
+			}
+		}
+		adj := 0
+		for _, u := range row.comm {
+			if u != q && g.HasEdge(q, u) {
+				adj++
+			}
+		}
+		pctAdj := 100 * float64(adj) / float64(maxInt(len(row.comm)-1, 1))
+		bRank, eRank := "NA", "NA"
+		if qLocal >= 0 && sub.NumNodes() <= 20000 {
+			bRank = fmt.Sprintf("%d", centrality.Rank(centrality.Betweenness(sub), qLocal))
+			eRank = fmt.Sprintf("%d", centrality.Rank(centrality.Eigenvector(sub, 200, 1e-9), qLocal))
+		}
+		t.row(row.name, len(row.comm), fmt.Sprintf("%.0f%%", pctAdj), bRank, eRank)
+	}
+	t.flush()
+	return nil
+}
+
+// CommunitySizesSummary prints min/median/max ground-truth community sizes
+// (used in EXPERIMENTS.md narration).
+func (c Config) CommunitySizesSummary(d *dataset.Dataset) {
+	sizes := d.SortedCommunitySizes()
+	if len(sizes) == 0 {
+		fmt.Fprintf(c.Out, "%s: no communities\n", d.Name)
+		return
+	}
+	fmt.Fprintf(c.Out, "%s: %d communities, sizes min=%d median=%d max=%d\n",
+		d.Name, len(sizes), sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1])
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

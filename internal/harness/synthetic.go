@@ -1,0 +1,255 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"dmcs/internal/dataset"
+	core "dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+	"dmcs/internal/lfr"
+	"dmcs/internal/metrics"
+	"dmcs/internal/queries"
+)
+
+// Fig8Algos is the algorithm roster of Figures 8, 9 and 11.
+var Fig8Algos = []string{
+	AlgoKC, AlgoKT, AlgoKECC, AlgoHuang, AlgoWu,
+	AlgoHighCore, AlgoHighTruss, AlgoNCA, AlgoFPA,
+}
+
+// LFRSweep describes one parameter sweep of Table 2.
+type LFRSweep struct {
+	Param  string // "mu", "davg" or "dmax"
+	Values []float64
+}
+
+// PaperSweeps returns the three sweeps of Figures 8–9 (defaults
+// underlined in Table 2: μ=0.2, d_avg=20, d_max=300).
+func PaperSweeps() []LFRSweep {
+	return []LFRSweep{
+		{Param: "mu", Values: []float64{0.2, 0.3, 0.4}},
+		{Param: "davg", Values: []float64{20, 30, 40, 50}},
+		{Param: "dmax", Values: []float64{200, 300, 400, 500}},
+	}
+}
+
+// lfrConfigFor applies one sweep point to the Table 2 default config.
+func lfrConfigFor(base lfr.Config, param string, value float64) lfr.Config {
+	cfg := base
+	switch param {
+	case "mu":
+		cfg.Mu = value
+	case "davg":
+		cfg.AvgDeg = value
+	case "dmax":
+		cfg.MaxDeg = int(value)
+	}
+	return cfg
+}
+
+// syntheticDataset wraps an LFR graph as a Dataset.
+func syntheticDataset(cfg lfr.Config) (*dataset.Dataset, error) {
+	res, err := lfr.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &dataset.Dataset{
+		Name: "lfr", G: res.G, Communities: res.Communities, Kind: "synthetic",
+	}, nil
+}
+
+// Fig8and9 reproduces Figures 8 (NMI/ARI/Fscore) and 9 (running time) on
+// the LFR benchmark sweeps. base is the Table 2 default configuration
+// (shrink base.N for quick runs); algos defaults to Fig8Algos.
+func (c Config) Fig8and9(base lfr.Config, sweeps []LFRSweep, algos []string) error {
+	if algos == nil {
+		algos = Fig8Algos
+	}
+	if sweeps == nil {
+		sweeps = PaperSweeps()
+	}
+	t := newTable(c.Out, "sweep", "value", "algo", "NMI", "ARI", "Fscore", "seconds")
+	for _, sw := range sweeps {
+		for _, val := range sw.Values {
+			d, err := syntheticDataset(lfrConfigFor(base, sw.Param, val))
+			if err != nil {
+				return fmt.Errorf("fig8: %s=%v: %w", sw.Param, val, err)
+			}
+			qs := queries.Generate(d.G, d.Communities, queries.Options{
+				NumSets: c.NumQuerySets, Size: c.QuerySize, TrussK: c.K, Seed: c.Seed,
+			})
+			for _, algo := range algos {
+				agg := AggregateScores(c.Evaluate(d, algo, qs))
+				t.row(sw.Param, fmt.Sprintf("%g", val), algo,
+					fmtAgg(agg, "nmi"), fmtAgg(agg, "ari"), fmtAgg(agg, "f1"), fmtAgg(agg, "sec"))
+			}
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// Fig10 reproduces the multi-query-size experiment: |Q| ∈ sizes (paper:
+// 1, 4, 8, 12) on the default LFR graph for kc, kecc, NCA and FPA.
+func (c Config) Fig10(base lfr.Config, sizes []int) error {
+	if sizes == nil {
+		sizes = []int{1, 4, 8, 12}
+	}
+	d, err := syntheticDataset(base)
+	if err != nil {
+		return err
+	}
+	algos := []string{AlgoKC, AlgoKECC, AlgoNCA, AlgoFPA}
+	t := newTable(c.Out, "|Q|", "algo", "NMI", "ARI")
+	for _, size := range sizes {
+		qs := queries.Generate(d.G, d.Communities, queries.Options{
+			NumSets: 15, Size: size, TrussK: c.K, Seed: c.Seed,
+		})
+		for _, algo := range algos {
+			agg := AggregateScores(c.Evaluate(d, algo, qs))
+			t.row(size, algo, fmtAgg(agg, "nmi"), fmtAgg(agg, "ari"))
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// Fig11 reproduces the scalability test: running time of every algorithm
+// as the LFR node count grows (paper: 10K → 100K).
+func (c Config) Fig11(base lfr.Config, nodeCounts []int, algos []string) error {
+	if algos == nil {
+		algos = Fig8Algos
+	}
+	if nodeCounts == nil {
+		nodeCounts = []int{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000, 90000, 100000}
+	}
+	t := newTable(c.Out, "|V|", "algo", "seconds", "NMI")
+	for _, n := range nodeCounts {
+		cfg := base
+		cfg.N = n
+		d, err := syntheticDataset(cfg)
+		if err != nil {
+			return fmt.Errorf("fig11: n=%d: %w", n, err)
+		}
+		qs := queries.Generate(d.G, d.Communities, queries.Options{
+			NumSets: min(c.NumQuerySets, 5), Size: c.QuerySize, TrussK: c.K, Seed: c.Seed,
+		})
+		for _, algo := range algos {
+			agg := AggregateScores(c.Evaluate(d, algo, qs))
+			t.row(n, algo, fmtAgg(agg, "sec"), fmtAgg(agg, "nmi"))
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// Fig12 reproduces the objective ablation: FPA selecting the best subgraph
+// by classic modularity, generalized modularity density, and density
+// modularity. The paper's headline: the classic-modularity variant returns
+// communities ~18× larger on average.
+func (c Config) Fig12(base lfr.Config) error {
+	d, err := syntheticDataset(base)
+	if err != nil {
+		return err
+	}
+	qs := queries.Generate(d.G, d.Communities, queries.Options{
+		NumSets: c.NumQuerySets, Size: c.QuerySize, TrussK: c.K, Seed: c.Seed,
+	})
+	objectives := []struct {
+		name string
+		obj  core.Objective
+	}{
+		{"classic-modularity", core.ClassicModularity},
+		{"generalized-mod-density", core.GeneralizedModularityDensity},
+		{"density-modularity", core.DensityModularity},
+	}
+	t := newTable(c.Out, "objective", "NMI", "ARI", "mean|C|")
+	for _, o := range objectives {
+		scores := c.evaluateFPAWith(d, qs, core.Options{Objective: o.obj, LayerPruning: true, Timeout: c.Timeout})
+		agg := AggregateScores(scores)
+		t.row(o.name, fmtAgg(agg, "nmi"), fmtAgg(agg, "ari"), fmtAgg(agg, "size"))
+	}
+	t.flush()
+	return nil
+}
+
+// Fig13 reproduces the pruning ablation: FPA with and without the
+// layer-based pruning strategy (quality and running time).
+func (c Config) Fig13(base lfr.Config) error {
+	d, err := syntheticDataset(base)
+	if err != nil {
+		return err
+	}
+	qs := queries.Generate(d.G, d.Communities, queries.Options{
+		NumSets: c.NumQuerySets, Size: c.QuerySize, TrussK: c.K, Seed: c.Seed,
+	})
+	t := newTable(c.Out, "variant", "NMI", "ARI", "seconds")
+	for _, pruned := range []bool{true, false} {
+		name := "FPA"
+		if !pruned {
+			name = "FPA w/o pruning"
+		}
+		scores := c.evaluateFPAWith(d, qs, core.Options{LayerPruning: pruned, Timeout: c.Timeout})
+		agg := AggregateScores(scores)
+		t.row(name, fmtAgg(agg, "nmi"), fmtAgg(agg, "ari"), fmtAgg(agg, "sec"))
+	}
+	t.flush()
+	return nil
+}
+
+// Fig14 reproduces the variant matrix of Section 6.2.5: NCA ((a)+(c)),
+// NCA-DR ((a)+(d)), FPA-DMG ((b)+(c)) and FPA ((b)+(d)).
+func (c Config) Fig14(base lfr.Config) error {
+	d, err := syntheticDataset(base)
+	if err != nil {
+		return err
+	}
+	qs := queries.Generate(d.G, d.Communities, queries.Options{
+		NumSets: c.NumQuerySets, Size: c.QuerySize, TrussK: c.K, Seed: c.Seed,
+	})
+	t := newTable(c.Out, "variant", "NMI", "ARI", "seconds")
+	for _, algo := range []string{AlgoNCA, AlgoNCADR, AlgoFPADMG, AlgoFPA} {
+		agg := AggregateScores(c.Evaluate(d, algo, qs))
+		t.row(algo, fmtAgg(agg, "nmi"), fmtAgg(agg, "ari"), fmtAgg(agg, "sec"))
+	}
+	t.flush()
+	return nil
+}
+
+// evaluateFPAWith scores FPA runs under explicit core.Options (used by the
+// ablations, which tweak options rather than algorithm identity).
+func (c Config) evaluateFPAWith(d *dataset.Dataset, qs [][]graph.Node, opts core.Options) []Score {
+	scores := make([]Score, 0, len(qs))
+	n := d.G.NumNodes()
+	for _, q := range qs {
+		start := time.Now()
+		res, err := core.FPA(d.G, q, opts)
+		elapsed := time.Since(start)
+		if err != nil {
+			scores = append(scores, Score{Elapsed: elapsed})
+			continue
+		}
+		truth := groundTruthOf(d, q)
+		if truth == nil {
+			scores = append(scores, Score{Elapsed: elapsed})
+			continue
+		}
+		scores = append(scores, Score{
+			OK:      true,
+			Elapsed: elapsed,
+			Size:    len(res.Community),
+			NMI:     metrics.NMI(res.Community, truth, n),
+			ARI:     metrics.ARI(res.Community, truth, n),
+			F1:      metrics.FScore(res.Community, truth, n),
+		})
+	}
+	return scores
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,24 @@
+package kcore
+
+import (
+	"testing"
+
+	"dmcs/internal/lfr"
+)
+
+// BenchmarkDecompose measures the bucket-peeling core decomposition used
+// by the kc and highcore baselines.
+func BenchmarkDecompose(b *testing.B) {
+	cfg := lfr.Default()
+	cfg.N = 5000
+	cfg.MaxDeg = 100
+	cfg.MaxComm = 300
+	res, err := lfr.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(res.G)
+	}
+}

@@ -1,0 +1,274 @@
+package kecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmcs/internal/graph"
+)
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+		}
+	}
+	return b.Build()
+}
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.Node(i), graph.Node((i+1)%n))
+	}
+	return b.Build()
+}
+
+func TestMinCutCycle(t *testing.T) {
+	w, side := MinCut(cycle(6))
+	if int(w) != 2 {
+		t.Fatalf("cycle min cut=%v want 2", w)
+	}
+	if len(side) == 0 || len(side) == 6 {
+		t.Fatalf("side=%v must be a proper subset", side)
+	}
+}
+
+func TestMinCutClique(t *testing.T) {
+	w, side := MinCut(complete(5))
+	if int(w) != 4 {
+		t.Fatalf("K5 min cut=%v want 4", w)
+	}
+	if len(side) != 1 && len(side) != 4 {
+		t.Fatalf("K5 min cut side=%v", side)
+	}
+}
+
+func TestMinCutBridge(t *testing.T) {
+	// two triangles + bridge: min cut 1
+	g := graph.FromEdges(6, [][2]graph.Node{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}})
+	w, side := MinCut(g)
+	if int(w) != 1 {
+		t.Fatalf("bridge min cut=%v want 1", w)
+	}
+	if len(side) != 3 {
+		t.Fatalf("side=%v want a triangle", side)
+	}
+}
+
+func TestMinCutWeighted(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.SetWeight(0, 1, 10)
+	b.SetWeight(1, 2, 0.5)
+	b.SetWeight(2, 3, 10)
+	b.SetWeight(3, 0, 0.5)
+	g := b.Build()
+	w, _ := MinCut(g)
+	if w != 1.0 {
+		t.Fatalf("weighted min cut=%v want 1.0", w)
+	}
+}
+
+func TestMinCutTiny(t *testing.T) {
+	if w, s := MinCut(graph.FromEdges(1, nil)); w != 0 || s != nil {
+		t.Fatal("single node should have no cut")
+	}
+	w, _ := MinCut(graph.FromEdges(2, [][2]graph.Node{{0, 1}}))
+	if int(w) != 1 {
+		t.Fatalf("K2 cut=%v want 1", w)
+	}
+}
+
+// Brute-force min cut for tiny graphs by trying all bipartitions.
+func bruteMinCut(g *graph.Graph) int {
+	n := g.NumNodes()
+	best := 1 << 30
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		cut := 0
+		g.Edges(func(u, v graph.Node) bool {
+			if (mask>>u)&1 != (mask>>v)&1 {
+				cut++
+			}
+			return true
+		})
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+func TestMinCutMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(5)
+		b := graph.NewBuilder(n)
+		// connected base: spanning path, then random extras
+		for i := 1; i < n; i++ {
+			b.AddEdge(graph.Node(i-1), graph.Node(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 2; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(graph.Node(i), graph.Node(j))
+				}
+			}
+		}
+		g := b.Build()
+		w, _ := MinCut(g)
+		return int(w+0.5) == bruteMinCut(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeConnectivity(t *testing.T) {
+	if EdgeConnectivity(complete(6)) != 5 {
+		t.Fatal("K6 edge connectivity should be 5")
+	}
+	if EdgeConnectivity(cycle(8)) != 2 {
+		t.Fatal("cycle edge connectivity should be 2")
+	}
+}
+
+func TestDecomposeTwoCliques(t *testing.T) {
+	// two K5s joined by 2 edges: 3-edge-connected components are the K5s
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+			b.AddEdge(graph.Node(i+5), graph.Node(j+5))
+		}
+	}
+	b.AddEdge(0, 5)
+	b.AddEdge(1, 6)
+	g := b.Build()
+	comps := Decompose(g, 3, 1)
+	if len(comps) != 2 {
+		t.Fatalf("got %d comps, want 2: %v", len(comps), comps)
+	}
+	for _, c := range comps {
+		if len(c) != 5 {
+			t.Fatalf("component %v should be a K5", c)
+		}
+	}
+	// at k=2 the union is 2-edge-connected (two vertex-disjoint paths)
+	comps2 := Decompose(g, 2, 1)
+	if len(comps2) != 1 || len(comps2[0]) != 10 {
+		t.Fatalf("k=2 decomposition=%v want the whole graph", comps2)
+	}
+}
+
+func TestDecomposeDropsThinParts(t *testing.T) {
+	// path graph has no 2-edge-connected subgraph
+	b := graph.NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(i+1))
+	}
+	if comps := Decompose(b.Build(), 2, 1); len(comps) != 0 {
+		t.Fatalf("path should have no 2-ECC, got %v", comps)
+	}
+}
+
+func TestCommunity(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+			b.AddEdge(graph.Node(i+5), graph.Node(j+5))
+		}
+	}
+	b.AddEdge(0, 5)
+	g := b.Build()
+	c := Community(g, []graph.Node{2}, 3, 1)
+	if len(c) != 5 || c[0] != 0 {
+		t.Fatalf("community=%v want first K5", c)
+	}
+	// query nodes split across components → nil
+	if c := Community(g, []graph.Node{2, 7}, 3, 1); c != nil {
+		t.Fatalf("split query should fail, got %v", c)
+	}
+	if Community(g, nil, 3, 1) != nil {
+		t.Fatal("empty query should return nil")
+	}
+}
+
+// Property: every reported component really is k-edge-connected (verified
+// with Stoer–Wagner) and components are disjoint.
+func TestDecomposePropertyExact(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(12)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					b.AddEdge(graph.Node(i), graph.Node(j))
+				}
+			}
+		}
+		g := b.Build()
+		k := 2 + rng.Intn(3)
+		comps := Decompose(g, k, seed)
+		seen := make(map[graph.Node]bool)
+		for _, c := range comps {
+			for _, u := range c {
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+			}
+			sub, _ := g.InducedSubgraph(c)
+			if EdgeConnectivity(sub) < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: maximality — merging any two reported components (or adding
+// leftover nodes) cannot produce a larger k-edge-connected subgraph that
+// strictly contains a reported one. We verify the standard certificate:
+// the decomposition is unchanged when recomputed on the union of all
+// components.
+func TestDecomposeStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.2 {
+				b.AddEdge(graph.Node(i), graph.Node(j))
+			}
+		}
+	}
+	g := b.Build()
+	first := Decompose(g, 3, 7)
+	var union []graph.Node
+	for _, c := range first {
+		union = append(union, c...)
+	}
+	sub, back := g.InducedSubgraph(union)
+	second := Decompose(sub, 3, 7)
+	if len(second) != len(first) {
+		t.Fatalf("re-decomposition changed component count: %d vs %d", len(second), len(first))
+	}
+	total1, total2 := 0, 0
+	for _, c := range first {
+		total1 += len(c)
+	}
+	for _, c := range second {
+		total2 += len(c)
+	}
+	_ = back
+	if total1 != total2 {
+		t.Fatalf("re-decomposition changed coverage: %d vs %d", total1, total2)
+	}
+}

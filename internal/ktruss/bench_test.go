@@ -1,0 +1,25 @@
+package ktruss
+
+import (
+	"testing"
+
+	"dmcs/internal/lfr"
+)
+
+// BenchmarkDecompose measures truss decomposition (support peeling), the
+// dominant cost of the kt/hightruss/huang2015 baselines and of query-set
+// generation.
+func BenchmarkDecompose(b *testing.B) {
+	cfg := lfr.Default()
+	cfg.N = 3000
+	cfg.MaxDeg = 100
+	cfg.MaxComm = 300
+	res, err := lfr.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(res.G)
+	}
+}

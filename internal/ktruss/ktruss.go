@@ -1,0 +1,359 @@
+// Package ktruss implements k-truss decomposition and the truss-based
+// community-search baselines of the paper: kt (the connected k-truss
+// containing the query node, Huang et al. 2014), hightruss (maximum
+// feasible k), and huang2015, the closest-truss-community basic algorithm
+// with the 2-approximation flavour of Huang, Lakshmanan, Yu & Cheng 2015.
+package ktruss
+
+import (
+	"sort"
+
+	"dmcs/internal/graph"
+)
+
+// Decomposition holds per-edge trussness: edge e participates in every
+// k-truss with k ≤ Truss[e]. Trussness is at least 2 for every edge.
+type Decomposition struct {
+	G     *graph.Graph
+	Edges [][2]graph.Node         // edge id -> endpoints (u < v)
+	EID   map[[2]graph.Node]int32 // endpoints -> edge id
+	Truss []int32                 // edge id -> trussness
+}
+
+// Decompose computes the trussness of every edge by support peeling
+// (O(m^1.5) triangle counting plus bucket peeling).
+func Decompose(g *graph.Graph) *Decomposition {
+	m := g.NumEdges()
+	d := &Decomposition{
+		G:     g,
+		Edges: make([][2]graph.Node, 0, m),
+		EID:   make(map[[2]graph.Node]int32, m),
+		Truss: make([]int32, m),
+	}
+	g.Edges(func(u, v graph.Node) bool {
+		d.EID[[2]graph.Node{u, v}] = int32(len(d.Edges))
+		d.Edges = append(d.Edges, [2]graph.Node{u, v})
+		return true
+	})
+	sup := make([]int32, m)
+	for id, e := range d.Edges {
+		sup[id] = int32(countCommon(g, e[0], e[1], nil))
+	}
+	// bucket peeling on support
+	maxSup := int32(0)
+	for _, s := range sup {
+		if s > maxSup {
+			maxSup = s
+		}
+	}
+	buckets := make([][]int32, maxSup+1)
+	for id, s := range sup {
+		buckets[s] = append(buckets[s], int32(id))
+	}
+	removed := make([]bool, m)
+	cur := make([]int32, m) // current support (decreases as edges peel)
+	copy(cur, sup)
+	processed := 0
+	for level := int32(0); processed < m; level++ {
+		if int(level) >= len(buckets) {
+			break
+		}
+		for len(buckets[level]) > 0 {
+			id := buckets[level][len(buckets[level])-1]
+			buckets[level] = buckets[level][:len(buckets[level])-1]
+			if removed[id] || cur[id] > level {
+				continue // stale entry
+			}
+			removed[id] = true
+			processed++
+			d.Truss[id] = level + 2
+			u, v := d.Edges[id][0], d.Edges[id][1]
+			countCommon(g, u, v, func(w graph.Node) {
+				e1, ok1 := d.edgeID(u, w)
+				e2, ok2 := d.edgeID(v, w)
+				if !ok1 || !ok2 || removed[e1] || removed[e2] {
+					return
+				}
+				for _, e := range []int32{e1, e2} {
+					if cur[e] > level {
+						cur[e]--
+						buckets[cur[e]] = append(buckets[cur[e]], e)
+					}
+				}
+			})
+		}
+	}
+	return d
+}
+
+func (d *Decomposition) edgeID(u, v graph.Node) (int32, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	id, ok := d.EID[[2]graph.Node{u, v}]
+	return id, ok
+}
+
+// Trussness returns the trussness of edge (u,v), 0 when absent.
+func (d *Decomposition) Trussness(u, v graph.Node) int {
+	if id, ok := d.edgeID(u, v); ok {
+		return int(d.Truss[id])
+	}
+	return 0
+}
+
+// MaxTruss returns the largest trussness of any edge (0 for edgeless g).
+func (d *Decomposition) MaxTruss() int {
+	m := int32(0)
+	for _, t := range d.Truss {
+		if t > m {
+			m = t
+		}
+	}
+	return int(m)
+}
+
+// countCommon counts common neighbors of u and v using the sorted
+// adjacency lists; when visit is non-nil it is called for each one.
+func countCommon(g *graph.Graph, u, v graph.Node, visit func(w graph.Node)) int {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			c++
+			if visit != nil {
+				visit(a[i])
+			}
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return c
+}
+
+// Community returns the kt baseline: the nodes of the connected k-truss
+// containing all query nodes, reachable through edges of trussness ≥ k.
+// Returns nil when no such truss exists or when the query nodes fall in
+// different k-truss components.
+func Community(g *graph.Graph, q []graph.Node, k int) []graph.Node {
+	d := Decompose(g)
+	return d.CommunityFrom(q, k)
+}
+
+// CommunityFrom answers a kt query against a precomputed decomposition.
+func (d *Decomposition) CommunityFrom(q []graph.Node, k int) []graph.Node {
+	if len(q) == 0 {
+		return nil
+	}
+	g := d.G
+	// BFS over edges with trussness >= k starting from q[0]
+	seen := map[graph.Node]bool{q[0]: true}
+	queue := []graph.Node{q[0]}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, w := range g.Neighbors(u) {
+			if seen[w] || d.Trussness(u, w) < k {
+				continue
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	if len(seen) == 1 {
+		return nil // q[0] has no edge of the requested trussness
+	}
+	for _, u := range q[1:] {
+		if !seen[u] {
+			return nil
+		}
+	}
+	out := make([]graph.Node, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HighestTruss returns the hightruss baseline: the connected k-truss
+// containing the query nodes for the maximum feasible k, plus that k.
+func HighestTruss(g *graph.Graph, q []graph.Node) ([]graph.Node, int) {
+	if len(q) == 0 {
+		return nil, 0
+	}
+	d := Decompose(g)
+	kmax := 0
+	for _, u := range q {
+		best := 0
+		for _, w := range g.Neighbors(u) {
+			if t := d.Trussness(u, w); t > best {
+				best = t
+			}
+		}
+		if kmax == 0 || best < kmax {
+			kmax = best
+		}
+	}
+	for k := kmax; k >= 2; k-- {
+		if c := d.CommunityFrom(q, k); c != nil {
+			return c, k
+		}
+	}
+	return nil, 0
+}
+
+// ClosestTruss implements the huang2015 baseline: start from the connected
+// k-truss with the largest feasible k containing Q, then repeatedly delete
+// a farthest node (by query distance) while maintaining the k-truss
+// property, keeping the intermediate subgraph with the smallest query
+// eccentricity. This is the "basic" algorithm of Huang et al. 2015 whose
+// result has a 2-approximate diameter.
+func ClosestTruss(g *graph.Graph, q []graph.Node) []graph.Node {
+	start, k := HighestTruss(g, q)
+	if start == nil {
+		return nil
+	}
+	d := Decompose(g)
+	alive := make(map[graph.Node]bool, len(start))
+	for _, u := range start {
+		alive[u] = true
+	}
+	// edgeAlive: an edge participates while its trussness >= k and both
+	// endpoints are alive; its support is counted within alive edges.
+	isQuery := make(map[graph.Node]bool, len(q))
+	for _, u := range q {
+		isQuery[u] = true
+	}
+	best := append([]graph.Node(nil), start...)
+	bestEcc := queryEcc(g, d, alive, q, k)
+	for {
+		dist := trussDistances(g, d, alive, q, k)
+		far, farD := graph.Node(-1), int32(0)
+		for u := range alive {
+			if isQuery[u] {
+				continue
+			}
+			du, ok := dist[u]
+			if !ok {
+				far, farD = u, 1<<30 // disconnected from Q: remove first
+				break
+			}
+			if du > farD {
+				far, farD = u, du
+			}
+		}
+		if far < 0 || farD == 0 {
+			break
+		}
+		// delete far, then cascade the k-truss constraint
+		delete(alive, far)
+		if !cascade(g, d, alive, isQuery, k) {
+			break // a query node lost truss support: stop
+		}
+		if !trussConnected(g, d, alive, q, k) {
+			break
+		}
+		if ecc := queryEcc(g, d, alive, q, k); ecc >= 0 && ecc <= bestEcc {
+			bestEcc = ecc
+			best = best[:0]
+			for u := range alive {
+				best = append(best, u)
+			}
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return best
+}
+
+// cascade removes nodes whose alive incident edges of trussness >= k have
+// insufficient support within the alive set, until stable. Returns false
+// when a query node would have to be removed.
+func cascade(g *graph.Graph, d *Decomposition, alive map[graph.Node]bool, isQuery map[graph.Node]bool, k int) bool {
+	for changed := true; changed; {
+		changed = false
+		for u := range alive {
+			supported := false
+			for _, w := range g.Neighbors(u) {
+				if alive[w] && d.Trussness(u, w) >= k && supportIn(g, d, alive, u, w, k) >= k-2 {
+					supported = true
+					break
+				}
+			}
+			if !supported {
+				if isQuery[u] {
+					return false
+				}
+				delete(alive, u)
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+func supportIn(g *graph.Graph, d *Decomposition, alive map[graph.Node]bool, u, v graph.Node, k int) int {
+	c := 0
+	countCommon(g, u, v, func(w graph.Node) {
+		if alive[w] && d.Trussness(u, w) >= k && d.Trussness(v, w) >= k {
+			c++
+		}
+	})
+	return c
+}
+
+func trussDistances(g *graph.Graph, d *Decomposition, alive map[graph.Node]bool, q []graph.Node, k int) map[graph.Node]int32 {
+	dist := make(map[graph.Node]int32, len(alive))
+	var queue []graph.Node
+	for _, s := range q {
+		if alive[s] {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		u := queue[i]
+		for _, w := range g.Neighbors(u) {
+			if !alive[w] || d.Trussness(u, w) < k {
+				continue
+			}
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func trussConnected(g *graph.Graph, d *Decomposition, alive map[graph.Node]bool, q []graph.Node, k int) bool {
+	dist := trussDistances(g, d, alive, q, k)
+	for _, u := range q {
+		if _, ok := dist[u]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// queryEcc returns the largest query distance among alive nodes, or -1
+// when some alive node is unreachable from Q.
+func queryEcc(g *graph.Graph, d *Decomposition, alive map[graph.Node]bool, q []graph.Node, k int) int32 {
+	dist := trussDistances(g, d, alive, q, k)
+	var ecc int32
+	for u := range alive {
+		du, ok := dist[u]
+		if !ok {
+			return -1
+		}
+		if du > ecc {
+			ecc = du
+		}
+	}
+	return ecc
+}

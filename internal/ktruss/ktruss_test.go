@@ -1,0 +1,242 @@
+package ktruss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmcs/internal/graph"
+)
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+		}
+	}
+	return b.Build()
+}
+
+func TestDecomposeClique(t *testing.T) {
+	// every edge of K5 participates in 3 triangles: trussness 5
+	d := Decompose(complete(5))
+	for id, tr := range d.Truss {
+		if tr != 5 {
+			t.Fatalf("truss[%d]=%d want 5", id, tr)
+		}
+	}
+	if d.MaxTruss() != 5 {
+		t.Fatalf("MaxTruss=%d", d.MaxTruss())
+	}
+}
+
+func TestDecomposeTriangleWithTail(t *testing.T) {
+	// triangle 0-1-2 plus pendant edge 2-3
+	g := graph.FromEdges(4, [][2]graph.Node{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	d := Decompose(g)
+	if tr := d.Trussness(0, 1); tr != 3 {
+		t.Fatalf("triangle edge trussness=%d want 3", tr)
+	}
+	if tr := d.Trussness(2, 3); tr != 2 {
+		t.Fatalf("pendant edge trussness=%d want 2", tr)
+	}
+	if d.Trussness(0, 3) != 0 {
+		t.Fatal("missing edge should have trussness 0")
+	}
+}
+
+// naive trussness: repeatedly delete edges with support < k-2 and record
+// the level at which each edge disappears.
+func naiveTruss(g *graph.Graph) map[[2]graph.Node]int {
+	type edge = [2]graph.Node
+	alive := make(map[edge]bool)
+	g.Edges(func(u, v graph.Node) bool {
+		alive[edge{u, v}] = true
+		return true
+	})
+	has := func(u, v graph.Node) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return alive[edge{u, v}]
+	}
+	support := func(u, v graph.Node) int {
+		c := 0
+		for _, w := range g.Neighbors(u) {
+			if has(u, w) && has(v, w) && g.HasEdge(v, w) {
+				c++
+			}
+		}
+		return c
+	}
+	out := make(map[edge]int)
+	for k := 3; len(alive) > 0; k++ {
+		for {
+			var doomed []edge
+			for e := range alive {
+				if support(e[0], e[1]) < k-2 {
+					doomed = append(doomed, e)
+				}
+			}
+			if len(doomed) == 0 {
+				break
+			}
+			for _, e := range doomed {
+				out[e] = k - 1
+				delete(alive, e)
+			}
+		}
+	}
+	return out
+}
+
+func TestDecomposeMatchesNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(18)
+		for i := 0; i < 18; i++ {
+			for j := i + 1; j < 18; j++ {
+				if rng.Float64() < 0.3 {
+					b.AddEdge(graph.Node(i), graph.Node(j))
+				}
+			}
+		}
+		g := b.Build()
+		d := Decompose(g)
+		want := naiveTruss(g)
+		for id, e := range d.Edges {
+			if int(d.Truss[id]) != want[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// twoK4sViaTrianglePath: two K4s joined by a single edge — that edge has
+// trussness 2, so the 3-truss splits into the two K4s.
+func twoK4s() *graph.Graph {
+	b := graph.NewBuilder(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+			b.AddEdge(graph.Node(i+4), graph.Node(j+4))
+		}
+	}
+	b.AddEdge(3, 4)
+	return b.Build()
+}
+
+func TestCommunityTrussSplit(t *testing.T) {
+	g := twoK4s()
+	c := Community(g, []graph.Node{0}, 3)
+	if len(c) != 4 {
+		t.Fatalf("3-truss community=%v want the K4", c)
+	}
+	for _, u := range c {
+		if u >= 4 {
+			t.Fatalf("3-truss crossed the bridge: %v", c)
+		}
+	}
+	// 2-truss includes the bridge → whole graph
+	if c := Community(g, []graph.Node{0}, 2); len(c) != 8 {
+		t.Fatalf("2-truss community size=%d want 8", len(c))
+	}
+	// multi-query across the bridge fails at k=3
+	if c := Community(g, []graph.Node{0, 7}, 3); c != nil {
+		t.Fatalf("cross-bridge 3-truss should be nil, got %v", c)
+	}
+	// infeasible k
+	if Community(g, []graph.Node{0}, 5) != nil {
+		t.Fatal("5-truss of K4 should not exist")
+	}
+	if Community(g, nil, 3) != nil {
+		t.Fatal("empty query should return nil")
+	}
+}
+
+func TestHighestTruss(t *testing.T) {
+	g := twoK4s()
+	c, k := HighestTruss(g, []graph.Node{0})
+	if k != 4 || len(c) != 4 {
+		t.Fatalf("hightruss k=%d |c|=%d want 4/4", k, len(c))
+	}
+	// across the bridge only the 2-truss connects them
+	c, k = HighestTruss(g, []graph.Node{0, 7})
+	if k != 2 || len(c) != 8 {
+		t.Fatalf("cross hightruss k=%d |c|=%d want 2/8", k, len(c))
+	}
+	if c, k := HighestTruss(graph.FromEdges(3, nil), []graph.Node{0}); c != nil || k != 0 {
+		t.Fatal("edgeless hightruss should be nil")
+	}
+}
+
+func TestClosestTrussSingleQuery(t *testing.T) {
+	g := twoK4s()
+	c := ClosestTruss(g, []graph.Node{0})
+	if len(c) != 4 {
+		t.Fatalf("closest truss=%v want the K4", c)
+	}
+}
+
+func TestClosestTrussShrinksLongTruss(t *testing.T) {
+	// A chain of triangles: 0-1-2, 2-3-4, 4-5-6, ... Every edge has
+	// trussness 3. The closest truss community around node 0 should not
+	// keep the whole chain.
+	b := graph.NewBuilder(9)
+	for i := 0; i+2 < 9; i += 2 {
+		b.AddEdge(graph.Node(i), graph.Node(i+1))
+		b.AddEdge(graph.Node(i+1), graph.Node(i+2))
+		b.AddEdge(graph.Node(i), graph.Node(i+2))
+	}
+	g := b.Build()
+	full := Community(g, []graph.Node{0}, 3)
+	c := ClosestTruss(g, []graph.Node{0})
+	if len(c) == 0 {
+		t.Fatal("closest truss should not be empty")
+	}
+	if len(c) >= len(full) {
+		t.Fatalf("closest truss |c|=%d should shrink below the full 3-truss %d", len(c), len(full))
+	}
+	// must still contain the query node
+	found := false
+	for _, u := range c {
+		if u == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("closest truss must contain the query")
+	}
+}
+
+func TestClosestTrussMultiQuery(t *testing.T) {
+	g := complete(6)
+	c := ClosestTruss(g, []graph.Node{0, 5})
+	if len(c) == 0 {
+		t.Fatal("closest truss of K6 should exist")
+	}
+	has := map[graph.Node]bool{}
+	for _, u := range c {
+		has[u] = true
+	}
+	if !has[0] || !has[5] {
+		t.Fatalf("closest truss must contain both queries: %v", c)
+	}
+}
+
+func TestCountCommon(t *testing.T) {
+	g := complete(5)
+	if c := countCommon(g, 0, 1, nil); c != 3 {
+		t.Fatalf("common(0,1)=%d want 3", c)
+	}
+	var seen []graph.Node
+	countCommon(g, 0, 1, func(w graph.Node) { seen = append(seen, w) })
+	if len(seen) != 3 {
+		t.Fatalf("visit saw %v", seen)
+	}
+}

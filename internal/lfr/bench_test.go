@@ -1,0 +1,15 @@
+package lfr
+
+import "testing"
+
+// BenchmarkGenerate measures benchmark-graph generation at the Table 2
+// default scale.
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Default()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

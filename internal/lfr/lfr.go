@@ -1,0 +1,434 @@
+// Package lfr implements the LFR benchmark generator (Lancichinetti,
+// Fortunato & Radicchi 2008) used by the paper's synthetic experiments
+// (Table 2, Figures 8–14, 19): power-law degree sequence, power-law
+// community sizes, and a mixing parameter μ giving the fraction of each
+// node's edges that leave its community.
+//
+// The generator follows the reference construction: (1) sample degrees
+// from a truncated power law whose minimum is solved so the mean matches
+// AvgDeg; (2) sample community sizes from a truncated power law summing to
+// N; (3) assign nodes to communities subject to the internal-degree
+// capacity constraint; (4) realize internal edges with a per-community
+// configuration model and external edges with a global configuration model
+// that forbids intra-community pairs. Multi-edges and self-loops are
+// rejected; irreparable leftover stubs are dropped, which perturbs the
+// degree sequence by a vanishing fraction, exactly as in the reference
+// implementation.
+package lfr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dmcs/internal/graph"
+)
+
+// Config holds the LFR parameters of the paper's Table 2. The zero value
+// is not usable; start from Default.
+type Config struct {
+	N         int     // number of nodes
+	AvgDeg    float64 // average degree (d_avg)
+	MaxDeg    int     // maximum degree (d_max)
+	Mu        float64 // mixing parameter: fraction of inter-community edges
+	DegreeExp float64 // power-law exponent of the degree distribution (τ1)
+	CommExp   float64 // power-law exponent of community sizes (τ2)
+	MinComm   int     // minimum community size
+	MaxComm   int     // maximum community size
+	Seed      int64   // RNG seed; equal configs generate equal graphs
+
+	// OverlapNodes (the LFR "on" parameter) makes that many nodes belong
+	// to OverlapMemberships communities instead of one, wiring extra
+	// intra-community edges into each additional membership. 0 disables
+	// overlap. OverlapMemberships ("om") defaults to 2.
+	OverlapNodes       int
+	OverlapMemberships int
+}
+
+// Default returns the paper's default synthetic configuration (Table 2,
+// underlined values): n=5000, d_avg=20, d_max=300, μ=0.2, community sizes
+// in [20, 1000].
+func Default() Config {
+	return Config{
+		N:         5000,
+		AvgDeg:    20,
+		MaxDeg:    300,
+		Mu:        0.2,
+		DegreeExp: 2,
+		CommExp:   1,
+		MinComm:   20,
+		MaxComm:   1000,
+		Seed:      1,
+	}
+}
+
+// Result is a generated benchmark graph with its ground truth.
+type Result struct {
+	G           *graph.Graph
+	Communities [][]graph.Node
+	Membership  []int32 // node -> community index
+}
+
+// Generate builds an LFR benchmark graph. It returns an error for
+// infeasible configurations (e.g. MaxComm smaller than the largest internal
+// degree the mixing parameter implies).
+func Generate(cfg Config) (*Result, error) {
+	if cfg.N <= 0 || cfg.AvgDeg <= 0 || cfg.MaxDeg <= 0 {
+		return nil, errors.New("lfr: N, AvgDeg, MaxDeg must be positive")
+	}
+	if cfg.Mu < 0 || cfg.Mu >= 1 {
+		return nil, errors.New("lfr: Mu must be in [0,1)")
+	}
+	if cfg.MinComm <= 1 || cfg.MaxComm < cfg.MinComm {
+		return nil, errors.New("lfr: bad community size bounds")
+	}
+	if cfg.MaxDeg >= cfg.N {
+		cfg.MaxDeg = cfg.N - 1
+	}
+	if cfg.MaxComm > cfg.N {
+		cfg.MaxComm = cfg.N
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	deg := sampleDegrees(cfg, rng)
+	sizes, err := sampleCommunitySizes(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	intDeg := make([]int, cfg.N)
+	for i, d := range deg {
+		intDeg[i] = int(math.Round((1 - cfg.Mu) * float64(d)))
+		if intDeg[i] > d {
+			intDeg[i] = d
+		}
+	}
+	member, err := assign(cfg, rng, intDeg, sizes)
+	if err != nil {
+		return nil, err
+	}
+
+	b := graph.NewBuilder(cfg.N)
+	buildInternal(rng, b, member, sizes, intDeg)
+	buildExternal(rng, b, member, deg, intDeg)
+
+	comms := make([][]graph.Node, len(sizes))
+	for u, c := range member {
+		comms[c] = append(comms[c], graph.Node(u))
+	}
+	if cfg.OverlapNodes > 0 {
+		addOverlap(cfg, rng, b, member, intDeg, comms)
+	}
+	g := b.Build()
+	return &Result{G: g, Communities: comms, Membership: member}, nil
+}
+
+// addOverlap upgrades OverlapNodes random nodes to members of
+// OverlapMemberships communities: each gains membership in om−1 extra
+// communities plus ⌈intDeg/om⌉ edges into each, mirroring the reference
+// benchmark's on/om parameters. Membership keeps the primary community;
+// the Communities slices gain the overlapping members.
+func addOverlap(cfg Config, rng *rand.Rand, b *graph.Builder, member []int32, intDeg []int, comms [][]graph.Node) {
+	om := cfg.OverlapMemberships
+	if om < 2 {
+		om = 2
+	}
+	if om > len(comms) {
+		om = len(comms)
+	}
+	on := cfg.OverlapNodes
+	if on > cfg.N {
+		on = cfg.N
+	}
+	perm := rng.Perm(cfg.N)
+	for _, u := range perm[:on] {
+		primary := int(member[u])
+		// choose om-1 distinct extra communities
+		extra := map[int]bool{}
+		for len(extra) < om-1 {
+			c := rng.Intn(len(comms))
+			if c != primary && !extra[c] {
+				extra[c] = true
+			}
+		}
+		want := (intDeg[u] + om - 1) / om
+		if want < 1 {
+			want = 1
+		}
+		for c := range extra {
+			members := comms[c]
+			added := 0
+			for _, p := range rng.Perm(len(members)) {
+				if added >= want {
+					break
+				}
+				v := members[p]
+				if v == graph.Node(u) {
+					continue
+				}
+				b.AddEdge(graph.Node(u), v)
+				added++
+			}
+			comms[c] = append(comms[c], graph.Node(u))
+		}
+	}
+}
+
+// sampleDegrees draws N degrees from a discrete truncated power law
+// k^(-τ1) on [kmin, MaxDeg], choosing kmin so the mean is closest to
+// AvgDeg, then nudges individual degrees so the total is even and the
+// average is exact to ±1 edge.
+func sampleDegrees(cfg Config, rng *rand.Rand) []int {
+	bestKmin, bestDiff := 1, math.Inf(1)
+	for kmin := 1; kmin <= cfg.MaxDeg; kmin++ {
+		mean := truncatedPowerMean(cfg.DegreeExp, kmin, cfg.MaxDeg)
+		diff := math.Abs(mean - cfg.AvgDeg)
+		if diff < bestDiff {
+			bestDiff, bestKmin = diff, kmin
+		}
+		if mean > cfg.AvgDeg {
+			break // mean grows monotonically with kmin
+		}
+	}
+	weights, total := powerWeights(cfg.DegreeExp, bestKmin, cfg.MaxDeg)
+	deg := make([]int, cfg.N)
+	for i := range deg {
+		deg[i] = samplePower(rng, weights, total, bestKmin)
+	}
+	// adjust total degree toward round(avg*N), keeping bounds
+	target := int(math.Round(cfg.AvgDeg * float64(cfg.N)))
+	sum := 0
+	for _, d := range deg {
+		sum += d
+	}
+	for it := 0; it < 20*cfg.N && sum != target; it++ {
+		i := rng.Intn(cfg.N)
+		if sum < target && deg[i] < cfg.MaxDeg {
+			deg[i]++
+			sum++
+		} else if sum > target && deg[i] > bestKmin {
+			deg[i]--
+			sum--
+		}
+	}
+	if sum%2 == 1 {
+		for i := range deg {
+			if deg[i] < cfg.MaxDeg {
+				deg[i]++
+				break
+			}
+		}
+	}
+	return deg
+}
+
+// truncatedPowerMean is the mean of the discrete distribution ∝ k^-exp on
+// [kmin, kmax].
+func truncatedPowerMean(exp float64, kmin, kmax int) float64 {
+	var num, den float64
+	for k := kmin; k <= kmax; k++ {
+		w := math.Pow(float64(k), -exp)
+		num += w * float64(k)
+		den += w
+	}
+	return num / den
+}
+
+func powerWeights(exp float64, kmin, kmax int) ([]float64, float64) {
+	w := make([]float64, kmax-kmin+1)
+	var total float64
+	for k := kmin; k <= kmax; k++ {
+		w[k-kmin] = math.Pow(float64(k), -exp)
+		total += w[k-kmin]
+	}
+	return w, total
+}
+
+func samplePower(rng *rand.Rand, weights []float64, total float64, kmin int) int {
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return kmin + i
+		}
+	}
+	return kmin + len(weights) - 1
+}
+
+// sampleCommunitySizes draws sizes ∝ s^(-τ2) on [MinComm, MaxComm] until
+// they cover N nodes, then trims the excess.
+func sampleCommunitySizes(cfg Config, rng *rand.Rand) ([]int, error) {
+	weights, total := powerWeights(cfg.CommExp, cfg.MinComm, cfg.MaxComm)
+	var sizes []int
+	sum := 0
+	for sum < cfg.N {
+		s := samplePower(rng, weights, total, cfg.MinComm)
+		sizes = append(sizes, s)
+		sum += s
+	}
+	// trim the surplus off communities that stay >= MinComm
+	excess := sum - cfg.N
+	for i := 0; excess > 0; i = (i + 1) % len(sizes) {
+		if sizes[i] > cfg.MinComm {
+			sizes[i]--
+			excess--
+		} else if allAtMin(sizes, cfg.MinComm) {
+			// drop one community and recycle its slots
+			last := sizes[len(sizes)-1]
+			sizes = sizes[:len(sizes)-1]
+			excess -= last
+			if len(sizes) == 0 {
+				return nil, errors.New("lfr: cannot fit community sizes to N")
+			}
+		}
+	}
+	// a negative excess after dropping: give slots back
+	for i := 0; excess < 0; i = (i + 1) % len(sizes) {
+		if sizes[i] < cfg.MaxComm {
+			sizes[i]++
+			excess++
+		}
+	}
+	return sizes, nil
+}
+
+func allAtMin(sizes []int, min int) bool {
+	for _, s := range sizes {
+		if s > min {
+			return false
+		}
+	}
+	return true
+}
+
+// assign places each node into a community whose size can host its internal
+// degree (intDeg[i] ≤ size−1), shrinking infeasible internal degrees to the
+// largest hostable value, exactly like the reference implementation's
+// kick-out loop but with explicit capacities.
+func assign(cfg Config, rng *rand.Rand, intDeg []int, sizes []int) ([]int32, error) {
+	n := cfg.N
+	member := make([]int32, n)
+	free := make([]int, len(sizes))
+	maxSize := 0
+	copy(free, sizes)
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	// hardest nodes first
+	order := rng.Perm(n)
+	type nd struct{ id, want int }
+	nodes := make([]nd, n)
+	for i, u := range order {
+		nodes[i] = nd{u, intDeg[u]}
+	}
+	// simple counting sort by want, descending
+	buckets := make([][]int, maxSize+1)
+	for _, x := range nodes {
+		w := x.want
+		if w > maxSize {
+			w = maxSize
+		}
+		buckets[w] = append(buckets[w], x.id)
+	}
+	candIdx := make([]int, 0, len(sizes))
+	for w := maxSize; w >= 0; w-- {
+		for _, u := range buckets[w] {
+			if intDeg[u] > maxSize-1 {
+				intDeg[u] = maxSize - 1 // shrink infeasible internal degree
+			}
+			candIdx = candIdx[:0]
+			for c, f := range free {
+				if f > 0 && sizes[c]-1 >= intDeg[u] {
+					candIdx = append(candIdx, c)
+				}
+			}
+			if len(candIdx) == 0 {
+				// fall back: any community with a free slot, shrinking intDeg
+				for c, f := range free {
+					if f > 0 {
+						candIdx = append(candIdx, c)
+					}
+				}
+				if len(candIdx) == 0 {
+					return nil, fmt.Errorf("lfr: no free community slot for node %d", u)
+				}
+			}
+			c := candIdx[rng.Intn(len(candIdx))]
+			if intDeg[u] > sizes[c]-1 {
+				intDeg[u] = sizes[c] - 1
+			}
+			member[u] = int32(c)
+			free[c]--
+		}
+	}
+	return member, nil
+}
+
+// buildInternal realizes intra-community edges with a per-community
+// configuration model: shuffle internal stubs, pair consecutive entries,
+// and re-shuffle rejected pairs a bounded number of times.
+func buildInternal(rng *rand.Rand, b *graph.Builder, member []int32, sizes []int, intDeg []int) {
+	byComm := make([][]graph.Node, len(sizes))
+	for u, c := range member {
+		byComm[c] = append(byComm[c], graph.Node(u))
+	}
+	for _, members := range byComm {
+		var stubs []graph.Node
+		for _, u := range members {
+			for k := 0; k < intDeg[u]; k++ {
+				stubs = append(stubs, u)
+			}
+		}
+		if len(stubs)%2 == 1 {
+			stubs = stubs[:len(stubs)-1]
+		}
+		pairStubs(rng, b, stubs, func(u, v graph.Node) bool { return u != v })
+	}
+}
+
+// buildExternal realizes inter-community edges with one global
+// configuration model over external stubs, rejecting intra-community pairs.
+func buildExternal(rng *rand.Rand, b *graph.Builder, member []int32, deg, intDeg []int) {
+	var stubs []graph.Node
+	for u := range deg {
+		ext := deg[u] - intDeg[u]
+		for k := 0; k < ext; k++ {
+			stubs = append(stubs, graph.Node(u))
+		}
+	}
+	if len(stubs)%2 == 1 {
+		stubs = stubs[:len(stubs)-1]
+	}
+	pairStubs(rng, b, stubs, func(u, v graph.Node) bool {
+		return u != v && member[u] != member[v]
+	})
+}
+
+// pairStubs pairs up stubs into edges accepted by ok, re-queueing rejected
+// stubs for a bounded number of passes and dropping irreparable leftovers.
+func pairStubs(rng *rand.Rand, b *graph.Builder, stubs []graph.Node, ok func(u, v graph.Node) bool) {
+	seen := make(map[[2]graph.Node]bool)
+	for pass := 0; pass < 12 && len(stubs) >= 2; pass++ {
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		var leftover []graph.Node
+		for i := 0; i+1 < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u > v {
+				u, v = v, u
+			}
+			key := [2]graph.Node{u, v}
+			if !ok(u, v) || seen[key] {
+				leftover = append(leftover, stubs[i], stubs[i+1])
+				continue
+			}
+			seen[key] = true
+			b.AddEdge(u, v)
+		}
+		if len(stubs)%2 == 1 {
+			leftover = append(leftover, stubs[len(stubs)-1])
+		}
+		stubs = leftover
+	}
+}

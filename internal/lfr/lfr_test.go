@@ -1,0 +1,253 @@
+package lfr
+
+import (
+	"math"
+	"testing"
+
+	"dmcs/internal/graph"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := Default()
+	cfg.N = 600
+	cfg.AvgDeg = 10
+	cfg.MaxDeg = 60
+	cfg.MinComm = 15
+	cfg.MaxComm = 120
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	res, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.G.NumNodes() != 600 {
+		t.Fatalf("n=%d want 600", res.G.NumNodes())
+	}
+	// average degree within 15% of the target (configuration-model losses)
+	avg := 2 * float64(res.G.NumEdges()) / 600
+	if math.Abs(avg-10)/10 > 0.15 {
+		t.Fatalf("average degree %.2f too far from 10", avg)
+	}
+}
+
+func TestGenerateRespectsMaxDegree(t *testing.T) {
+	res, err := Generate(smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < res.G.NumNodes(); u++ {
+		if res.G.Degree(graph.Node(u)) > 60 {
+			t.Fatalf("node %d degree %d exceeds MaxDeg", u, res.G.Degree(graph.Node(u)))
+		}
+	}
+}
+
+func TestGenerateCommunityCover(t *testing.T) {
+	res, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, res.G.NumNodes())
+	for ci, c := range res.Communities {
+		if len(c) < 15 || len(c) > 120 {
+			t.Fatalf("community %d size %d outside [15,120]", ci, len(c))
+		}
+		for _, u := range c {
+			if seen[u] {
+				t.Fatalf("node %d in two communities", u)
+			}
+			seen[u] = true
+		}
+	}
+	for u, ok := range seen {
+		if !ok {
+			t.Fatalf("node %d not covered", u)
+		}
+		if res.Membership[u] < 0 || int(res.Membership[u]) >= len(res.Communities) {
+			t.Fatalf("bad membership for %d", u)
+		}
+	}
+}
+
+func TestGenerateMixingParameter(t *testing.T) {
+	for _, mu := range []float64{0.1, 0.3} {
+		cfg := smallConfig(5)
+		cfg.Mu = mu
+		res, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter := 0
+		res.G.Edges(func(u, v graph.Node) bool {
+			if res.Membership[u] != res.Membership[v] {
+				inter++
+			}
+			return true
+		})
+		got := float64(inter) / float64(res.G.NumEdges())
+		if math.Abs(got-mu) > 0.08 {
+			t.Fatalf("mu=%.2f: measured mixing %.3f too far off", mu, got)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumEdges() != b.G.NumEdges() || len(a.Communities) != len(b.Communities) {
+		t.Fatal("same seed must generate identical graphs")
+	}
+	ea, eb := a.G.EdgeList(), b.G.EdgeList()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("edge lists differ for the same seed")
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Generate(smallConfig(1))
+	b, _ := Generate(smallConfig(2))
+	if a.G.NumEdges() == b.G.NumEdges() {
+		ea, eb := a.G.EdgeList(), b.G.EdgeList()
+		same := true
+		for i := range ea {
+			if ea[i] != eb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds should generate different graphs")
+		}
+	}
+}
+
+func TestGenerateInvalidConfigs(t *testing.T) {
+	bad := []Config{
+		{},
+		{N: 100, AvgDeg: 5, MaxDeg: 20, Mu: 1.0, MinComm: 10, MaxComm: 20, DegreeExp: 2, CommExp: 1},
+		{N: 100, AvgDeg: 5, MaxDeg: 20, Mu: 0.2, MinComm: 1, MaxComm: 20, DegreeExp: 2, CommExp: 1},
+		{N: 100, AvgDeg: 5, MaxDeg: 20, Mu: 0.2, MinComm: 30, MaxComm: 20, DegreeExp: 2, CommExp: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestGenerateDefaultTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default 5000-node config in -short mode")
+	}
+	res, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.G.NumNodes() != 5000 {
+		t.Fatalf("n=%d", res.G.NumNodes())
+	}
+	avg := 2 * float64(res.G.NumEdges()) / 5000
+	if math.Abs(avg-20)/20 > 0.15 {
+		t.Fatalf("avg degree %.2f too far from 20", avg)
+	}
+	if len(res.Communities) < 5 {
+		t.Fatalf("expected several communities, got %d", len(res.Communities))
+	}
+}
+
+func TestTruncatedPowerMeanMonotone(t *testing.T) {
+	prev := 0.0
+	for kmin := 1; kmin < 50; kmin++ {
+		m := truncatedPowerMean(2, kmin, 100)
+		if m <= prev {
+			t.Fatalf("mean not increasing at kmin=%d", kmin)
+		}
+		prev = m
+	}
+}
+
+func TestGenerateOverlap(t *testing.T) {
+	cfg := smallConfig(21)
+	cfg.OverlapNodes = 40
+	cfg.OverlapMemberships = 2
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// count nodes with 2 memberships
+	count := make(map[graph.Node]int)
+	for _, c := range res.Communities {
+		for _, u := range c {
+			count[u]++
+		}
+	}
+	overlapping := 0
+	for _, k := range count {
+		switch k {
+		case 1:
+		case 2:
+			overlapping++
+		default:
+			t.Fatalf("node with %d memberships, want ≤2", k)
+		}
+	}
+	if overlapping != 40 {
+		t.Fatalf("overlapping nodes=%d want 40", overlapping)
+	}
+	// all nodes still covered
+	if len(count) != cfg.N {
+		t.Fatalf("covered %d nodes want %d", len(count), cfg.N)
+	}
+}
+
+func TestGenerateOverlapThreeMemberships(t *testing.T) {
+	cfg := smallConfig(22)
+	cfg.OverlapNodes = 10
+	cfg.OverlapMemberships = 3
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := make(map[graph.Node]int)
+	for _, c := range res.Communities {
+		for _, u := range c {
+			count[u]++
+		}
+	}
+	three := 0
+	for _, k := range count {
+		if k == 3 {
+			three++
+		}
+	}
+	if three != 10 {
+		t.Fatalf("nodes with 3 memberships=%d want 10", three)
+	}
+}
+
+func TestGenerateOverlapDeterministic(t *testing.T) {
+	cfg := smallConfig(23)
+	cfg.OverlapNodes = 20
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("overlap generation must be deterministic")
+	}
+}

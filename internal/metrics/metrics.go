@@ -1,0 +1,247 @@
+// Package metrics implements the community-quality measures used in the
+// paper's evaluation: Normalized Mutual Information (NMI), the Adjusted
+// Rand Index (ARI), F-score, and — following the paper's note on inflated
+// F-scores (Chicco & Jurman 2020) — the Matthews correlation coefficient.
+//
+// Following Section 6.1, community search is evaluated as a binary
+// classification over the node set: the ground-truth community containing
+// the query is the positive class, the identified community is the
+// prediction. Binary* helpers build the two-block partitions and the
+// general partition forms are also exposed (used for detection baselines).
+package metrics
+
+import (
+	"math"
+
+	"dmcs/internal/graph"
+)
+
+// Confusion is a binary confusion matrix over n nodes.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Confuse computes the confusion matrix of predicted community `found`
+// against ground truth `truth` over a universe of n nodes.
+func Confuse(found, truth []graph.Node, n int) Confusion {
+	inF := make(map[graph.Node]bool, len(found))
+	for _, u := range found {
+		inF[u] = true
+	}
+	inT := make(map[graph.Node]bool, len(truth))
+	for _, u := range truth {
+		inT[u] = true
+	}
+	var c Confusion
+	for u := 0; u < n; u++ {
+		f, t := inF[graph.Node(u)], inT[graph.Node(u)]
+		switch {
+		case f && t:
+			c.TP++
+		case f && !t:
+			c.FP++
+		case !f && t:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MCC returns the Matthews correlation coefficient, 0 when undefined.
+func (c Confusion) MCC() float64 {
+	tp, fp, fn, tn := float64(c.TP), float64(c.FP), float64(c.FN), float64(c.TN)
+	den := math.Sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+	if den == 0 {
+		return 0
+	}
+	return (tp*tn - fp*fn) / den
+}
+
+// FScore evaluates the F1 of a found community against the ground truth
+// (the paper's Fscore metric).
+func FScore(found, truth []graph.Node, n int) float64 {
+	return Confuse(found, truth, n).F1()
+}
+
+// PartitionNMI computes the normalized mutual information between two
+// labelings of the same universe, NMI = 2 I(A;B) / (H(A)+H(B)). Labels are
+// arbitrary non-negative ints. When both labelings are constant it returns
+// 1 (identical partitions) by convention; when exactly one is constant it
+// returns 0.
+func PartitionNMI(a, b []int) float64 {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return 0
+	}
+	ca := countLabels(a)
+	cb := countLabels(b)
+	joint := make(map[[2]int]int)
+	for i := range a {
+		joint[[2]int{a[i], b[i]}]++
+	}
+	fn := float64(n)
+	var ha, hb, mi float64
+	for _, c := range ca {
+		p := float64(c) / fn
+		ha -= p * math.Log(p)
+	}
+	for _, c := range cb {
+		p := float64(c) / fn
+		hb -= p * math.Log(p)
+	}
+	for k, c := range joint {
+		pxy := float64(c) / fn
+		px := float64(ca[k[0]]) / fn
+		py := float64(cb[k[1]]) / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	if ha == 0 && hb == 0 {
+		return 1
+	}
+	if ha == 0 || hb == 0 {
+		return 0
+	}
+	return 2 * mi / (ha + hb)
+}
+
+// PartitionARI computes the adjusted Rand index between two labelings.
+func PartitionARI(a, b []int) float64 {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return 0
+	}
+	ca := countLabels(a)
+	cb := countLabels(b)
+	joint := make(map[[2]int]int)
+	for i := range a {
+		joint[[2]int{a[i], b[i]}]++
+	}
+	var sumJoint, sumA, sumB float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range ca {
+		sumA += choose2(c)
+	}
+	for _, c := range cb {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	if total == 0 {
+		return 0
+	}
+	expected := sumA * sumB / total
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 1 // both partitions trivial in the same way
+	}
+	return (sumJoint - expected) / (maxIdx - expected)
+}
+
+// BinaryLabels converts a node set into a two-block labeling over n nodes
+// (1 = member, 0 = non-member).
+func BinaryLabels(set []graph.Node, n int) []int {
+	lab := make([]int, n)
+	for _, u := range set {
+		lab[u] = 1
+	}
+	return lab
+}
+
+// NMI evaluates the paper's community-search NMI: the binary-partition NMI
+// of the identified community against the ground-truth community.
+func NMI(found, truth []graph.Node, n int) float64 {
+	return PartitionNMI(BinaryLabels(found, n), BinaryLabels(truth, n))
+}
+
+// ARI evaluates the binary-partition adjusted Rand index of the identified
+// community against the ground truth.
+func ARI(found, truth []graph.Node, n int) float64 {
+	return PartitionARI(BinaryLabels(found, n), BinaryLabels(truth, n))
+}
+
+// BestAgainst scores the found community against every ground-truth
+// community containing the query nodes and returns the best value, the
+// paper's protocol for overlapping ground truth ("we compare our result
+// with each of the ground-truth communities which contain the query node,
+// and report the best accuracy"). score is typically NMI or ARI.
+func BestAgainst(found []graph.Node, truths [][]graph.Node, n int, score func(found, truth []graph.Node, n int) float64) float64 {
+	best := math.Inf(-1)
+	for _, t := range truths {
+		if s := score(found, t, n); s > best {
+			best = s
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}
+
+// Median returns the median of xs (0 for empty input), the aggregate the
+// paper reports across query sets.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	// insertion sort: query-set batches are tiny
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+func countLabels(a []int) map[int]int {
+	m := make(map[int]int)
+	for _, x := range a {
+		m[x]++
+	}
+	return m
+}
+
+func choose2(c int) float64 { return float64(c) * float64(c-1) / 2 }

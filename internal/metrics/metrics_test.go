@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmcs/internal/graph"
+)
+
+const eps = 1e-9
+
+func nodes(ids ...int) []graph.Node {
+	out := make([]graph.Node, len(ids))
+	for i, v := range ids {
+		out[i] = graph.Node(v)
+	}
+	return out
+}
+
+func TestConfusionCounts(t *testing.T) {
+	c := Confuse(nodes(0, 1, 2), nodes(1, 2, 3), 6)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 2 {
+		t.Fatalf("confusion %+v", c)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := Confusion{TP: 2, FP: 1, FN: 1, TN: 2}
+	if math.Abs(c.Precision()-2.0/3) > eps {
+		t.Fatalf("precision=%v", c.Precision())
+	}
+	if math.Abs(c.Recall()-2.0/3) > eps {
+		t.Fatalf("recall=%v", c.Recall())
+	}
+	if math.Abs(c.F1()-2.0/3) > eps {
+		t.Fatalf("f1=%v", c.F1())
+	}
+}
+
+func TestDegenerateConfusion(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.MCC() != 0 {
+		t.Fatal("empty confusion should score 0 everywhere")
+	}
+}
+
+func TestPerfectPrediction(t *testing.T) {
+	f := nodes(0, 1, 2)
+	if got := NMI(f, f, 10); math.Abs(got-1) > eps {
+		t.Fatalf("NMI perfect=%v", got)
+	}
+	if got := ARI(f, f, 10); math.Abs(got-1) > eps {
+		t.Fatalf("ARI perfect=%v", got)
+	}
+	if got := FScore(f, f, 10); math.Abs(got-1) > eps {
+		t.Fatalf("F1 perfect=%v", got)
+	}
+	if got := Confuse(f, f, 10).MCC(); math.Abs(got-1) > eps {
+		t.Fatalf("MCC perfect=%v", got)
+	}
+}
+
+func TestComplementPrediction(t *testing.T) {
+	// Predicting exactly the complement induces the *same* two-block
+	// partition of the universe, so partition-based ARI/NMI are 1; the
+	// classification-view MCC is -1. This is exactly why the paper warns
+	// that set-vs-partition metrics must not be mixed up.
+	found := nodes(0, 1, 2, 3, 4)
+	truth := nodes(5, 6, 7, 8, 9)
+	if got := ARI(found, truth, 10); math.Abs(got-1) > eps {
+		t.Fatalf("partition ARI of complement should be 1, got %v", got)
+	}
+	if got := Confuse(found, truth, 10).MCC(); math.Abs(got+1) > eps {
+		t.Fatalf("MCC of complement should be -1, got %v", got)
+	}
+}
+
+func TestNMIKnownValue(t *testing.T) {
+	// Two half/half partitions of 4 elements agreeing on 3 of 4:
+	// computed by hand: H = ln 2; MI = 2*(1/2)ln... use independence check
+	// instead: independent labelings → NMI ≈ 0.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	if got := PartitionNMI(a, b); math.Abs(got) > eps {
+		t.Fatalf("independent partitions NMI=%v want 0", got)
+	}
+}
+
+func TestNMIPermutationInvariant(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{5, 5, 9, 9, 7, 7} // same partition, different label names
+	if got := PartitionNMI(a, b); math.Abs(got-1) > eps {
+		t.Fatalf("relabeled identical partitions NMI=%v want 1", got)
+	}
+	if got := PartitionARI(a, b); math.Abs(got-1) > eps {
+		t.Fatalf("relabeled identical partitions ARI=%v want 1", got)
+	}
+}
+
+func TestTrivialPartitions(t *testing.T) {
+	all := []int{0, 0, 0, 0}
+	if got := PartitionNMI(all, all); got != 1 {
+		t.Fatalf("constant vs constant NMI=%v want 1", got)
+	}
+	split := []int{0, 0, 1, 1}
+	if got := PartitionNMI(all, split); got != 0 {
+		t.Fatalf("constant vs split NMI=%v want 0", got)
+	}
+}
+
+func TestNMISymmetricProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		if math.Abs(PartitionNMI(a, b)-PartitionNMI(b, a)) > eps {
+			return false
+		}
+		if math.Abs(PartitionARI(a, b)-PartitionARI(b, a)) > eps {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNMIBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(3)
+			b[i] = rng.Intn(3)
+		}
+		v := PartitionNMI(a, b)
+		return v >= -eps && v <= 1+eps
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestARIRandomLabelingNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 2000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(2)
+		b[i] = rng.Intn(2)
+	}
+	if got := PartitionARI(a, b); math.Abs(got) > 0.05 {
+		t.Fatalf("ARI of random labelings = %v, want ≈0", got)
+	}
+}
+
+func TestBestAgainst(t *testing.T) {
+	found := nodes(0, 1, 2)
+	truths := [][]graph.Node{nodes(7, 8, 9), nodes(0, 1, 2, 3), nodes(0, 5)}
+	got := BestAgainst(found, truths, 10, NMI)
+	want := NMI(found, truths[1], 10)
+	if math.Abs(got-want) > eps {
+		t.Fatalf("BestAgainst=%v want %v", got, want)
+	}
+	if BestAgainst(found, nil, 10, NMI) != 0 {
+		t.Fatal("BestAgainst with no truths should be 0")
+	}
+}
+
+func TestMedianAndMean(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("median=%v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median=%v", got)
+	}
+	if Median(nil) != 0 || Mean(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean=%v", got)
+	}
+	// Median must not mutate its input.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestBinaryLabels(t *testing.T) {
+	lab := BinaryLabels(nodes(1, 3), 5)
+	want := []int{0, 1, 0, 1, 0}
+	for i := range want {
+		if lab[i] != want[i] {
+			t.Fatalf("labels=%v", lab)
+		}
+	}
+}
+
+// Larger found communities that still contain the truth should score lower
+// than the exact match (the property that penalizes free riders).
+func TestNMIPenalizesOversizedCommunities(t *testing.T) {
+	truth := nodes(0, 1, 2, 3)
+	exact := NMI(truth, truth, 100)
+	bloated := NMI(nodes(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11), truth, 100)
+	if bloated >= exact {
+		t.Fatalf("bloated NMI %v should be below exact %v", bloated, exact)
+	}
+}

@@ -1,0 +1,116 @@
+// Package queries generates query sets following the paper's Section 6.1
+// protocol: "we pick 20 sets (10 sets for small-sized datasets) of query
+// nodes from the result of (k+1)-truss so that the query nodes are more
+// likely to be located in a meaningful community. If there are over 20
+// ground-truth communities, we randomly choose 20 communities and then
+// randomly pick a query set from each community. If there are fewer than
+// 20 ground-truth communities, we pick query sets such that they are most
+// equally generated from each community."
+package queries
+
+import (
+	"math/rand"
+
+	"dmcs/internal/graph"
+	"dmcs/internal/ktruss"
+)
+
+// Options configures query-set generation.
+type Options struct {
+	NumSets int   // number of query sets (paper: 20, small datasets 10)
+	Size    int   // nodes per query set (paper default 1)
+	TrussK  int   // eligibility: node must touch a (TrussK+1)-truss edge; paper uses k=4 → 5-truss
+	Seed    int64 // RNG seed
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumSets == 0 {
+		o.NumSets = 20
+	}
+	if o.Size == 0 {
+		o.Size = 1
+	}
+	if o.TrussK == 0 {
+		o.TrussK = 4
+	}
+	return o
+}
+
+// Generate draws query sets from the ground-truth communities. Each query
+// set comes from one community; nodes that touch a (k+1)-truss edge are
+// preferred, falling back to arbitrary community members when a community
+// has too few eligible nodes. Communities smaller than Size are skipped.
+func Generate(g *graph.Graph, comms [][]graph.Node, opt Options) [][]graph.Node {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	eligible := eligibleNodes(g, opt.TrussK+1)
+
+	// candidate communities: at least Size members
+	var candIdx []int
+	for i, c := range comms {
+		if len(c) >= opt.Size {
+			candIdx = append(candIdx, i)
+		}
+	}
+	if len(candIdx) == 0 {
+		return nil
+	}
+	// choose which community each query set comes from
+	var chosen []int
+	if len(candIdx) >= opt.NumSets {
+		perm := rng.Perm(len(candIdx))
+		for _, p := range perm[:opt.NumSets] {
+			chosen = append(chosen, candIdx[p])
+		}
+	} else {
+		// spread sets as equally as possible across communities
+		for len(chosen) < opt.NumSets {
+			for _, ci := range candIdx {
+				chosen = append(chosen, ci)
+				if len(chosen) == opt.NumSets {
+					break
+				}
+			}
+		}
+	}
+	var out [][]graph.Node
+	for _, ci := range chosen {
+		if q := pickFrom(comms[ci], eligible, opt.Size, rng); q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// eligibleNodes marks nodes incident to an edge of trussness ≥ k.
+func eligibleNodes(g *graph.Graph, k int) []bool {
+	d := ktruss.Decompose(g)
+	ok := make([]bool, g.NumNodes())
+	for id, e := range d.Edges {
+		if int(d.Truss[id]) >= k {
+			ok[e[0]] = true
+			ok[e[1]] = true
+		}
+	}
+	return ok
+}
+
+// pickFrom samples size nodes from community c, preferring eligible ones.
+func pickFrom(c []graph.Node, eligible []bool, size int, rng *rand.Rand) []graph.Node {
+	var pref, rest []graph.Node
+	for _, u := range c {
+		if eligible[u] {
+			pref = append(pref, u)
+		} else {
+			rest = append(rest, u)
+		}
+	}
+	rng.Shuffle(len(pref), func(i, j int) { pref[i], pref[j] = pref[j], pref[i] })
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	pool := append(pref, rest...)
+	if len(pool) < size {
+		return nil
+	}
+	q := append([]graph.Node(nil), pool[:size]...)
+	return q
+}

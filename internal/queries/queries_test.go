@@ -1,0 +1,118 @@
+package queries
+
+import (
+	"testing"
+
+	"dmcs/internal/dataset"
+	"dmcs/internal/gen"
+	"dmcs/internal/graph"
+)
+
+func TestGenerateFromKarate(t *testing.T) {
+	d := dataset.Karate()
+	sets := Generate(d.G, d.Communities, Options{NumSets: 10, Size: 1, TrussK: 3, Seed: 1})
+	if len(sets) != 10 {
+		t.Fatalf("got %d sets want 10", len(sets))
+	}
+	for _, q := range sets {
+		if len(q) != 1 {
+			t.Fatalf("set size %d want 1", len(q))
+		}
+		if q[0] < 0 || int(q[0]) >= d.G.NumNodes() {
+			t.Fatalf("query node %d out of range", q[0])
+		}
+	}
+}
+
+func TestGenerateEquallySpreadOverFewCommunities(t *testing.T) {
+	d := dataset.Karate() // 2 communities, 10 sets → 5 from each
+	sets := Generate(d.G, d.Communities, Options{NumSets: 10, Size: 1, TrussK: 3, Seed: 7})
+	counts := [2]int{}
+	memb := d.Membership()
+	for _, q := range sets {
+		counts[memb[q[0]]]++
+	}
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("sets per community %v want [5 5]", counts)
+	}
+}
+
+func TestGenerateManyCommunitiesSamplesDistinct(t *testing.T) {
+	g, comms := gen.RingOfCliques(30, 6)
+	sets := Generate(g, comms, Options{NumSets: 20, Size: 1, TrussK: 3, Seed: 3})
+	if len(sets) != 20 {
+		t.Fatalf("got %d sets want 20", len(sets))
+	}
+	// with 30 communities and 20 sets, each set from a distinct community
+	seen := map[int]bool{}
+	for _, q := range sets {
+		c := int(q[0]) / 6
+		if seen[c] {
+			t.Fatalf("community %d sampled twice", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestGenerateMultiNodeSetsStayInCommunity(t *testing.T) {
+	g, comms := gen.RingOfCliques(10, 6)
+	sets := Generate(g, comms, Options{NumSets: 10, Size: 4, TrussK: 3, Seed: 5})
+	for _, q := range sets {
+		if len(q) != 4 {
+			t.Fatalf("set size=%d want 4", len(q))
+		}
+		c := int(q[0]) / 6
+		for _, u := range q {
+			if int(u)/6 != c {
+				t.Fatalf("query set %v spans cliques", q)
+			}
+		}
+	}
+}
+
+func TestGeneratePrefersTrussEligibleNodes(t *testing.T) {
+	// clique (high trussness) plus a star (trussness 2): queries should
+	// come from the clique part of the community.
+	b := graph.NewBuilder(12)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+		}
+	}
+	for i := 6; i < 12; i++ {
+		b.AddEdge(0, graph.Node(i))
+	}
+	g := b.Build()
+	var comm []graph.Node
+	for i := 0; i < 12; i++ {
+		comm = append(comm, graph.Node(i))
+	}
+	sets := Generate(g, [][]graph.Node{comm}, Options{NumSets: 6, Size: 1, TrussK: 4, Seed: 2})
+	for _, q := range sets {
+		if q[0] >= 6 {
+			t.Fatalf("query %v should prefer the 5-truss clique nodes", q)
+		}
+	}
+}
+
+func TestGenerateSkipsTooSmallCommunities(t *testing.T) {
+	g, comms := gen.RingOfCliques(4, 3)
+	sets := Generate(g, comms, Options{NumSets: 4, Size: 5, TrussK: 2, Seed: 2})
+	if len(sets) != 0 {
+		t.Fatalf("no community can host 5 queries, got %v", sets)
+	}
+	if Generate(g, nil, Options{}) != nil {
+		t.Fatal("no communities should yield no sets")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d := dataset.Karate()
+	a := Generate(d.G, d.Communities, Options{NumSets: 10, TrussK: 3, Seed: 9})
+	b := Generate(d.G, d.Communities, Options{NumSets: 10, TrussK: 3, Seed: 9})
+	for i := range a {
+		if a[i][0] != b[i][0] {
+			t.Fatal("same seed must give the same query sets")
+		}
+	}
+}
