@@ -6,12 +6,16 @@
 package dmcs_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"testing"
 	"time"
 
+	"dmcs"
 	"dmcs/internal/harness"
 	"dmcs/internal/lfr"
+	"dmcs/internal/queries"
 )
 
 // benchConfig is the reduced configuration shared by the experiment
@@ -191,4 +195,81 @@ func BenchmarkCaseStudy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// engineWorkload generates the shared LFR graph and FPA query roster the
+// engine benchmarks answer — the many-queries-one-graph workload.
+func engineWorkload(b *testing.B) (*lfr.Result, []dmcs.EngineQuery) {
+	b.Helper()
+	res, err := lfr.Generate(benchLFR())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var qs []dmcs.EngineQuery
+	for _, size := range []int{1, 2, 4} {
+		for _, q := range queries.Generate(res.G, res.Communities, queries.Options{
+			NumSets: 16, Size: size, Seed: int64(size),
+		}) {
+			qs = append(qs, dmcs.EngineQuery{Nodes: q})
+		}
+	}
+	if len(qs) == 0 {
+		b.Fatal("no query sets generated")
+	}
+	return res, qs
+}
+
+// BenchmarkEngineSerialFPA is the baseline: the same query roster answered
+// one at a time through the one-shot entry point, which re-derives the
+// component and aggregates per call.
+func BenchmarkEngineSerialFPA(b *testing.B) {
+	res, qs := engineWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if _, err := dmcs.FPA(res.G, q.Nodes, dmcs.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkEngineBatch answers the roster through the shared-snapshot
+// engine at increasing worker counts. The cache is disabled so every
+// iteration measures real searches; throughput should scale with workers
+// up to the core count.
+func BenchmarkEngineBatch(b *testing.B) {
+	res, qs := engineWorkload(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := dmcs.NewEngine(res.G, dmcs.EngineOptions{Workers: workers, CacheSize: -1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range eng.SearchBatch(context.Background(), qs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkEngineCacheHit measures the repeated-roster path: after one
+// warm-up batch, every query is answered from the LRU cache.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	res, qs := engineWorkload(b)
+	eng := dmcs.NewEngine(res.G, dmcs.EngineOptions{})
+	eng.SearchBatch(context.Background(), qs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.SearchBatch(context.Background(), qs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
 }

@@ -4,21 +4,34 @@
 // Usage:
 //
 //	dmcs -graph graph.txt -query alice,bob [-algo FPA] [-k 3] [-timeout 60s]
+//	dmcs -graph graph.txt -queries queries.txt [-parallel 8] [-algo FPA]
 //
 // The graph file contains one "u v" pair per line (arbitrary string
 // labels; '#' comments allowed; optional third column = edge weight). The
 // query is a comma-separated list of node labels. Supported -algo values:
 // FPA (default), NCA, NCA-DR, FPA-DMG, clique, kc, kt, kecc, GN, CNM,
 // icwi2008, huang2015, wu2015, highcore, hightruss.
+//
+// Batch mode: -queries names a file with one query per line (labels
+// separated by commas or spaces, '#' comments allowed). The queries are
+// answered concurrently by the shared-snapshot engine with -parallel
+// workers; batch mode supports the DMCS variants (FPA, NCA, NCA-DR,
+// FPA-DMG), prints one line per query, and ends with a throughput and
+// latency summary.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"dmcs/internal/dmcs"
+	"dmcs/internal/engine"
 	"dmcs/internal/graph"
 	"dmcs/internal/harness"
 	"dmcs/internal/modularity"
@@ -27,14 +40,16 @@ import (
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "edge-list file (required; '-' for stdin)")
-		queryStr  = flag.String("query", "", "comma-separated query node labels (required)")
+		queryStr  = flag.String("query", "", "comma-separated query node labels")
+		queryFile = flag.String("queries", "", "file with one query per line (batch mode)")
 		algo      = flag.String("algo", "FPA", "algorithm: FPA, NCA, NCA-DR, FPA-DMG, or a baseline name")
 		k         = flag.Int("k", 3, "parameter k for kc/kecc (kt uses k+1)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-run time limit for slow algorithms")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "batch mode: concurrent search workers")
 		verbose   = flag.Bool("v", false, "print the community membership")
 	)
 	flag.Parse()
-	if *graphPath == "" || *queryStr == "" {
+	if *graphPath == "" || (*queryStr == "" && *queryFile == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -57,16 +72,13 @@ func main() {
 	for u := 0; u < g.NumNodes(); u++ {
 		byLabel[g.Label(graph.Node(u))] = graph.Node(u)
 	}
-	var q []graph.Node
-	for _, tok := range strings.Split(*queryStr, ",") {
-		tok = strings.TrimSpace(tok)
-		u, ok := byLabel[tok]
-		if !ok {
-			fatalf("unknown query node %q", tok)
-		}
-		q = append(q, u)
+
+	if *queryFile != "" {
+		runBatch(g, byLabel, *queryFile, *algo, *parallel, *timeout, *verbose)
+		return
 	}
 
+	q := parseQuery(*queryStr, byLabel, ",")
 	cfg := harness.DefaultConfig(os.Stdout)
 	cfg.K = *k
 	cfg.Timeout = *timeout
@@ -82,12 +94,139 @@ func main() {
 	fmt.Printf("classic modularity: %.6f\n", modularity.Classic(g, comm))
 	fmt.Printf("elapsed:            %s\n", elapsed)
 	if *verbose {
-		labels := make([]string, len(comm))
-		for i, u := range comm {
-			labels[i] = g.Label(u)
-		}
-		fmt.Printf("members:            %s\n", strings.Join(labels, " "))
+		fmt.Printf("members:            %s\n", joinLabels(g, comm))
 	}
+}
+
+// runBatch answers every query in path through a shared-snapshot engine.
+func runBatch(g *graph.Graph, byLabel map[string]graph.Node, path, algo string, parallel int, timeout time.Duration, verbose bool) {
+	variant, ok := variantByName(algo)
+	if !ok {
+		fatalf("batch mode supports the DMCS variants (FPA, NCA, NCA-DR, FPA-DMG); got %q", algo)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("open queries: %v", err)
+	}
+	defer f.Close()
+
+	type batchLine struct {
+		text string
+		err  error // label-resolution failure; not dispatched
+		qIdx int   // index into qs, -1 when err != nil
+	}
+	var qs []engine.Query
+	var batch []batchLine
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		nodes, err := resolveQuery(line, byLabel, ", \t")
+		if err != nil {
+			batch = append(batch, batchLine{text: line, err: err, qIdx: -1})
+			continue
+		}
+		batch = append(batch, batchLine{text: line, qIdx: len(qs)})
+		qs = append(qs, engine.Query{
+			Nodes:   nodes,
+			Variant: variant,
+			// Match the single-query path (harness.Run), which enables the
+			// Section 5.7 pruning for plain FPA.
+			Opts: dmcs.Options{Timeout: timeout, LayerPruning: variant == dmcs.VariantFPA},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read queries: %v", err)
+	}
+	if len(batch) == 0 {
+		fatalf("no queries in %s", path)
+	}
+
+	eng := engine.New(g, engine.Options{Workers: parallel})
+	start := time.Now()
+	results := eng.SearchBatch(context.Background(), qs)
+	wall := time.Since(start)
+
+	for _, bl := range batch {
+		if bl.err != nil {
+			fmt.Printf("%-24s error: %v\n", bl.text, bl.err)
+			continue
+		}
+		r := results[bl.qIdx]
+		if r.Err != nil {
+			fmt.Printf("%-24s error: %v\n", bl.text, r.Err)
+			continue
+		}
+		mark := ""
+		if r.Result.TimedOut {
+			mark = " TIMED-OUT(partial)"
+		}
+		if verbose {
+			fmt.Printf("%-24s size=%-5d score=%.6f%s members: %s\n",
+				bl.text, len(r.Result.Community), r.Result.Score, mark, joinLabels(g, r.Result.Community))
+		} else {
+			fmt.Printf("%-24s size=%-5d score=%.6f%s\n", bl.text, len(r.Result.Community), r.Result.Score, mark)
+		}
+	}
+	st := eng.Stats()
+	fmt.Printf("\nbatch: %d queries in %s (%.1f q/s, %d workers)\n",
+		len(batch), wall.Round(time.Millisecond), float64(len(batch))/wall.Seconds(), eng.Workers())
+	fmt.Printf("engine: served=%d cache-hits=%d errors=%d p50=%s p95=%s\n",
+		st.Queries, st.CacheHits, st.Errors, st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
+}
+
+// parseQuery resolves a separated list of node labels, exiting on unknown
+// labels (single-query mode).
+func parseQuery(s string, byLabel map[string]graph.Node, seps string) []graph.Node {
+	q, err := resolveQuery(s, byLabel, seps)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return q
+}
+
+// resolveQuery resolves a separated list of node labels, reporting unknown
+// labels as an error so batch mode can fail one query without aborting the
+// rest.
+func resolveQuery(s string, byLabel map[string]graph.Node, seps string) ([]graph.Node, error) {
+	var q []graph.Node
+	for _, tok := range strings.FieldsFunc(s, func(r rune) bool { return strings.ContainsRune(seps, r) }) {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		u, ok := byLabel[tok]
+		if !ok {
+			return nil, fmt.Errorf("unknown query node %q", tok)
+		}
+		q = append(q, u)
+	}
+	return q, nil
+}
+
+// variantByName maps the CLI algorithm names to DMCS variants.
+func variantByName(name string) (dmcs.Variant, bool) {
+	switch strings.ToUpper(name) {
+	case "FPA":
+		return dmcs.VariantFPA, true
+	case "NCA":
+		return dmcs.VariantNCA, true
+	case "NCA-DR", "NCADR":
+		return dmcs.VariantNCADR, true
+	case "FPA-DMG", "FPADMG":
+		return dmcs.VariantFPADMG, true
+	}
+	return 0, false
+}
+
+func joinLabels(g *graph.Graph, comm []graph.Node) string {
+	labels := make([]string, len(comm))
+	for i, u := range comm {
+		labels[i] = g.Label(u)
+	}
+	return strings.Join(labels, " ")
 }
 
 func fatalf(format string, args ...interface{}) {

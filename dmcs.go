@@ -22,12 +22,40 @@
 // The NCADR/FPADMG cross-overs, the layer-pruning strategy and alternative
 // objectives from the paper's ablations are exposed through Options and
 // Search.
+//
+// # Serving many queries
+//
+// The one-shot entry points above re-derive the query's connected
+// component and the modularity aggregates on every call. When many
+// queries hit the same graph — the usual server workload — build an
+// Engine instead:
+//
+//	eng := dmcs.NewEngine(g, dmcs.EngineOptions{Workers: 8})
+//	res, err := eng.Search(ctx, dmcs.EngineQuery{Nodes: []dmcs.Node{0}})
+//	batch := eng.SearchBatch(ctx, queries) // bounded fan-out, input order
+//
+// NewEngine takes one immutable, read-optimized snapshot of the graph
+// (CSR adjacency plus the cached degree/volume aggregates the modularity
+// formulas need, plus the connected-component partition) and serves
+// queries concurrently through a bounded worker pool. Each query carries
+// a context.Context for cancellation and deadlines; an LRU cache keyed by
+// the normalized query-node set and options answers repeats instantly;
+// Engine.Stats reports queries served, cache hits, and p50/p95 latency.
+// EngineOptions tunes the pool size (default GOMAXPROCS), the cache
+// capacity (default 1024 entries; negative disables), and a default
+// per-query timeout. Results are deterministic: the engine treats query
+// nodes as a set (sorting and deduplicating them first) and then returns
+// exactly what FPA/NCA/Search return for that normalized node slice,
+// regardless of worker count or cache state. Callers that pass already
+// sorted, duplicate-free queries get byte-identical answers to the
+// serial entry points.
 package dmcs
 
 import (
 	"io"
 
 	"dmcs/internal/dmcs"
+	"dmcs/internal/engine"
 	"dmcs/internal/graph"
 	"dmcs/internal/modularity"
 )
@@ -68,10 +96,30 @@ const (
 	GeneralizedModularityDensity = dmcs.GeneralizedModularityDensity
 )
 
+// Engine serves many queries concurrently against one immutable graph
+// snapshot (see the package comment's "Serving many queries" section).
+type Engine = engine.Engine
+
+// EngineOptions configures an Engine; the zero value is a sensible
+// server setup.
+type EngineOptions = engine.Options
+
+// EngineQuery is one community-search request submitted to an Engine.
+type EngineQuery = engine.Query
+
+// EngineStats is a point-in-time snapshot of an Engine's counters.
+type EngineStats = engine.Stats
+
+// BatchResult pairs one query of Engine.SearchBatch with its outcome.
+type BatchResult = engine.BatchResult
+
 // Errors returned by the search entry points.
 var (
 	ErrEmptyQuery   = dmcs.ErrEmptyQuery
 	ErrDisconnected = dmcs.ErrDisconnected
+	// ErrNodeOutOfRange is returned by the Engine for query nodes outside
+	// the graph.
+	ErrNodeOutOfRange = engine.ErrNodeOutOfRange
 )
 
 // NewBuilder creates a Builder for a graph with n nodes (AddEdge may grow
@@ -96,6 +144,11 @@ func NCA(g *Graph, q []Node, opts Options) (*Result, error) { return dmcs.NCA(g,
 func Search(g *Graph, q []Node, v Variant, opts Options) (*Result, error) {
 	return dmcs.Search(g, q, v, opts)
 }
+
+// NewEngine builds a read-optimized snapshot of g and returns an Engine
+// serving concurrent queries against it. The context passed to
+// Engine.Search / Engine.SearchBatch cancels individual queries.
+func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
 
 // DensityModularityOf evaluates the paper's density modularity DM(G,C)
 // (Definition 2, unweighted form) for an arbitrary node set.

@@ -1,0 +1,3 @@
+module dmcs
+
+go 1.21

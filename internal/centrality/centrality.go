@@ -36,9 +36,8 @@ func Betweenness(g *graph.Graph) []float64 {
 		dist[src] = 0
 		sigma[src] = 1
 		queue = append(queue, src)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			stack = append(stack, v)
 			for _, w := range g.Neighbors(v) {
 				if dist[w] < 0 {
@@ -103,9 +102,8 @@ func EdgeBetweennessView(v *graph.View) map[[2]graph.Node]float64 {
 		dist[src] = 0
 		sigma[src] = 1
 		queue = append(queue, src)
-		for len(queue) > 0 {
-			x := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
 			stack = append(stack, x)
 			for _, w := range g.Neighbors(x) {
 				if !v.Alive(w) {

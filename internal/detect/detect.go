@@ -84,9 +84,8 @@ func (mg *mutableGraph) edgeBetweenness() map[[2]graph.Node]float64 {
 		sigma[src] = 1
 		queue := []graph.Node{src}
 		var stack []graph.Node
-		for len(queue) > 0 {
-			x := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
 			stack = append(stack, x)
 			for w := range mg.adj[x] {
 				if dist[w] < 0 {

@@ -92,6 +92,22 @@ type Options struct {
 	// TrackOrder records the node-removal order in the result (used by
 	// the Figure 5 experiment).
 	TrackOrder bool
+	// Cancel, when non-nil, is polled between node removals; once it is
+	// closed the search stops and returns the best community found so far
+	// with TimedOut set, exactly like a Timeout expiry. The engine wires a
+	// context.Context's Done channel here.
+	Cancel <-chan struct{}
+	// NodeWeights, when its length equals g.NumNodes(), is used as the
+	// node-weight table d_v instead of recomputing Graph.WeightedDegree
+	// per query. It must hold exactly WeightedDegree(u) at index u — the
+	// engine passes the table cached in its CSR snapshot. The search only
+	// reads it, so one table may serve concurrent queries.
+	NodeWeights []float64
+	// TotalWeight, when positive, is used as w_G instead of recomputing
+	// Graph.TotalWeight per query (an O(|E|) edge-weight-map scan on
+	// weighted graphs). It must equal g.TotalWeight(); the engine passes
+	// the value cached in its CSR snapshot.
+	TotalWeight float64
 }
 
 // Result is the outcome of a community search.
@@ -113,15 +129,32 @@ type Result struct {
 // the benchmark harness; the named functions NCA, FPA, NCADR and FPADMG
 // are thin wrappers around it.
 func Search(g *graph.Graph, q []graph.Node, variant Variant, opts Options) (*Result, error) {
+	comp, err := queryComponent(g, q)
+	if err != nil {
+		return nil, err
+	}
+	return SearchComponent(g, q, comp, variant, opts)
+}
+
+// SearchComponent runs the selected variant on a precomputed connected
+// component. comp must be the sorted connected component of g containing
+// every query node — exactly what queryComponent returns. Callers that
+// serve many queries against one graph (internal/engine) precompute the
+// component partition once and skip the per-query BFS + sort; comp is only
+// read, so one slice may serve concurrent searches.
+func SearchComponent(g *graph.Graph, q, comp []graph.Node, variant Variant, opts Options) (*Result, error) {
+	if len(q) == 0 {
+		return nil, ErrEmptyQuery
+	}
 	switch variant {
 	case VariantNCA:
-		return runNCA(g, q, opts, pickLambda)
+		return runNCA(g, q, comp, opts, pickLambda)
 	case VariantNCADR:
-		return runNCA(g, q, opts, pickTheta)
+		return runNCA(g, q, comp, opts, pickTheta)
 	case VariantFPA:
-		return runFPA(g, q, opts, true)
+		return runFPA(g, q, comp, opts, true)
 	case VariantFPADMG:
-		return runFPA(g, q, opts, false)
+		return runFPA(g, q, comp, opts, false)
 	}
 	return nil, errors.New("dmcs: unknown variant")
 }
@@ -174,13 +207,19 @@ func newPeelState(g *graph.Graph, comp []graph.Node, opts Options) *peelState {
 		g:        g,
 		v:        graph.NewViewOf(g, comp),
 		weighted: g.Weighted(),
-		wG:       g.TotalWeight(),
+		wG:       totalWeight(g, opts),
 		opts:     opts,
 		comp:     comp,
 	}
-	s.wdeg = make([]float64, g.NumNodes())
+	if len(opts.NodeWeights) == g.NumNodes() {
+		s.wdeg = opts.NodeWeights // shared, read-only
+	} else {
+		s.wdeg = make([]float64, g.NumNodes())
+		for _, u := range comp {
+			s.wdeg[u] = g.WeightedDegree(u)
+		}
+	}
 	for _, u := range comp {
-		s.wdeg[u] = g.WeightedDegree(u)
 		s.dS += s.wdeg[u]
 	}
 	if s.weighted {
@@ -248,10 +287,22 @@ func (s *peelState) remove(u graph.Node) {
 	}
 }
 
-// expired polls the deadline (cheaply, only when one is set).
+// expired polls the cancellation channel and the deadline (cheaply, only
+// when they are set).
 func (s *peelState) expired() bool {
-	if s.deadline.IsZero() || s.timedOut {
-		return s.timedOut
+	if s.timedOut {
+		return true
+	}
+	if s.opts.Cancel != nil {
+		select {
+		case <-s.opts.Cancel:
+			s.timedOut = true
+			return true
+		default:
+		}
+	}
+	if s.deadline.IsZero() {
+		return false
 	}
 	if time.Now().After(s.deadline) {
 		s.timedOut = true
@@ -306,4 +357,12 @@ func queryComponent(g *graph.Graph, q []graph.Node) ([]graph.Node, error) {
 
 func sortNodes(a []graph.Node) {
 	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// totalWeight returns w_G, preferring the caller's cached value.
+func totalWeight(g *graph.Graph, opts Options) float64 {
+	if opts.TotalWeight > 0 {
+		return opts.TotalWeight
+	}
+	return g.TotalWeight()
 }

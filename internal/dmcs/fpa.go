@@ -3,6 +3,7 @@ package dmcs
 import (
 	"container/heap"
 	"math"
+	"time"
 
 	"dmcs/internal/graph"
 	"dmcs/internal/modularity"
@@ -25,9 +26,8 @@ func steinerProtect(g *graph.Graph, q []graph.Node) []graph.Node {
 	root := q[0]
 	parent[root] = root
 	queue := []graph.Node{root}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, w := range g.Neighbors(u) {
 			if parent[w] < 0 {
 				parent[w] = u
@@ -90,12 +90,9 @@ func (h *thetaHeap) Pop() interface{} {
 // runFPA implements Algorithm 2 and its FPA-DMG sibling. useTheta selects
 // the density-ratio pick (stable, heap-driven); otherwise the density
 // modularity gain Λ is rescanned over the remaining layer candidates each
-// iteration (unstable, the 150× slowdown of Section 6.2.5).
-func runFPA(g *graph.Graph, q []graph.Node, opts Options, useTheta bool) (*Result, error) {
-	comp, err := queryComponent(g, q)
-	if err != nil {
-		return nil, err
-	}
+// iteration (unstable, the 150× slowdown of Section 6.2.5). comp is the
+// sorted connected component containing q (see SearchComponent).
+func runFPA(g *graph.Graph, q, comp []graph.Node, opts Options, useTheta bool) (*Result, error) {
 	protected := steinerProtect(g, q)
 	if opts.LayerPruning {
 		return fpaWithPruning(g, comp, protected, opts, useTheta)
@@ -204,14 +201,18 @@ func fpaWithPruning(g *graph.Graph, comp, protected []graph.Node, opts Options, 
 	vAll := graph.NewViewOf(g, comp)
 	dist := graph.MultiSourceBFSView(vAll, protected)
 	layers, maxD := groupLayers(comp, dist)
-	wG := g.TotalWeight()
+	wG := totalWeight(g, opts)
 	weighted := g.Weighted()
+	wdegOf := g.WeightedDegree
+	if len(opts.NodeWeights) == g.NumNodes() {
+		wdegOf = func(u graph.Node) float64 { return opts.NodeWeights[u] }
+	}
 
 	// Phase 1: score every prefix "keep layers 0..j", maintaining the
 	// weighted statistics incrementally.
 	var dSum, wC float64
 	for _, u := range comp {
-		dSum += g.WeightedDegree(u)
+		dSum += wdegOf(u)
 	}
 	if weighted {
 		for _, u := range comp {
@@ -247,13 +248,35 @@ func fpaWithPruning(g *graph.Graph, comp, protected []graph.Node, opts Options, 
 			return modularity.DensityPartsF(wC, dSum, wG, size)
 		}
 	}
+	// Phase 1 honours Cancel and Timeout at layer granularity; the best
+	// prefix scored so far is kept on expiry, and phase 2 runs on the
+	// remaining time budget so the bound covers both phases.
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	expired := func() bool {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				return true
+			default:
+			}
+		}
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
 	bestJ, bestScore := maxD, scoreOf()
 	phase1 := 0
+	timedOut := false
 	for d := maxD; d >= 1; d-- {
+		if expired() {
+			timedOut = true
+			break
+		}
 		for _, u := range layers[d] {
 			wC -= kOf(u)
 			vAll.Remove(u)
-			dSum -= g.WeightedDegree(u)
+			dSum -= wdegOf(u)
 			phase1++
 		}
 		if sc := scoreOf(); sc >= bestScore {
@@ -269,11 +292,22 @@ func fpaWithPruning(g *graph.Graph, comp, protected []graph.Node, opts Options, 
 			comp2 = append(comp2, u)
 		}
 	}
-	s := newPeelState(g, comp2, opts)
-	if bestJ >= 1 {
+	opts2 := opts
+	if !deadline.IsZero() {
+		if remaining := time.Until(deadline); remaining > 0 {
+			opts2.Timeout = remaining
+		} else {
+			timedOut = true
+		}
+	}
+	s := newPeelState(g, comp2, opts2)
+	if bestJ >= 1 && !timedOut {
 		peelLayer(s, layers[bestJ], useTheta)
 	}
 	r := s.result()
 	r.Iterations += phase1
+	if timedOut {
+		r.TimedOut = true
+	}
 	return r, nil
 }

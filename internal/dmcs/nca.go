@@ -28,12 +28,9 @@ func pickTheta(_, _, kv, dv float64) float64 {
 // NCA-DR: every iteration recomputes the articulation points of the
 // current subgraph, then removes the non-articulation non-query node with
 // the best pick score. Ties keep the node closer to the query (the farther
-// node is removed), then break on node id for determinism.
-func runNCA(g *graph.Graph, q []graph.Node, opts Options, pick pickFunc) (*Result, error) {
-	comp, err := queryComponent(g, q)
-	if err != nil {
-		return nil, err
-	}
+// node is removed), then break on node id for determinism. comp is the
+// sorted connected component containing q (see SearchComponent).
+func runNCA(g *graph.Graph, q, comp []graph.Node, opts Options, pick pickFunc) (*Result, error) {
 	s := newPeelState(g, comp, opts)
 	isQuery := make(map[graph.Node]bool, len(q))
 	for _, u := range q {

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"dmcs/internal/dmcs"
+)
+
+// resultCache is a mutex-guarded LRU keyed by the normalized query key
+// (sorted deduplicated node set + algorithm variant + result-shaping
+// options). Only complete results are stored — timed-out or cancelled
+// searches return whatever was peeled so far, which depends on wall-clock
+// time, so caching them would leak nondeterminism into later queries.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *dmcs.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used. The result is shared — callers must treat it as immutable.
+func (c *resultCache) get(key string) (*dmcs.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add stores res under key, evicting the least recently used entry when
+// the cache is full.
+func (c *resultCache) add(key string, res *dmcs.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	if c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

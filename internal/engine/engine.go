@@ -1,0 +1,251 @@
+// Package engine serves many DMCS community-search queries concurrently
+// against one shared graph. It is the many-queries-one-graph layer of the
+// repository: construction builds a single immutable Snapshot (CSR
+// adjacency, cached modularity aggregates, connected-component partition)
+// and every query afterwards is a pure read — a bounded worker pool fans
+// searches out across cores, a per-query context carries cancellation and
+// deadlines, an LRU cache answers repeated queries without recomputation,
+// and a stats collector tracks throughput and latency percentiles.
+//
+// Queries are deterministic: node sets are normalized (sorted,
+// deduplicated) on entry, and for a given normalized set and options the
+// engine returns exactly what the serial dmcs entry points return for
+// that slice, regardless of worker count, batch composition, or cache
+// state.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+)
+
+// defaultCacheSize is the LRU capacity when Options.CacheSize is zero.
+const defaultCacheSize = 1024
+
+// Options configures an Engine. The zero value is a sensible server
+// setup: GOMAXPROCS workers, a 1024-entry result cache, no timeout.
+type Options struct {
+	// Workers bounds how many searches run concurrently across Search and
+	// SearchBatch calls combined. 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheSize is the LRU result-cache capacity in entries. 0 means the
+	// default (1024); negative disables caching entirely.
+	CacheSize int
+	// DefaultTimeout is applied to queries whose own Options.Timeout is
+	// zero. 0 leaves such queries unbounded.
+	DefaultTimeout time.Duration
+}
+
+// Query is one community-search request.
+type Query struct {
+	// Nodes is the query-node set. It is normalized (sorted, deduplicated)
+	// before searching, so node order never affects the answer or the
+	// cache key.
+	Nodes []graph.Node
+	// Variant selects the algorithm; the zero value is FPA.
+	Variant dmcs.Variant
+	// Opts tunes the search exactly as in the serial API. Cancel and
+	// NodeWeights are owned by the engine and overwritten.
+	Opts dmcs.Options
+}
+
+// BatchResult pairs one query's result with its error; exactly one of the
+// two fields is set.
+type BatchResult struct {
+	Result *dmcs.Result
+	Err    error
+}
+
+// Engine answers DMCS queries against one immutable graph snapshot. It is
+// safe for concurrent use and needs no shutdown — it owns no background
+// goroutines, only a concurrency bound that Search/SearchBatch respect.
+type Engine struct {
+	snap           *Snapshot
+	cache          *resultCache
+	stats          statsCollector
+	sem            chan struct{} // worker-pool slots
+	workers        int
+	defaultTimeout time.Duration
+}
+
+// New builds the snapshot of g and returns an Engine serving it. g must
+// not be mutated afterwards (Graph is immutable by construction, so this
+// only rules out rebuilding tricks).
+func New(g *graph.Graph, opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	cs := opts.CacheSize
+	if cs == 0 {
+		cs = defaultCacheSize
+	}
+	return &Engine{
+		snap:           NewSnapshot(g),
+		cache:          newResultCache(cs), // nil (disabled) when cs < 0
+		sem:            make(chan struct{}, w),
+		workers:        w,
+		defaultTimeout: opts.DefaultTimeout,
+	}
+}
+
+// Snapshot exposes the engine's read-optimized graph snapshot.
+func (e *Engine) Snapshot() *Snapshot { return e.snap }
+
+// Workers returns the concurrency bound the engine runs with.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a point-in-time snapshot of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats.snapshot(e.cache.len()) }
+
+// Search answers one query, blocking until a worker slot is free. The
+// context cancels both the wait for a slot and the search itself; a
+// search cancelled mid-peel returns ctx.Err(), never a partial result.
+// Cached results are shared across callers and must not be modified.
+func (e *Engine) Search(ctx context.Context, q Query) (*dmcs.Result, error) {
+	// An already-cancelled context must fail deterministically — the
+	// slot/Done select below picks randomly when both are ready, and the
+	// cache-hit path never polls the context again.
+	if err := ctx.Err(); err != nil {
+		e.stats.recordError()
+		return nil, err
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.stats.recordError()
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	return e.run(ctx, q)
+}
+
+// SearchBatch answers qs with up to Workers queries in flight at once and
+// returns per-query results in input order. The concurrency bound is
+// engine-wide: overlapping SearchBatch and Search calls share the same
+// pool. A cancelled context fails the remaining queries with ctx.Err()
+// but never discards results already computed.
+func (e *Engine) SearchBatch(ctx context.Context, qs []Query) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	workers := e.workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				res, err := e.Search(ctx, qs[i])
+				out[i] = BatchResult{Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// run executes one admitted query: cache lookup, snapshot validation,
+// then the serial search armed with the context and the snapshot's cached
+// node-weight table.
+func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
+	nodes := normalizeNodes(q.Nodes)
+	key := cacheKey(nodes, q.Variant, q.Opts)
+	if res, ok := e.cache.get(key); ok {
+		e.stats.recordHit()
+		return res, nil
+	}
+	comp, err := e.snap.Component(nodes)
+	if err != nil {
+		e.stats.recordError()
+		return nil, err
+	}
+	opts := q.Opts
+	if opts.Timeout == 0 {
+		opts.Timeout = e.defaultTimeout
+	}
+	opts.Cancel = ctx.Done()
+	opts.NodeWeights = e.snap.CSR().WeightedDegrees()
+	opts.TotalWeight = e.snap.CSR().TotalWeight()
+	start := time.Now()
+	res, err := dmcs.SearchComponent(e.snap.Graph(), nodes, comp, q.Variant, opts)
+	if err != nil {
+		e.stats.recordError()
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		// The search unwound early through Options.Cancel; its partial
+		// community depends on when the cancellation landed, so surface
+		// the context error instead.
+		e.stats.recordError()
+		return nil, ctx.Err()
+	}
+	e.stats.recordSearch(time.Since(start))
+	if !res.TimedOut {
+		e.cache.add(key, res)
+	}
+	return res, nil
+}
+
+// normalizeNodes returns a sorted, deduplicated copy of q.
+func normalizeNodes(q []graph.Node) []graph.Node {
+	out := append([]graph.Node(nil), q...)
+	if len(out) < 2 {
+		return out
+	}
+	sortNodes(out)
+	dst := 1
+	for _, u := range out[1:] {
+		if u != out[dst-1] {
+			out[dst] = u
+			dst++
+		}
+	}
+	return out[:dst]
+}
+
+func sortNodes(a []graph.Node) {
+	// insertion sort: query sets are tiny (paper protocol: 1–16 nodes)
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// cacheKey encodes the normalized node set plus every option that shapes
+// a completed result. Timeout is deliberately excluded: only results that
+// ran to completion are cached, and those do not depend on the deadline.
+func cacheKey(nodes []graph.Node, v dmcs.Variant, o dmcs.Options) string {
+	b := make([]byte, 0, 16+8*len(nodes))
+	b = strconv.AppendInt(b, int64(v), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(o.Objective), 10)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, o.Chi, 'g', -1, 64)
+	b = append(b, '|')
+	if o.LayerPruning {
+		b = append(b, 'p')
+	}
+	if o.TrackOrder {
+		b = append(b, 't')
+	}
+	for _, u := range nodes {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(u), 10)
+	}
+	return string(b)
+}

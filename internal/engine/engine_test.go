@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+	"dmcs/internal/lfr"
+	"dmcs/internal/queries"
+)
+
+// testGraph generates a small deterministic LFR benchmark graph with its
+// ground-truth communities.
+func testGraph(t testing.TB, n int) *lfr.Result {
+	t.Helper()
+	cfg := lfr.Default()
+	cfg.N = n
+	cfg.AvgDeg = 12
+	cfg.MaxDeg = 40
+	cfg.MinComm = 15
+	cfg.MaxComm = 60
+	cfg.Seed = 1
+	res, err := lfr.Generate(cfg)
+	if err != nil {
+		t.Fatalf("lfr.Generate: %v", err)
+	}
+	return res
+}
+
+// testQueries draws query sets of mixed sizes from the ground truth.
+func testQueries(t testing.TB, res *lfr.Result, numSets int) []Query {
+	t.Helper()
+	var qs []Query
+	for _, size := range []int{1, 2, 4} {
+		sets := queries.Generate(res.G, res.Communities, queries.Options{
+			NumSets: numSets,
+			Size:    size,
+			Seed:    int64(size),
+		})
+		for _, q := range sets {
+			qs = append(qs, Query{Nodes: q})
+		}
+	}
+	if len(qs) == 0 {
+		t.Fatal("no query sets generated")
+	}
+	return qs
+}
+
+func TestBatchMatchesSerial(t *testing.T) {
+	res := testGraph(t, 400)
+	qs := testQueries(t, res, 6)
+	// Add the slower variants on a few queries so every code path is
+	// compared, not just FPA.
+	qs = append(qs,
+		Query{Nodes: qs[0].Nodes, Variant: dmcs.VariantFPADMG},
+		Query{Nodes: qs[1].Nodes, Variant: dmcs.VariantNCA},
+		Query{Nodes: qs[2].Nodes, Variant: dmcs.VariantNCADR},
+		Query{Nodes: qs[3].Nodes, Opts: dmcs.Options{LayerPruning: true}},
+		Query{Nodes: qs[4].Nodes, Opts: dmcs.Options{Objective: dmcs.ClassicModularity}},
+	)
+
+	e := New(res.G, Options{Workers: 8})
+	got := e.SearchBatch(context.Background(), qs)
+	for i, q := range qs {
+		want, wantErr := dmcs.Search(res.G, normalizeNodes(q.Nodes), q.Variant, q.Opts)
+		if (got[i].Err == nil) != (wantErr == nil) {
+			t.Fatalf("query %d: err=%v, serial err=%v", i, got[i].Err, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(got[i].Result.Community, want.Community) {
+			t.Errorf("query %d (%v): community mismatch\n got %v\nwant %v",
+				i, q.Nodes, got[i].Result.Community, want.Community)
+		}
+		if got[i].Result.Score != want.Score {
+			t.Errorf("query %d: score %v != serial %v", i, got[i].Result.Score, want.Score)
+		}
+		if got[i].Result.Iterations != want.Iterations {
+			t.Errorf("query %d: iterations %d != serial %d", i, got[i].Result.Iterations, want.Iterations)
+		}
+	}
+}
+
+func TestBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	res := testGraph(t, 400)
+	qs := testQueries(t, res, 5)
+	var base []BatchResult
+	for _, workers := range []int{1, 4, 16} {
+		// Cache disabled so every run recomputes under a different
+		// interleaving instead of replaying the first run's answers.
+		e := New(res.G, Options{Workers: workers, CacheSize: -1})
+		got := e.SearchBatch(context.Background(), qs)
+		if base == nil {
+			base = got
+			continue
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].Result.Community, base[i].Result.Community) {
+				t.Fatalf("workers=%d query %d: community differs from workers=1 run", workers, i)
+			}
+		}
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	res := testGraph(t, 400)
+	e := New(res.G, Options{Workers: 2})
+	q := Query{Nodes: []graph.Node{3, 1, 1}} // unnormalized on purpose
+	ctx := context.Background()
+
+	first, err := e.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same set under a different order and duplication must hit.
+	second, err := e.Search(ctx, Query{Nodes: []graph.Node{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("expected the cached *Result pointer on the second search")
+	}
+	// A different option shape must miss.
+	if _, err := e.Search(ctx, Query{Nodes: []graph.Node{1, 3}, Opts: dmcs.Options{TrackOrder: true}}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Queries != 3 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v, want Queries=3 CacheHits=1", st)
+	}
+	if st.CacheEntries != 2 {
+		t.Errorf("CacheEntries = %d, want 2", st.CacheEntries)
+	}
+	if st.P50 <= 0 || st.P95 < st.P50 {
+		t.Errorf("implausible latency percentiles: %+v", st)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	r := &dmcs.Result{}
+	c.add("a", r)
+	c.add("b", r)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.add("c", r) // evicts b (a was just touched)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	// Two triangles, disconnected from each other.
+	g := graph.FromEdges(6, [][2]graph.Node{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	e := New(g, Options{})
+	ctx := context.Background()
+	if _, err := e.Search(ctx, Query{}); !errors.Is(err, dmcs.ErrEmptyQuery) {
+		t.Errorf("empty query: err = %v", err)
+	}
+	if _, err := e.Search(ctx, Query{Nodes: []graph.Node{0, 99}}); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Errorf("out of range: err = %v", err)
+	}
+	if _, err := e.Search(ctx, Query{Nodes: []graph.Node{0, 3}}); !errors.Is(err, dmcs.ErrDisconnected) {
+		t.Errorf("disconnected: err = %v", err)
+	}
+	if e.Snapshot().NumComponents() != 2 {
+		t.Errorf("NumComponents = %d, want 2", e.Snapshot().NumComponents())
+	}
+	st := e.Stats()
+	if st.Errors != 3 {
+		t.Errorf("Errors = %d, want 3", st.Errors)
+	}
+}
+
+func TestContextCancelledBeforeStart(t *testing.T) {
+	res := testGraph(t, 400)
+	e := New(res.G, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Search(ctx, Query{Nodes: []graph.Node{0}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestContextCancelMidQuery(t *testing.T) {
+	// NCA recomputes articulation points per removal, so on a 2000-node
+	// graph the serial run takes well over a second — cancelling after a
+	// few milliseconds must land mid-peel.
+	res := testGraph(t, 2000)
+	e := New(res.G, Options{CacheSize: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.Search(ctx, Query{Nodes: []graph.Node{0}, Variant: dmcs.VariantNCA})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v to unwind", elapsed)
+	}
+}
+
+func TestDefaultTimeoutMarksResult(t *testing.T) {
+	res := testGraph(t, 2000)
+	e := New(res.G, Options{DefaultTimeout: time.Millisecond})
+	r, err := e.Search(context.Background(), Query{Nodes: []graph.Node{0}, Variant: dmcs.VariantNCA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TimedOut {
+		t.Fatal("expected TimedOut result under a 1ms default timeout")
+	}
+	if e.Stats().CacheEntries != 0 {
+		t.Error("timed-out results must not be cached")
+	}
+}
+
+func TestSnapshotAggregatesMatchGraph(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.SetWeight(1, 2, 2.5)
+	b.AddEdge(2, 3)
+	b.SetWeight(3, 4, 0.5)
+	g := b.Build()
+	s := NewSnapshot(g)
+	c := s.CSR()
+	if !c.Weighted() {
+		t.Fatal("CSR should report weighted")
+	}
+	if c.TotalWeight() != g.TotalWeight() {
+		t.Errorf("TotalWeight = %v, want %v", c.TotalWeight(), g.TotalWeight())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if c.WeightedDegree(graph.Node(u)) != g.WeightedDegree(graph.Node(u)) {
+			t.Errorf("WeightedDegree(%d) = %v, want %v", u, c.WeightedDegree(graph.Node(u)), g.WeightedDegree(graph.Node(u)))
+		}
+	}
+	if got, want := c.Volume([]graph.Node{1, 2}), g.WeightedDegree(1)+g.WeightedDegree(2); got != want {
+		t.Errorf("Volume = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedBatchMatchesSerial(t *testing.T) {
+	// A weighted graph exercises the NodeWeights fast path end to end.
+	b := graph.NewBuilder(8)
+	edges := [][2]graph.Node{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}, {5, 6}, {6, 7}}
+	for i, e := range edges {
+		b.SetWeight(e[0], e[1], float64(i%3)+0.5)
+	}
+	g := b.Build()
+	e := New(g, Options{Workers: 4})
+	qs := []Query{{Nodes: []graph.Node{0}}, {Nodes: []graph.Node{4}}, {Nodes: []graph.Node{2, 5}}}
+	got := e.SearchBatch(context.Background(), qs)
+	for i, q := range qs {
+		want, err := dmcs.Search(g, q.Nodes, q.Variant, q.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Err != nil {
+			t.Fatal(got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Result.Community, want.Community) || got[i].Result.Score != want.Score {
+			t.Errorf("query %d: engine (%v, %v) != serial (%v, %v)",
+				i, got[i].Result.Community, got[i].Result.Score, want.Community, want.Score)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"errors"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+)
+
+// ErrNodeOutOfRange is returned for query nodes outside [0, NumNodes).
+var ErrNodeOutOfRange = errors.New("engine: query node out of range")
+
+// Snapshot is the immutable, read-optimized view of one graph that every
+// query served by an Engine runs against. It packs the adjacency into a
+// CSR (with the weighted-degree and total-weight aggregates the modularity
+// formulas need) and precomputes the connected-component partition, so
+// admitting a query costs O(|Q|) instead of the BFS + sort that the plain
+// dmcs.Search entry points pay per call. Snapshots are safe for concurrent
+// readers; nothing in them is ever mutated after construction.
+type Snapshot struct {
+	g      *graph.Graph
+	csr    *graph.CSR
+	compID []int32        // node id -> component id
+	comps  [][]graph.Node // component id -> sorted member list
+}
+
+// NewSnapshot builds the read-optimized snapshot of g.
+func NewSnapshot(g *graph.Graph) *Snapshot {
+	s := &Snapshot{
+		g:      g,
+		csr:    graph.NewCSR(g),
+		compID: make([]int32, g.NumNodes()),
+	}
+	for i := range s.compID {
+		s.compID[i] = -1
+	}
+	var queue []graph.Node
+	for root := 0; root < g.NumNodes(); root++ {
+		if s.compID[root] != -1 {
+			continue
+		}
+		id := int32(len(s.comps))
+		s.compID[root] = id
+		queue = append(queue[:0], graph.Node(root))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, w := range s.csr.Neighbors(u) {
+				if s.compID[w] == -1 {
+					s.compID[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+		s.comps = append(s.comps, nil)
+	}
+	// Member lists come out sorted for free by visiting node ids in order.
+	for u, id := range s.compID {
+		s.comps[id] = append(s.comps[id], graph.Node(u))
+	}
+	return s
+}
+
+// Graph returns the underlying immutable graph.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// CSR returns the packed adjacency snapshot.
+func (s *Snapshot) CSR() *graph.CSR { return s.csr }
+
+// NumComponents returns the number of connected components.
+func (s *Snapshot) NumComponents() int { return len(s.comps) }
+
+// Component validates a query against the partition and returns the sorted
+// connected component containing all its nodes. The returned slice is
+// shared across queries and must not be modified. It fails with
+// dmcs.ErrEmptyQuery, ErrNodeOutOfRange, or dmcs.ErrDisconnected.
+func (s *Snapshot) Component(q []graph.Node) ([]graph.Node, error) {
+	if len(q) == 0 {
+		return nil, dmcs.ErrEmptyQuery
+	}
+	for _, u := range q {
+		if u < 0 || int(u) >= len(s.compID) {
+			return nil, ErrNodeOutOfRange
+		}
+	}
+	id := s.compID[q[0]]
+	for _, u := range q[1:] {
+		if s.compID[u] != id {
+			return nil, dmcs.ErrDisconnected
+		}
+	}
+	return s.comps[id], nil
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent per-query latencies the percentile
+// estimates are computed over. A fixed window keeps Stats() O(window) and
+// the engine's memory bounded regardless of how many queries it serves.
+const latencyWindow = 4096
+
+// Stats is a point-in-time snapshot of an Engine's counters.
+type Stats struct {
+	// Queries is the number of queries answered, including cache hits and
+	// queries that failed validation.
+	Queries uint64
+	// CacheHits is how many of those were answered from the result cache.
+	CacheHits uint64
+	// Errors counts queries that returned an error (invalid or cancelled).
+	Errors uint64
+	// CacheEntries is the current number of cached results.
+	CacheEntries int
+	// P50 and P95 are latency percentiles over a sliding window of the
+	// most recent executed (non-cache-hit) searches; zero until the first
+	// search completes.
+	P50, P95 time.Duration
+}
+
+// statsCollector accumulates counters and a ring buffer of recent search
+// latencies under one mutex. Per-query overhead is a short critical
+// section; percentile sorting happens only in snapshot().
+type statsCollector struct {
+	mu        sync.Mutex
+	queries   uint64
+	cacheHits uint64
+	errors    uint64
+	ring      [latencyWindow]time.Duration
+	ringLen   int // filled entries, ≤ latencyWindow
+	ringPos   int // next write position
+}
+
+func (s *statsCollector) recordHit() {
+	s.mu.Lock()
+	s.queries++
+	s.cacheHits++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) recordError() {
+	s.mu.Lock()
+	s.queries++
+	s.errors++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) recordSearch(d time.Duration) {
+	s.mu.Lock()
+	s.queries++
+	s.ring[s.ringPos] = d
+	s.ringPos = (s.ringPos + 1) % latencyWindow
+	if s.ringLen < latencyWindow {
+		s.ringLen++
+	}
+	s.mu.Unlock()
+}
+
+// snapshot copies the counters and computes nearest-rank percentiles over
+// the latency window.
+func (s *statsCollector) snapshot(cacheEntries int) Stats {
+	s.mu.Lock()
+	st := Stats{
+		Queries:      s.queries,
+		CacheHits:    s.cacheHits,
+		Errors:       s.errors,
+		CacheEntries: cacheEntries,
+	}
+	lat := make([]time.Duration, s.ringLen)
+	copy(lat, s.ring[:s.ringLen])
+	s.mu.Unlock()
+	if len(lat) == 0 {
+		return st
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	st.P50 = lat[(len(lat)-1)*50/100]
+	st.P95 = lat[(len(lat)-1)*95/100]
+	return st
+}

@@ -5,9 +5,17 @@ package graph
 // read-only workloads (BFS floods, support counting) benefit from the
 // cache locality; peeling algorithms keep using Graph+View because CSR is
 // immutable. BenchmarkCSRTraversal quantifies the difference.
+//
+// The snapshot also caches the aggregates the modularity formulas need on
+// every query — per-node weighted degrees (the d_v node weights of
+// Definition 2) and the total edge weight w_G — so read-heavy servers like
+// internal/engine evaluate them without touching the edge-weight map.
 type CSR struct {
 	offsets []int32
 	targets []Node
+	weights []float64 // parallel to targets; nil for unweighted graphs
+	wdeg    []float64 // cached WeightedDegree per node (plain degree when unweighted)
+	totalW  float64   // cached TotalWeight (|E| when unweighted)
 }
 
 // NewCSR packs g into CSR form.
@@ -16,12 +24,35 @@ func NewCSR(g *Graph) *CSR {
 	c := &CSR{
 		offsets: make([]int32, n+1),
 		targets: make([]Node, 0, 2*g.NumEdges()),
+		wdeg:    make([]float64, n),
+	}
+	if g.Weighted() {
+		c.weights = make([]float64, 0, 2*g.NumEdges())
 	}
 	for u := 0; u < n; u++ {
 		c.offsets[u] = int32(len(c.targets))
 		c.targets = append(c.targets, g.Neighbors(Node(u))...)
+		if c.weights != nil {
+			for _, w := range g.Neighbors(Node(u)) {
+				ew := g.EdgeWeight(Node(u), w)
+				c.weights = append(c.weights, ew)
+				c.wdeg[u] += ew
+				// Per-edge (u < w) accumulation in Graph.TotalWeight's
+				// iteration order, so the two values are bit-identical
+				// (float addition is order-sensitive and searches compare
+				// scores computed from either source).
+				if Node(u) < w {
+					c.totalW += ew
+				}
+			}
+		} else {
+			c.wdeg[u] = float64(g.Degree(Node(u)))
+		}
 	}
 	c.offsets[n] = int32(len(c.targets))
+	if c.weights == nil {
+		c.totalW = float64(g.NumEdges())
+	}
 	return c
 }
 
@@ -36,6 +67,40 @@ func (c *CSR) Neighbors(u Node) []Node {
 	return c.targets[c.offsets[u]:c.offsets[u+1]]
 }
 
+// Weighted reports whether the snapshot carries per-edge weights.
+func (c *CSR) Weighted() bool { return c.weights != nil }
+
+// NeighborWeights returns the edge weights parallel to Neighbors(u), or nil
+// when the graph is unweighted (every edge weighs 1). Do not modify.
+func (c *CSR) NeighborWeights(u Node) []float64 {
+	if c.weights == nil {
+		return nil
+	}
+	return c.weights[c.offsets[u]:c.offsets[u+1]]
+}
+
+// WeightedDegree returns the cached node weight d_u (the sum of adjacent
+// edge weights; the plain degree when unweighted).
+func (c *CSR) WeightedDegree(u Node) float64 { return c.wdeg[u] }
+
+// WeightedDegrees returns the full cached node-weight table, indexed by
+// node id. The caller must not modify it; it is shared by every query that
+// runs against the snapshot.
+func (c *CSR) WeightedDegrees() []float64 { return c.wdeg }
+
+// TotalWeight returns the cached total edge weight w_G (|E| unweighted).
+func (c *CSR) TotalWeight() float64 { return c.totalW }
+
+// Volume returns the sum of cached node weights over set — the d_C volume
+// aggregate of the modularity definitions (vol(C) = Σ_{u∈C} d_u).
+func (c *CSR) Volume(set []Node) float64 {
+	var t float64
+	for _, u := range set {
+		t += c.wdeg[u]
+	}
+	return t
+}
+
 // BFS computes unweighted distances from src over the CSR snapshot.
 func (c *CSR) BFS(src Node) []int32 {
 	n := c.NumNodes()
@@ -46,9 +111,8 @@ func (c *CSR) BFS(src Node) []int32 {
 	dist[src] = 0
 	queue := make([]Node, 0, n)
 	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, w := range c.Neighbors(u) {
 			if dist[w] == INF {
 				dist[w] = dist[u] + 1

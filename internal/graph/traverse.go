@@ -25,9 +25,8 @@ func MultiSourceBFS(g *Graph, sources []Node) []int32 {
 			queue = append(queue, s)
 		}
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, w := range g.Neighbors(u) {
 			if dist[w] == INF {
 				dist[w] = dist[u] + 1
@@ -54,9 +53,8 @@ func MultiSourceBFSView(v *View, sources []Node) []int32 {
 			queue = append(queue, s)
 		}
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, w := range g.Neighbors(u) {
 			if v.Alive(w) && dist[w] == INF {
 				dist[w] = dist[u] + 1
