@@ -257,6 +257,51 @@ func BenchmarkEngineBatch(b *testing.B) {
 	}
 }
 
+// reweight copies g with a deterministic pseudo-random weight in
+// (0.5, 2.5) on every edge (LCG keyed by seed), so the weighted
+// benchmarks below all measure the same workload shape.
+func reweight(g *dmcs.Graph, seed uint64) *dmcs.Graph {
+	wb := dmcs.NewBuilder(g.NumNodes())
+	g.Edges(func(u, v dmcs.Node) bool {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		wb.SetWeight(u, v, 0.5+2*float64(seed>>11)/float64(1<<53))
+		return true
+	})
+	return wb.Build()
+}
+
+// BenchmarkWeightedSearchFPA measures the public one-shot entry point on
+// a weighted graph: every call packs a CSR snapshot and peels over flat
+// arrays (no edge-weight-map lookups in the peel).
+func BenchmarkWeightedSearchFPA(b *testing.B) {
+	res, _ := engineWorkload(b)
+	g := reweight(res.G, 1)
+	q := []dmcs.Node{res.Communities[0][0]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dmcs.FPA(g, q, dmcs.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedEngineBatch answers a weighted-graph roster through
+// the shared-snapshot engine: the snapshot's packed weights serve every
+// query, so the per-query cost is the pure flat-array peel.
+func BenchmarkWeightedEngineBatch(b *testing.B) {
+	res, qs := engineWorkload(b)
+	eng := dmcs.NewEngine(reweight(res.G, 2), dmcs.EngineOptions{CacheSize: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.SearchBatch(context.Background(), qs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
 // BenchmarkEngineCacheHit measures the repeated-roster path: after one
 // warm-up batch, every query is answered from the LRU cache.
 func BenchmarkEngineCacheHit(b *testing.B) {

@@ -1,0 +1,103 @@
+// Command bench runs the repository's Go benchmarks with a pinned
+// -benchtime and records ns/op per benchmark in a JSON file, so the
+// performance trajectory of the hot paths is checked in next to the code
+// (BENCH_2.json at the repo root is the CSR-migration baseline).
+//
+// Usage:
+//
+//	go run ./cmd/bench                       # weighted-search suite -> BENCH_2.json
+//	go run ./cmd/bench -bench . -pkgs ./...  # everything (slow)
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches standard testing.B output:
+// BenchmarkName-8   123   4567 ns/op [extra metrics...]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+type report struct {
+	GoVersion string             `json:"go_version"`
+	NumCPU    int                `json:"num_cpu"`
+	Benchtime string             `json:"benchtime"`
+	Packages  []string           `json:"packages"`
+	NsPerOp   map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_2.json", "output JSON path")
+		benchtime = flag.String("benchtime", "200ms", "go test -benchtime value (pinned for comparability)")
+		bench     = flag.String("bench", "Weighted", "go test -bench regex")
+		pkgs      = flag.String("pkgs", "./internal/dmcs", "comma-separated package patterns")
+	)
+	flag.Parse()
+
+	patterns := strings.Split(*pkgs, ",")
+	args := append([]string{"test", "-run=NONE", "-bench", *bench, "-benchtime", *benchtime}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: *benchtime,
+		Packages:  patterns,
+		NsPerOp:   map[string]float64{},
+	}
+	pkg := ""
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		name := m[1]
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		rep.NsPerOp[name] = ns
+	}
+	if len(rep.NsPerOp) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark results parsed")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.NsPerOp))
+}

@@ -49,6 +49,27 @@
 // regardless of worker count or cache state. Callers that pass already
 // sorted, duplicate-free queries get byte-identical answers to the
 // serial entry points.
+//
+// # Architecture: the flat CSR core
+//
+// Every algorithm in the library runs on one canonical substrate: a CSR
+// snapshot of the graph — adjacency packed into a single contiguous
+// slice, a parallel edge-weight slice, and cached per-node weighted
+// degrees and total edge weight. Peeling mutations (the node removals of
+// the search algorithms) are layered on top as an alive-set view that
+// maintains the modularity sufficient statistics incrementally over the
+// packed arrays. No hashed edge-weight-map lookup happens on any query
+// path.
+//
+// The map-backed Graph is the construction and I/O type only: build or
+// parse one, then either call the one-shot entry points (FPA, NCA,
+// Search — each packs a throwaway snapshot per call), or pack a snapshot
+// yourself with NewCSR and reuse it across calls to SearchCSR, or — for
+// concurrent serving — hand the graph to NewEngine, which snapshots once
+// and routes every query through the shared packed arrays. All three
+// routes return identical results; the CSR port preserves the exact
+// float accumulation order of the historical implementation, so even
+// scores are bit-identical.
 package dmcs
 
 import (
@@ -68,6 +89,11 @@ type Graph = graph.Graph
 
 // Builder accumulates edges and produces an immutable Graph.
 type Builder = graph.Builder
+
+// CSR is the packed, read-optimized graph snapshot every search runs on
+// (see the package comment's architecture section). Build one with NewCSR
+// and reuse it across SearchCSR calls to amortize the packing.
+type CSR = graph.CSR
 
 // Options tunes a search; the zero value is the paper's default setup.
 type Options = dmcs.Options
@@ -143,6 +169,15 @@ func NCA(g *Graph, q []Node, opts Options) (*Result, error) { return dmcs.NCA(g,
 // Search runs any of the four algorithm variants.
 func Search(g *Graph, q []Node, v Variant, opts Options) (*Result, error) {
 	return dmcs.Search(g, q, v, opts)
+}
+
+// NewCSR packs g into the canonical flat snapshot.
+func NewCSR(g *Graph) *CSR { return graph.NewCSR(g) }
+
+// SearchCSR runs any of the four algorithm variants against a prebuilt
+// snapshot, skipping the per-call packing the Graph entry points pay.
+func SearchCSR(c *CSR, q []Node, v Variant, opts Options) (*Result, error) {
+	return dmcs.SearchCSR(c, q, v, opts)
 }
 
 // NewEngine builds a read-optimized snapshot of g and returns an Engine

@@ -124,6 +124,9 @@ func GirvanNewman(g *graph.Graph, q []graph.Node, maxRemovals int) []graph.Node 
 	if len(q) == 0 || !graph.SameComponent(g, q) {
 		return nil
 	}
+	// One packed snapshot scores every intermediate component (the
+	// original graph's statistics, per Section 6.1's adaptation).
+	csr := graph.NewCSR(g)
 	mg := newMutable(g)
 	containsAll := func(comp []graph.Node) bool {
 		in := make(map[graph.Node]bool, len(comp))
@@ -138,7 +141,7 @@ func GirvanNewman(g *graph.Graph, q []graph.Node, maxRemovals int) []graph.Node 
 		return true
 	}
 	best := mg.component(q[0])
-	bestScore := modularity.Density(g, best)
+	bestScore := modularity.DensityCSR(csr, best)
 	removals := 0
 	for mg.m > 0 {
 		if maxRemovals > 0 && removals >= maxRemovals {
@@ -161,7 +164,7 @@ func GirvanNewman(g *graph.Graph, q []graph.Node, maxRemovals int) []graph.Node 
 		if !containsAll(comp) {
 			break // Q can never reunite under further removals
 		}
-		if s := modularity.Density(g, comp); s > bestScore {
+		if s := modularity.DensityCSR(csr, comp); s > bestScore {
 			bestScore = s
 			best = append(best[:0], comp...)
 		}
@@ -184,6 +187,7 @@ func CNM(g *graph.Graph, q []graph.Node) []graph.Node {
 		return nil
 	}
 	n := g.NumNodes()
+	csr := graph.NewCSR(g) // scores every intermediate community over flat arrays
 	// community state: union-find roots own degree sums and member lists
 	parent := make([]int32, n)
 	for i := range parent {
@@ -216,7 +220,7 @@ func CNM(g *graph.Graph, q []graph.Node) []graph.Node {
 				return
 			}
 		}
-		if s := modularity.Density(g, members[root]); best == nil || s > bestScore {
+		if s := modularity.DensityCSR(csr, members[root]); best == nil || s > bestScore {
 			bestScore = s
 			best = append([]graph.Node(nil), members[root]...)
 		}
@@ -285,8 +289,7 @@ func Louvain(g *graph.Graph) []int {
 		adj[u] = wedge{}
 	}
 	var m2 float64 // 2m (total weight × 2)
-	g.Edges(func(u, v graph.Node) bool {
-		w := g.EdgeWeight(u, v)
+	g.EdgesW(func(u, v graph.Node, w float64) bool {
 		adj[u][int(v)] += w
 		adj[v][int(u)] += w
 		m2 += 2 * w

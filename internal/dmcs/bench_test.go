@@ -1,6 +1,7 @@
 package dmcs
 
 import (
+	"math/rand"
 	"testing"
 
 	"dmcs/internal/graph"
@@ -19,6 +20,21 @@ func benchGraph(b *testing.B, n int) (*graph.Graph, []graph.Node) {
 		b.Fatal(err)
 	}
 	return res.G, []graph.Node{res.Communities[0][0]}
+}
+
+// weightedBenchGraph is benchGraph with a deterministic random weight in
+// (0.5, 2.5) on every edge — the workload where the flat CSR substrate
+// replaces one hashed map lookup per edge-weight evaluation.
+func weightedBenchGraph(b *testing.B, n int) (*graph.Graph, []graph.Node) {
+	b.Helper()
+	g, q := benchGraph(b, n)
+	rng := rand.New(rand.NewSource(7))
+	wb := graph.NewBuilder(g.NumNodes())
+	g.Edges(func(u, v graph.Node) bool {
+		wb.SetWeight(u, v, 0.5+2*rng.Float64())
+		return true
+	})
+	return wb.Build(), q
 }
 
 // BenchmarkFPA measures the paper's headline algorithm (with pruning, as
@@ -74,6 +90,94 @@ func BenchmarkNCADR(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NCADR(g, q, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedFPACSR measures the production weighted search: pack a
+// CSR snapshot and peel over flat arrays (one map pass at pack time, zero
+// map lookups in the peel).
+func BenchmarkWeightedFPACSR(b *testing.B) {
+	g, q := weightedBenchGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPA(g, q, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedFPACSRPrebuilt is the engine's view of the same query:
+// the snapshot is built once and reused, so the measurement is the pure
+// flat-array peel.
+func BenchmarkWeightedFPACSRPrebuilt(b *testing.B) {
+	g, q := weightedBenchGraph(b, 5000)
+	csr := graph.NewCSR(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchCSR(csr, q, VariantFPA, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedFPALegacy runs the frozen map-backed reference
+// implementation (legacy_ref_test.go) on the identical workload — every
+// k_{v,S} and w_C evaluation is a hashed edge-weight-map lookup. The gap
+// to BenchmarkWeightedFPACSR* is the win the CSR migration bought.
+func BenchmarkWeightedFPALegacy(b *testing.B) {
+	g, q := weightedBenchGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := legacySearch(g, q, VariantFPA, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedFPAPruningCSR / ...Legacy compare the layer-pruning
+// strategy (the paper's production configuration) on weighted graphs.
+func BenchmarkWeightedFPAPruningCSR(b *testing.B) {
+	g, q := weightedBenchGraph(b, 5000)
+	csr := graph.NewCSR(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchCSR(csr, q, VariantFPA, Options{LayerPruning: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightedFPAPruningLegacy(b *testing.B) {
+	g, q := weightedBenchGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := legacySearch(g, q, VariantFPA, Options{LayerPruning: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedNCACSR / ...Legacy compare the quadratic NCA loop,
+// whose per-iteration candidate scan evaluates k_{v,S} for every alive
+// node — the heaviest edge-weight consumer of the four variants.
+func BenchmarkWeightedNCACSR(b *testing.B) {
+	g, q := weightedBenchGraph(b, 1000)
+	csr := graph.NewCSR(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchCSR(csr, q, VariantNCA, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightedNCALegacy(b *testing.B) {
+	g, q := weightedBenchGraph(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := legacySearch(g, q, VariantNCA, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

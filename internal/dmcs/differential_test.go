@@ -1,0 +1,125 @@
+package dmcs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmcs/internal/graph"
+)
+
+// diffRandomGraph builds a connected-ish random graph; weighted draws a
+// weight in (0.5, 3) per edge, otherwise the graph is plain unweighted.
+func diffRandomGraph(rng *rand.Rand, n int, p float64, weighted bool) *graph.Graph {
+	b := graph.NewBuilder(n)
+	// a random spanning path keeps most of the graph in one component so
+	// the searches have something to peel
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u, v := graph.Node(perm[i-1]), graph.Node(perm[i])
+		if weighted {
+			b.SetWeight(u, v, 0.5+2.5*rng.Float64())
+		} else {
+			b.AddEdge(u, v)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if weighted {
+					b.SetWeight(graph.Node(u), graph.Node(v), 0.5+2.5*rng.Float64())
+				} else {
+					b.AddEdge(graph.Node(u), graph.Node(v))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestDifferentialLegacyVsCSR is the migration's proof obligation: on
+// random weighted and unweighted graphs, every variant — with and without
+// layer pruning — must return exactly the same community, the same
+// bit-identical score, and the same iteration count through the retired
+// map-backed implementation (legacy_ref_test.go) and the CSR production
+// path. Scores are float-order-sensitive, so this only holds because the
+// CSR code accumulates weights in the same sorted-adjacency order the
+// legacy code did; any change to that order shows up here immediately.
+func TestDifferentialLegacyVsCSR(t *testing.T) {
+	variants := []Variant{VariantFPA, VariantNCA, VariantNCADR, VariantFPADMG}
+	for _, weighted := range []bool{false, true} {
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			n := 30 + rng.Intn(50)
+			g := diffRandomGraph(rng, n, 0.08, weighted)
+			csr := graph.NewCSR(g)
+			for qs := 1; qs <= 3; qs++ {
+				q := make([]graph.Node, 0, qs)
+				for _, u := range rng.Perm(n)[:qs] {
+					q = append(q, graph.Node(u))
+				}
+				if !graph.SameComponent(g, q) {
+					continue
+				}
+				for _, variant := range variants {
+					for _, pruning := range []bool{false, true} {
+						if pruning && (variant == VariantNCA || variant == VariantNCADR) {
+							continue // pruning is an FPA-family option
+						}
+						opts := Options{LayerPruning: pruning}
+						name := fmt.Sprintf("w=%v seed=%d |q|=%d %v pruning=%v",
+							weighted, seed, qs, variant, pruning)
+						want, err := legacySearch(g, q, variant, opts)
+						if err != nil {
+							t.Fatalf("%s: legacy: %v", name, err)
+						}
+						got, err := SearchCSR(csr, q, variant, opts)
+						if err != nil {
+							t.Fatalf("%s: csr: %v", name, err)
+						}
+						if got.Score != want.Score {
+							t.Fatalf("%s: score %v (csr) != %v (legacy)", name, got.Score, want.Score)
+						}
+						if got.Iterations != want.Iterations {
+							t.Fatalf("%s: iterations %d (csr) != %d (legacy)", name, got.Iterations, want.Iterations)
+						}
+						if len(got.Community) != len(want.Community) {
+							t.Fatalf("%s: community %v (csr) != %v (legacy)", name, got.Community, want.Community)
+						}
+						for i := range got.Community {
+							if got.Community[i] != want.Community[i] {
+								t.Fatalf("%s: community %v (csr) != %v (legacy)", name, got.Community, want.Community)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The alternative objectives ride the same sufficient statistics; check
+// them differentially too (FPA only — the pick rule is objective-blind).
+func TestDifferentialObjectives(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, weighted := range []bool{false, true} {
+		g := diffRandomGraph(rng, 50, 0.1, weighted)
+		csr := graph.NewCSR(g)
+		q := []graph.Node{graph.Node(rng.Intn(50))}
+		for _, obj := range []Objective{ClassicModularity, GeneralizedModularityDensity} {
+			opts := Options{Objective: obj, Chi: 1.5}
+			want, err := legacySearch(g, q, VariantFPA, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SearchCSR(csr, q, VariantFPA, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Score != want.Score || len(got.Community) != len(want.Community) {
+				t.Fatalf("weighted=%v obj=%d: csr (%v, %v) != legacy (%v, %v)",
+					weighted, obj, got.Community, got.Score, want.Community, want.Score)
+			}
+		}
+	}
+}

@@ -11,6 +11,24 @@
 //
 // plus the layer-based pruning strategy of Section 5.7 and the multi-query
 // Steiner merge of Section 5.6.
+//
+// # Architecture: one flat substrate
+//
+// Every search runs on a graph.CSR snapshot — packed adjacency, a packed
+// parallel edge-weight slice, and cached per-node weighted degrees d_v and
+// total edge weight w_G — with a graph.CSRView tracking the alive subgraph
+// and its sufficient statistics (w_C, d_S) incrementally during peeling.
+// No hashed edge-weight-map lookup ever happens inside a peeling loop.
+// The *graph.Graph entry points (Search, SearchComponent, NCA, FPA, …)
+// are thin wrappers that pack a CSR and delegate to SearchCSR /
+// SearchComponentCSR; callers that serve many queries against one graph
+// (internal/engine) build the snapshot once and call the CSR entry points
+// directly. The map-backed Graph remains the construction/IO type only.
+//
+// The CSR port is float-exact: weight accumulation follows the same
+// sorted-adjacency order the historical map-backed implementation used,
+// so communities AND scores are bit-identical (see
+// TestDifferentialLegacyVsCSR).
 package dmcs
 
 import (
@@ -29,6 +47,8 @@ var (
 	// ErrDisconnected is returned when the query nodes are not in one
 	// connected component, so no community can contain them all.
 	ErrDisconnected = errors.New("dmcs: query nodes are not in one connected component")
+
+	errOutOfRange = errors.New("dmcs: query node out of range")
 )
 
 // Objective selects the goodness function used to pick the best
@@ -97,17 +117,6 @@ type Options struct {
 	// with TimedOut set, exactly like a Timeout expiry. The engine wires a
 	// context.Context's Done channel here.
 	Cancel <-chan struct{}
-	// NodeWeights, when its length equals g.NumNodes(), is used as the
-	// node-weight table d_v instead of recomputing Graph.WeightedDegree
-	// per query. It must hold exactly WeightedDegree(u) at index u — the
-	// engine passes the table cached in its CSR snapshot. The search only
-	// reads it, so one table may serve concurrent queries.
-	NodeWeights []float64
-	// TotalWeight, when positive, is used as w_G instead of recomputing
-	// Graph.TotalWeight per query (an O(|E|) edge-weight-map scan on
-	// weighted graphs). It must equal g.TotalWeight(); the engine passes
-	// the value cached in its CSR snapshot.
-	TotalWeight float64
 }
 
 // Result is the outcome of a community search.
@@ -125,36 +134,51 @@ type Result struct {
 	TimedOut bool
 }
 
-// Search runs the selected variant. It is the single entry point used by
-// the benchmark harness; the named functions NCA, FPA, NCADR and FPADMG
-// are thin wrappers around it.
+// Search runs the selected variant on a map-backed Graph. It packs a CSR
+// snapshot and delegates to SearchCSR; callers answering many queries
+// against one graph should build the snapshot once and call SearchCSR /
+// SearchComponentCSR themselves (internal/engine does).
 func Search(g *graph.Graph, q []graph.Node, variant Variant, opts Options) (*Result, error) {
-	comp, err := queryComponent(g, q)
-	if err != nil {
-		return nil, err
-	}
-	return SearchComponent(g, q, comp, variant, opts)
+	return SearchCSR(graph.NewCSR(g), q, variant, opts)
 }
 
 // SearchComponent runs the selected variant on a precomputed connected
-// component. comp must be the sorted connected component of g containing
-// every query node — exactly what queryComponent returns. Callers that
-// serve many queries against one graph (internal/engine) precompute the
-// component partition once and skip the per-query BFS + sort; comp is only
-// read, so one slice may serve concurrent searches.
+// component of g (see SearchComponentCSR for the component contract). It
+// is a thin wrapper that packs a CSR snapshot per call.
 func SearchComponent(g *graph.Graph, q, comp []graph.Node, variant Variant, opts Options) (*Result, error) {
+	return SearchComponentCSR(graph.NewCSR(g), q, comp, variant, opts)
+}
+
+// SearchCSR runs the selected variant against a packed snapshot: it
+// validates the query, extracts the sorted connected component containing
+// it, and peels.
+func SearchCSR(c *graph.CSR, q []graph.Node, variant Variant, opts Options) (*Result, error) {
+	comp, err := queryComponent(c, q)
+	if err != nil {
+		return nil, err
+	}
+	return SearchComponentCSR(c, q, comp, variant, opts)
+}
+
+// SearchComponentCSR runs the selected variant on a precomputed connected
+// component. comp must be the sorted connected component of the snapshot
+// containing every query node — exactly what queryComponent returns.
+// Callers that serve many queries against one graph (internal/engine)
+// precompute the component partition once and skip the per-query BFS +
+// sort; comp is only read, so one slice may serve concurrent searches.
+func SearchComponentCSR(c *graph.CSR, q, comp []graph.Node, variant Variant, opts Options) (*Result, error) {
 	if len(q) == 0 {
 		return nil, ErrEmptyQuery
 	}
 	switch variant {
 	case VariantNCA:
-		return runNCA(g, q, comp, opts, pickLambda)
+		return runNCA(c, q, comp, opts, pickLambda)
 	case VariantNCADR:
-		return runNCA(g, q, comp, opts, pickTheta)
+		return runNCA(c, q, comp, opts, pickTheta)
 	case VariantFPA:
-		return runFPA(g, q, comp, opts, true)
+		return runFPA(c, q, comp, opts, true)
 	case VariantFPADMG:
-		return runFPA(g, q, comp, opts, false)
+		return runFPA(c, q, comp, opts, false)
 	}
 	return nil, errors.New("dmcs: unknown variant")
 }
@@ -179,22 +203,20 @@ func FPADMG(g *graph.Graph, q []graph.Node, opts Options) (*Result, error) {
 	return Search(g, q, VariantFPADMG, opts)
 }
 
-// peelState tracks the incrementally maintained sufficient statistics of
-// the alive subgraph during peeling, the removal trace, and the best
-// intermediate subgraph seen so far. Statistics are kept as floats so the
-// same code path serves unweighted graphs (where they are exact integers)
-// and the weighted Definition 2.
+// peelState drives one peel: a CSRView maintains the alive subgraph and
+// its sufficient statistics (w_C, d_S) incrementally over the packed
+// arrays; peelState adds the removal trace, the best intermediate
+// subgraph seen so far, and deadline/cancellation polling. Statistics are
+// floats so the same code path serves unweighted graphs (where they are
+// exact integers) and the weighted Definition 2.
 type peelState struct {
-	g        *graph.Graph
-	v        *graph.View
-	weighted bool
-	wG       float64   // total edge weight of G (|E| when unweighted)
-	wC       float64   // internal edge weight of the alive subgraph
-	dS       float64   // sum over alive nodes of node weight (degree in G)
-	wdeg     []float64 // cached node weights, indexed by node id
-	opts     Options
-	comp     []graph.Node // initial component (node universe of the search)
-	trace    []graph.Node // removal order
+	c     *graph.CSR
+	v     *graph.CSRView
+	wG    float64   // total edge weight of G (|E| when unweighted)
+	wdeg  []float64 // cached node weights d_v, shared with the snapshot
+	opts  Options
+	comp  []graph.Node // initial component (node universe of the search)
+	trace []graph.Node // removal order
 	// best intermediate subgraph = comp minus trace[:bestIdx]
 	bestIdx   int
 	bestScore float64
@@ -202,36 +224,14 @@ type peelState struct {
 	timedOut  bool
 }
 
-func newPeelState(g *graph.Graph, comp []graph.Node, opts Options) *peelState {
+func newPeelState(c *graph.CSR, comp []graph.Node, opts Options) *peelState {
 	s := &peelState{
-		g:        g,
-		v:        graph.NewViewOf(g, comp),
-		weighted: g.Weighted(),
-		wG:       totalWeight(g, opts),
-		opts:     opts,
-		comp:     comp,
-	}
-	if len(opts.NodeWeights) == g.NumNodes() {
-		s.wdeg = opts.NodeWeights // shared, read-only
-	} else {
-		s.wdeg = make([]float64, g.NumNodes())
-		for _, u := range comp {
-			s.wdeg[u] = g.WeightedDegree(u)
-		}
-	}
-	for _, u := range comp {
-		s.dS += s.wdeg[u]
-	}
-	if s.weighted {
-		for _, u := range comp {
-			for _, w := range g.Neighbors(u) {
-				if s.v.Alive(w) && u < w {
-					s.wC += g.EdgeWeight(u, w)
-				}
-			}
-		}
-	} else {
-		s.wC = float64(s.v.NumAliveEdges())
+		c:    c,
+		v:    graph.NewCSRViewOf(c, comp),
+		wG:   c.TotalWeight(),
+		wdeg: c.WeightedDegrees(),
+		opts: opts,
+		comp: comp,
 	}
 	s.bestScore = s.score()
 	if opts.Timeout > 0 {
@@ -241,45 +241,41 @@ func newPeelState(g *graph.Graph, comp []graph.Node, opts Options) *peelState {
 }
 
 // kOf returns the (weighted) degree of u into the alive subgraph — the
-// k_{v,S} of Definitions 5–7. O(1) unweighted, O(deg) weighted.
-func (s *peelState) kOf(u graph.Node) float64 {
-	if !s.weighted {
-		return float64(s.v.DegreeIn(u))
-	}
-	var k float64
-	s.v.EachNeighbor(u, func(w graph.Node) {
-		k += s.g.EdgeWeight(u, w)
-	})
-	return k
-}
+// k_{v,S} of Definitions 5–7. O(1) unweighted, O(deg) weighted, straight
+// from the packed weights.
+func (s *peelState) kOf(u graph.Node) float64 { return s.v.WeightedDegreeIn(u) }
 
-// dOf returns u's node weight (its degree in G).
+// dOf returns u's node weight (its weighted degree in G).
 func (s *peelState) dOf(u graph.Node) float64 { return s.wdeg[u] }
 
 // score evaluates the selection objective on the current alive subgraph.
-func (s *peelState) score() float64 {
-	size := s.v.NumAlive()
-	switch s.opts.Objective {
+func (s *peelState) score() float64 { return scoreView(s.v, s.wG, s.opts) }
+
+// scoreView evaluates the selection objective on a view's alive subgraph
+// from its incrementally maintained sufficient statistics. It is the
+// single scoring site shared by the peel loop and fpaWithPruning's
+// phase-1 prefix scan, so every code path scores with the same formula.
+func scoreView(v *graph.CSRView, wG float64, opts Options) float64 {
+	wC, dS, size := v.InternalWeight(), v.NodeWeightSum(), v.NumAlive()
+	switch opts.Objective {
 	case ClassicModularity:
-		return modularity.ClassicPartsF(s.wC, s.dS, s.wG)
+		return modularity.ClassicPartsF(wC, dS, wG)
 	case GeneralizedModularityDensity:
-		chi := s.opts.Chi
+		chi := opts.Chi
 		if chi == 0 {
 			chi = 1
 		}
-		return modularity.GeneralizedDensityPartsF(s.wC, s.dS, s.wG, size, chi)
+		return modularity.GeneralizedDensityPartsF(wC, dS, wG, size, chi)
 	default:
-		return modularity.DensityPartsF(s.wC, s.dS, s.wG, size)
+		return modularity.DensityPartsF(wC, dS, wG, size)
 	}
 }
 
-// remove deletes u, updates statistics, and records the new subgraph as
-// best when it scores at least as well (Algorithm 2 line 13 uses ≥, which
-// prefers the smaller of equally good communities).
+// remove deletes u (the view updates w_C and d_S) and records the new
+// subgraph as best when it scores at least as well (Algorithm 2 line 13
+// uses ≥, which prefers the smaller of equally good communities).
 func (s *peelState) remove(u graph.Node) {
-	s.wC -= s.kOf(u)
 	s.v.Remove(u)
-	s.dS -= s.wdeg[u]
 	s.trace = append(s.trace, u)
 	if sc := s.score(); sc >= s.bestScore {
 		s.bestScore = sc
@@ -335,34 +331,26 @@ func (s *peelState) result() *Result {
 }
 
 // queryComponent validates the query and returns the connected component
-// containing it, sorted.
-func queryComponent(g *graph.Graph, q []graph.Node) ([]graph.Node, error) {
+// containing it, sorted. One BFS from the first query node both checks
+// connectivity of Q and enumerates the component.
+func queryComponent(c *graph.CSR, q []graph.Node) ([]graph.Node, error) {
 	if len(q) == 0 {
 		return nil, ErrEmptyQuery
 	}
 	for _, u := range q {
-		if u < 0 || int(u) >= g.NumNodes() {
-			return nil, errors.New("dmcs: query node out of range")
+		if u < 0 || int(u) >= c.NumNodes() {
+			return nil, errOutOfRange
 		}
 	}
-	if !graph.SameComponent(g, q) {
-		return nil, ErrDisconnected
+	comp, dist := c.Component(q[0])
+	for _, u := range q[1:] {
+		if dist[u] == graph.INF {
+			return nil, ErrDisconnected
+		}
 	}
-	v := graph.NewView(g)
-	comp := graph.ComponentOf(v, q[0])
-	// ComponentOf returns discovery order; sort for deterministic traces
-	sortNodes(comp)
 	return comp, nil
 }
 
 func sortNodes(a []graph.Node) {
 	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-}
-
-// totalWeight returns w_G, preferring the caller's cached value.
-func totalWeight(g *graph.Graph, opts Options) float64 {
-	if opts.TotalWeight > 0 {
-		return opts.TotalWeight
-	}
-	return g.TotalWeight()
 }

@@ -382,12 +382,12 @@ func TestSteinerProtect(t *testing.T) {
 		b.AddEdge(graph.Node(i), graph.Node(i+1))
 	}
 	g := b.Build()
-	prot := steinerProtect(g, []graph.Node{0, 4})
+	prot := steinerProtect(graph.NewCSR(g), []graph.Node{0, 4})
 	if len(prot) != 5 {
 		t.Fatalf("protected=%v want the whole path", prot)
 	}
 	// single query: just itself
-	if p := steinerProtect(g, []graph.Node{2}); len(p) != 1 || p[0] != 2 {
+	if p := steinerProtect(graph.NewCSR(g), []graph.Node{2}); len(p) != 1 || p[0] != 2 {
 		t.Fatalf("single protect=%v", p)
 	}
 }

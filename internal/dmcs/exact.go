@@ -30,6 +30,9 @@ func ExactSmall(g *graph.Graph, q []graph.Node, maxNodes int) (*Result, error) {
 	if !graph.SameComponent(g, q) {
 		return nil, ErrDisconnected
 	}
+	// One packed snapshot serves the 2^n subset evaluations: connectivity
+	// floods and density scoring both run on the flat adjacency.
+	c := graph.NewCSR(g)
 	var qMask uint32
 	for _, u := range q {
 		qMask |= 1 << uint(u)
@@ -42,7 +45,7 @@ func ExactSmall(g *graph.Graph, q []graph.Node, maxNodes int) (*Result, error) {
 		if mask&qMask != qMask {
 			continue
 		}
-		if !connectedMask(g, mask) {
+		if !connectedMask(c, mask) {
 			continue
 		}
 		nodes = nodes[:0]
@@ -51,7 +54,7 @@ func ExactSmall(g *graph.Graph, q []graph.Node, maxNodes int) (*Result, error) {
 				nodes = append(nodes, graph.Node(u))
 			}
 		}
-		sc := modularity.Density(g, nodes)
+		sc := modularity.DensityCSR(c, nodes)
 		if sc > best {
 			best = sc
 			bestMask = mask
@@ -68,9 +71,9 @@ func ExactSmall(g *graph.Graph, q []graph.Node, maxNodes int) (*Result, error) {
 
 // connectedMask reports whether the induced subgraph over the mask's nodes
 // is connected.
-func connectedMask(g *graph.Graph, mask uint32) bool {
+func connectedMask(c *graph.CSR, mask uint32) bool {
 	var start graph.Node = -1
-	for u := 0; u < g.NumNodes(); u++ {
+	for u := 0; u < c.NumNodes(); u++ {
 		if mask&(1<<uint(u)) != 0 {
 			start = graph.Node(u)
 			break
@@ -84,7 +87,7 @@ func connectedMask(g *graph.Graph, mask uint32) bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.Neighbors(u) {
+		for _, w := range c.Neighbors(u) {
 			bit := uint32(1) << uint(w)
 			if mask&bit != 0 && seen&bit == 0 {
 				seen |= bit

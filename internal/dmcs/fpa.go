@@ -14,12 +14,12 @@ import (
 // root query node to every other query node. Protected nodes get distance
 // 0 and are never removed, which guarantees that removing any farthest
 // node keeps the subgraph connected.
-func steinerProtect(g *graph.Graph, q []graph.Node) []graph.Node {
+func steinerProtect(c *graph.CSR, q []graph.Node) []graph.Node {
 	if len(q) <= 1 {
 		return append([]graph.Node(nil), q...)
 	}
 	// BFS parents from the root query node
-	parent := make([]graph.Node, g.NumNodes())
+	parent := make([]graph.Node, c.NumNodes())
 	for i := range parent {
 		parent[i] = -1
 	}
@@ -28,7 +28,7 @@ func steinerProtect(g *graph.Graph, q []graph.Node) []graph.Node {
 	queue := []graph.Node{root}
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
-		for _, w := range g.Neighbors(u) {
+		for _, w := range c.Neighbors(u) {
 			if parent[w] < 0 {
 				parent[w] = u
 				queue = append(queue, w)
@@ -91,14 +91,14 @@ func (h *thetaHeap) Pop() interface{} {
 // the density-ratio pick (stable, heap-driven); otherwise the density
 // modularity gain Λ is rescanned over the remaining layer candidates each
 // iteration (unstable, the 150× slowdown of Section 6.2.5). comp is the
-// sorted connected component containing q (see SearchComponent).
-func runFPA(g *graph.Graph, q, comp []graph.Node, opts Options, useTheta bool) (*Result, error) {
-	protected := steinerProtect(g, q)
+// sorted connected component containing q (see SearchComponentCSR).
+func runFPA(c *graph.CSR, q, comp []graph.Node, opts Options, useTheta bool) (*Result, error) {
+	protected := steinerProtect(c, q)
 	if opts.LayerPruning {
-		return fpaWithPruning(g, comp, protected, opts, useTheta)
+		return fpaWithPruning(c, comp, protected, opts, useTheta)
 	}
-	s := newPeelState(g, comp, opts)
-	dist := graph.MultiSourceBFSView(s.v, protected)
+	s := newPeelState(c, comp, opts)
+	dist := s.v.MultiSourceBFS(protected)
 	layers, maxD := groupLayers(comp, dist)
 	for d := maxD; d >= 1; d-- {
 		if s.expired() {
@@ -160,7 +160,7 @@ func peelLayerTheta(s *peelState, cand []graph.Node) {
 		}
 		s.remove(u)
 		delete(inLayer, u)
-		for _, w := range s.g.Neighbors(u) {
+		for _, w := range s.c.Neighbors(u) {
 			if s.v.Alive(w) && inLayer[w] {
 				k := s.kOf(w)
 				heap.Push(&h, thetaItem{w, modularity.ThetaF(s.dOf(w), k), k})
@@ -180,8 +180,9 @@ func peelLayerLambda(s *peelState, cand []graph.Node) {
 		}
 		bestI := -1
 		bestScore := math.Inf(-1)
+		dS := s.v.NodeWeightSum()
 		for i, u := range remaining {
-			sc := modularity.LambdaF(s.wG, s.dS, s.kOf(u), s.dOf(u))
+			sc := modularity.LambdaF(s.wG, dS, s.kOf(u), s.dOf(u))
 			if sc > bestScore || (sc == bestScore && bestI >= 0 && u < remaining[bestI]) {
 				bestScore, bestI = sc, i
 			}
@@ -196,58 +197,16 @@ func peelLayerLambda(s *peelState, cand []graph.Node) {
 // fpaWithPruning implements the Section 5.7 layer-based pruning strategy:
 // (1) iteratively drop whole outermost layers, scoring each prefix
 // subgraph; (2) keep the best-scoring prefix and apply the node-removal
-// process to its outermost layer only.
-func fpaWithPruning(g *graph.Graph, comp, protected []graph.Node, opts Options, useTheta bool) (*Result, error) {
-	vAll := graph.NewViewOf(g, comp)
-	dist := graph.MultiSourceBFSView(vAll, protected)
+// process to its outermost layer only. Both phases run on one CSRView;
+// the view's incremental w_C/d_S maintenance replaces the hand-rolled
+// statistics the map-backed implementation carried.
+func fpaWithPruning(c *graph.CSR, comp, protected []graph.Node, opts Options, useTheta bool) (*Result, error) {
+	vAll := graph.NewCSRViewOf(c, comp)
+	dist := vAll.MultiSourceBFS(protected)
 	layers, maxD := groupLayers(comp, dist)
-	wG := totalWeight(g, opts)
-	weighted := g.Weighted()
-	wdegOf := g.WeightedDegree
-	if len(opts.NodeWeights) == g.NumNodes() {
-		wdegOf = func(u graph.Node) float64 { return opts.NodeWeights[u] }
-	}
+	wG := c.TotalWeight()
 
-	// Phase 1: score every prefix "keep layers 0..j", maintaining the
-	// weighted statistics incrementally.
-	var dSum, wC float64
-	for _, u := range comp {
-		dSum += wdegOf(u)
-	}
-	if weighted {
-		for _, u := range comp {
-			for _, w := range g.Neighbors(u) {
-				if vAll.Alive(w) && u < w {
-					wC += g.EdgeWeight(u, w)
-				}
-			}
-		}
-	} else {
-		wC = float64(vAll.NumAliveEdges())
-	}
-	kOf := func(u graph.Node) float64 {
-		if !weighted {
-			return float64(vAll.DegreeIn(u))
-		}
-		var k float64
-		vAll.EachNeighbor(u, func(w graph.Node) { k += g.EdgeWeight(u, w) })
-		return k
-	}
-	scoreOf := func() float64 {
-		size := vAll.NumAlive()
-		switch opts.Objective {
-		case ClassicModularity:
-			return modularity.ClassicPartsF(wC, dSum, wG)
-		case GeneralizedModularityDensity:
-			chi := opts.Chi
-			if chi == 0 {
-				chi = 1
-			}
-			return modularity.GeneralizedDensityPartsF(wC, dSum, wG, size, chi)
-		default:
-			return modularity.DensityPartsF(wC, dSum, wG, size)
-		}
-	}
+	scoreOf := func() float64 { return scoreView(vAll, wG, opts) }
 	// Phase 1 honours Cancel and Timeout at layer granularity; the best
 	// prefix scored so far is kept on expiry, and phase 2 runs on the
 	// remaining time budget so the bound covers both phases.
@@ -274,9 +233,7 @@ func fpaWithPruning(g *graph.Graph, comp, protected []graph.Node, opts Options, 
 			break
 		}
 		for _, u := range layers[d] {
-			wC -= kOf(u)
 			vAll.Remove(u)
-			dSum -= wdegOf(u)
 			phase1++
 		}
 		if sc := scoreOf(); sc >= bestScore {
@@ -300,7 +257,7 @@ func fpaWithPruning(g *graph.Graph, comp, protected []graph.Node, opts Options, 
 			timedOut = true
 		}
 	}
-	s := newPeelState(g, comp2, opts2)
+	s := newPeelState(c, comp2, opts2)
 	if bestJ >= 1 && !timedOut {
 		peelLayer(s, layers[bestJ], useTheta)
 	}

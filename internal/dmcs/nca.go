@@ -29,28 +29,29 @@ func pickTheta(_, _, kv, dv float64) float64 {
 // current subgraph, then removes the non-articulation non-query node with
 // the best pick score. Ties keep the node closer to the query (the farther
 // node is removed), then break on node id for determinism. comp is the
-// sorted connected component containing q (see SearchComponent).
-func runNCA(g *graph.Graph, q, comp []graph.Node, opts Options, pick pickFunc) (*Result, error) {
-	s := newPeelState(g, comp, opts)
+// sorted connected component containing q (see SearchComponentCSR).
+func runNCA(c *graph.CSR, q, comp []graph.Node, opts Options, pick pickFunc) (*Result, error) {
+	s := newPeelState(c, comp, opts)
 	isQuery := make(map[graph.Node]bool, len(q))
 	for _, u := range q {
 		isQuery[u] = true
 	}
 	// minimum shortest-path distance from the query nodes, for tie-breaks
-	dist := graph.MultiSourceBFS(g, q)
+	dist := c.MultiSourceBFS(q)
 
 	for s.v.NumAlive() > len(q) {
 		if s.expired() {
 			break
 		}
-		art := graph.ArticulationPoints(s.v)
+		art := s.v.ArticulationPoints()
 		var best graph.Node = -1
 		bestScore := math.Inf(-1)
+		dS := s.v.NodeWeightSum()
 		for _, u := range comp {
 			if !s.v.Alive(u) || art[u] || isQuery[u] {
 				continue
 			}
-			sc := pick(s.wG, s.dS, s.kOf(u), s.dOf(u))
+			sc := pick(s.wG, dS, s.kOf(u), s.dOf(u))
 			switch {
 			case sc > bestScore:
 				bestScore, best = sc, u

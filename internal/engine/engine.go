@@ -51,8 +51,8 @@ type Query struct {
 	Nodes []graph.Node
 	// Variant selects the algorithm; the zero value is FPA.
 	Variant dmcs.Variant
-	// Opts tunes the search exactly as in the serial API. Cancel and
-	// NodeWeights are owned by the engine and overwritten.
+	// Opts tunes the search exactly as in the serial API. Cancel is owned
+	// by the engine and overwritten.
 	Opts dmcs.Options
 }
 
@@ -75,9 +75,9 @@ type Engine struct {
 	defaultTimeout time.Duration
 }
 
-// New builds the snapshot of g and returns an Engine serving it. g must
-// not be mutated afterwards (Graph is immutable by construction, so this
-// only rules out rebuilding tricks).
+// New packs a read-optimized snapshot of g and returns an Engine serving
+// it. The graph itself is not retained — queries run entirely off the
+// snapshot's flat arrays.
 func New(g *graph.Graph, opts Options) *Engine {
 	w := opts.Workers
 	if w <= 0 {
@@ -159,8 +159,8 @@ func (e *Engine) SearchBatch(ctx context.Context, qs []Query) []BatchResult {
 }
 
 // run executes one admitted query: cache lookup, snapshot validation,
-// then the serial search armed with the context and the snapshot's cached
-// node-weight table.
+// then the CSR search armed with the context, running directly on the
+// snapshot's packed arrays.
 func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
 	nodes := normalizeNodes(q.Nodes)
 	key := cacheKey(nodes, q.Variant, q.Opts)
@@ -178,10 +178,12 @@ func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
 		opts.Timeout = e.defaultTimeout
 	}
 	opts.Cancel = ctx.Done()
-	opts.NodeWeights = e.snap.CSR().WeightedDegrees()
-	opts.TotalWeight = e.snap.CSR().TotalWeight()
 	start := time.Now()
-	res, err := dmcs.SearchComponent(e.snap.Graph(), nodes, comp, q.Variant, opts)
+	// The snapshot's CSR goes straight into the search: per-query work
+	// touches only the packed adjacency, the parallel weights slice, and
+	// the cached node-weight/total-weight aggregates — never the
+	// map-backed Graph.
+	res, err := dmcs.SearchComponentCSR(e.snap.CSR(), nodes, comp, q.Variant, opts)
 	if err != nil {
 		e.stats.recordError()
 		return nil, err

@@ -257,7 +257,7 @@ func TestSnapshotAggregatesMatchGraph(t *testing.T) {
 }
 
 func TestWeightedBatchMatchesSerial(t *testing.T) {
-	// A weighted graph exercises the NodeWeights fast path end to end.
+	// A weighted graph exercises the packed-weights CSR search end to end.
 	b := graph.NewBuilder(8)
 	edges := [][2]graph.Node{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}, {5, 6}, {6, 7}}
 	for i, e := range edges {

@@ -18,16 +18,17 @@ var ErrNodeOutOfRange = errors.New("engine: query node out of range")
 // dmcs.Search entry points pay per call. Snapshots are safe for concurrent
 // readers; nothing in them is ever mutated after construction.
 type Snapshot struct {
-	g      *graph.Graph
 	csr    *graph.CSR
 	compID []int32        // node id -> component id
 	comps  [][]graph.Node // component id -> sorted member list
 }
 
-// NewSnapshot builds the read-optimized snapshot of g.
+// NewSnapshot builds the read-optimized snapshot of g. The map-backed
+// graph itself is not retained: once packed, every query runs off the
+// CSR, so a long-lived engine does not keep the edge-weight map and
+// nested adjacency resident alongside the flat copy.
 func NewSnapshot(g *graph.Graph) *Snapshot {
 	s := &Snapshot{
-		g:      g,
 		csr:    graph.NewCSR(g),
 		compID: make([]int32, g.NumNodes()),
 	}
@@ -59,9 +60,6 @@ func NewSnapshot(g *graph.Graph) *Snapshot {
 	}
 	return s
 }
-
-// Graph returns the underlying immutable graph.
-func (s *Snapshot) Graph() *graph.Graph { return s.g }
 
 // CSR returns the packed adjacency snapshot.
 func (s *Snapshot) CSR() *graph.CSR { return s.csr }

@@ -1,10 +1,15 @@
 package graph
 
+import "container/heap"
+
 // CSR is a compressed-sparse-row snapshot of a Graph: all adjacency lists
-// packed into one contiguous slice with per-node offsets. Traversal-heavy
-// read-only workloads (BFS floods, support counting) benefit from the
-// cache locality; peeling algorithms keep using Graph+View because CSR is
-// immutable. BenchmarkCSRTraversal quantifies the difference.
+// packed into one contiguous slice with per-node offsets. It is the
+// canonical algorithm substrate of this repository — traversals (BFS,
+// Dijkstra), modularity evaluation, and the peeling searches all run on
+// the packed arrays; mutation during peeling is handled by CSRView, a
+// mutable alive-set overlay. The map-backed Graph remains the right type
+// only for construction and I/O. BenchmarkCSRTraversal quantifies the
+// locality difference.
 //
 // The snapshot also caches the aggregates the modularity formulas need on
 // every query — per-node weighted degrees (the d_v node weights of
@@ -59,6 +64,9 @@ func NewCSR(g *Graph) *CSR {
 // NumNodes returns |V|.
 func (c *CSR) NumNodes() int { return len(c.offsets) - 1 }
 
+// NumEdges returns |E| (each undirected edge counted once).
+func (c *CSR) NumEdges() int { return len(c.targets) / 2 }
+
 // Degree returns the degree of u.
 func (c *CSR) Degree(u Node) int { return int(c.offsets[u+1] - c.offsets[u]) }
 
@@ -101,22 +109,114 @@ func (c *CSR) Volume(set []Node) float64 {
 	return t
 }
 
+// Edges calls fn once per undirected edge with u < v, passing the edge
+// weight (1 for unweighted snapshots). Iteration follows the packed
+// adjacency — ascending u, ascending v — and stops early if fn returns
+// false. Consumers that need a deterministic weighted edge sweep use this
+// instead of Graph.Edges + EdgeWeight map lookups.
+func (c *CSR) Edges(fn func(u, v Node, w float64) bool) {
+	n := c.NumNodes()
+	for u := 0; u < n; u++ {
+		adj := c.Neighbors(Node(u))
+		if c.weights != nil {
+			ws := c.NeighborWeights(Node(u))
+			for i, v := range adj {
+				if Node(u) < v {
+					if !fn(Node(u), v, ws[i]) {
+						return
+					}
+				}
+			}
+		} else {
+			for _, v := range adj {
+				if Node(u) < v {
+					if !fn(Node(u), v, 1) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
 // BFS computes unweighted distances from src over the CSR snapshot.
 func (c *CSR) BFS(src Node) []int32 {
-	n := c.NumNodes()
-	dist := make([]int32, n)
+	return c.MultiSourceBFS([]Node{src})
+}
+
+// MultiSourceBFS computes, for every node, the minimum unweighted distance
+// to any of the sources (the paper's dist(v) = min over q in Q of d(q,v)).
+// Unreachable nodes get INF.
+func (c *CSR) MultiSourceBFS(sources []Node) []int32 {
+	dist := make([]int32, c.NumNodes())
 	for i := range dist {
 		dist[i] = INF
 	}
-	dist[src] = 0
-	queue := make([]Node, 0, n)
-	queue = append(queue, src)
+	queue := make([]Node, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] == INF {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		for _, w := range c.Neighbors(u) {
 			if dist[w] == INF {
 				dist[w] = dist[u] + 1
 				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Component returns the sorted connected component containing src
+// together with the BFS distance array that enumerated it (INF marks
+// nodes outside the component, so callers validate membership of further
+// nodes — e.g. the rest of a query — without a second traversal).
+func (c *CSR) Component(src Node) ([]Node, []int32) {
+	dist := c.BFS(src)
+	comp := make([]Node, 0, 64)
+	for u, d := range dist {
+		if d != INF {
+			comp = append(comp, Node(u))
+		}
+	}
+	return comp, dist
+}
+
+// Dijkstra computes weighted shortest-path distances from the sources
+// over the packed weights (unit weights when the snapshot is unweighted,
+// degenerating to BFS distances). Unreachable nodes get -1.
+func (c *CSR) Dijkstra(sources []Node) []float64 {
+	dist := make([]float64, c.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	h := &dijkstraHeap{}
+	for _, s := range sources {
+		if dist[s] < 0 {
+			dist[s] = 0
+			heap.Push(h, dijkstraItem{s, 0})
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(dijkstraItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		adj := c.Neighbors(it.node)
+		ws := c.NeighborWeights(it.node)
+		for i, w := range adj {
+			step := 1.0
+			if ws != nil {
+				step = ws[i]
+			}
+			nd := it.dist + step
+			if dist[w] < 0 || nd < dist[w] {
+				dist[w] = nd
+				heap.Push(h, dijkstraItem{w, nd})
 			}
 		}
 	}

@@ -1,0 +1,308 @@
+package graph
+
+// CSRView is a mutable "alive set" over an immutable CSR snapshot — the
+// peeling substrate every search algorithm in this repository runs on.
+// Like View it tracks alive nodes and alive degrees in O(deg) per
+// Remove/Restore, but it additionally maintains the two weighted
+// aggregates the modularity objectives need — the alive internal edge
+// weight w_C and the alive node-weight sum d_S — straight from the CSR's
+// packed weights slice and cached node-weight table. No edge-weight map
+// is ever consulted: on unweighted snapshots every edge counts 1, on
+// weighted snapshots the packed parallel weights array is read in
+// neighbor order, so scores stay bit-identical to the historical
+// map-backed implementation (float accumulation order is preserved).
+type CSRView struct {
+	c      *CSR
+	alive  []bool
+	deg    []int32 // degree restricted to alive nodes
+	nAlive int
+	mAlive int
+	wAlive float64 // alive internal edge weight w_C (mAlive when unweighted)
+	dAlive float64 // sum over alive nodes of cached node weight (d_S)
+}
+
+// NewCSRView creates a view with every node of c alive.
+func NewCSRView(c *CSR) *CSRView {
+	n := c.NumNodes()
+	v := &CSRView{
+		c:      c,
+		alive:  make([]bool, n),
+		deg:    make([]int32, n),
+		nAlive: n,
+		mAlive: len(c.targets) / 2,
+		wAlive: c.totalW,
+	}
+	for u := range v.alive {
+		v.alive[u] = true
+		v.deg[u] = int32(c.Degree(Node(u)))
+		v.dAlive += c.wdeg[u]
+	}
+	return v
+}
+
+// NewCSRViewOf creates a view in which exactly the nodes of set are alive.
+// Duplicate nodes in set are counted once. The weighted aggregates are
+// accumulated in set (first-occurrence) order over sorted adjacency, the
+// same order the peeling algorithms have always used, so downstream float
+// comparisons are reproducible.
+func NewCSRViewOf(c *CSR, set []Node) *CSRView {
+	n := c.NumNodes()
+	v := &CSRView{
+		c:     c,
+		alive: make([]bool, n),
+		deg:   make([]int32, n),
+	}
+	members := make([]Node, 0, len(set))
+	for _, u := range set {
+		if !v.alive[u] {
+			v.alive[u] = true
+			v.nAlive++
+			members = append(members, u)
+		}
+	}
+	for _, u := range members {
+		v.dAlive += c.wdeg[u]
+		adj := c.Neighbors(u)
+		if c.weights != nil {
+			ws := c.NeighborWeights(u)
+			for i, w := range adj {
+				if v.alive[w] {
+					v.deg[u]++
+					if u < w {
+						v.mAlive++
+						v.wAlive += ws[i]
+					}
+				}
+			}
+		} else {
+			for _, w := range adj {
+				if v.alive[w] {
+					v.deg[u]++
+					if u < w {
+						v.mAlive++
+					}
+				}
+			}
+		}
+	}
+	if c.weights == nil {
+		v.wAlive = float64(v.mAlive)
+	}
+	return v
+}
+
+// CSR returns the underlying immutable snapshot.
+func (v *CSRView) CSR() *CSR { return v.c }
+
+// Alive reports whether node u is in the view.
+func (v *CSRView) Alive(u Node) bool { return v.alive[u] }
+
+// NumAlive returns the number of alive nodes.
+func (v *CSRView) NumAlive() int { return v.nAlive }
+
+// NumAliveEdges returns the number of edges with both endpoints alive.
+func (v *CSRView) NumAliveEdges() int { return v.mAlive }
+
+// DegreeIn returns u's degree restricted to alive neighbors (0 for dead
+// nodes).
+func (v *CSRView) DegreeIn(u Node) int { return int(v.deg[u]) }
+
+// WeightedDegreeIn returns k_{u,S}: the weighted degree of u into the
+// alive set (Definitions 5–7). It is computed fresh in O(deg) from the
+// packed weights so repeated calls after interleaved removals return
+// exactly the neighbor-order sum, never a drifted incremental value.
+func (v *CSRView) WeightedDegreeIn(u Node) float64 {
+	if v.c.weights == nil {
+		return float64(v.deg[u])
+	}
+	adj := v.c.Neighbors(u)
+	ws := v.c.NeighborWeights(u)
+	var k float64
+	for i, w := range adj {
+		if v.alive[w] {
+			k += ws[i]
+		}
+	}
+	return k
+}
+
+// InternalWeight returns w_C, the total weight of edges with both
+// endpoints alive (NumAliveEdges when unweighted). It is maintained
+// incrementally across Remove/Restore.
+func (v *CSRView) InternalWeight() float64 { return v.wAlive }
+
+// NodeWeightSum returns d_S, the sum of cached node weights (weighted
+// degrees in the full graph) over the alive set.
+func (v *CSRView) NodeWeightSum() float64 { return v.dAlive }
+
+// Remove deletes u from the view, updating neighbor degrees and the
+// weighted aggregates in O(deg). Removing a dead node is a no-op.
+func (v *CSRView) Remove(u Node) {
+	if !v.alive[u] {
+		return
+	}
+	// w_C loses exactly k_{u,S}, summed in neighbor order before any
+	// flag flips (the same subtraction the peeling recurrences perform).
+	v.wAlive -= v.WeightedDegreeIn(u)
+	v.dAlive -= v.c.wdeg[u]
+	v.alive[u] = false
+	v.nAlive--
+	for _, w := range v.c.Neighbors(u) {
+		if v.alive[w] {
+			v.deg[w]--
+			v.mAlive--
+		}
+	}
+	v.deg[u] = 0
+}
+
+// Restore re-inserts a previously removed node, reversing Remove.
+func (v *CSRView) Restore(u Node) {
+	if v.alive[u] {
+		return
+	}
+	v.alive[u] = true
+	v.nAlive++
+	var d int32
+	for _, w := range v.c.Neighbors(u) {
+		if v.alive[w] {
+			d++
+			v.deg[w]++
+			v.mAlive++
+		}
+	}
+	v.deg[u] = d
+	v.wAlive += v.WeightedDegreeIn(u)
+	v.dAlive += v.c.wdeg[u]
+}
+
+// EachNeighbor calls fn for every alive neighbor of u.
+func (v *CSRView) EachNeighbor(u Node, fn func(w Node)) {
+	for _, w := range v.c.Neighbors(u) {
+		if v.alive[w] {
+			fn(w)
+		}
+	}
+}
+
+// LiveNodes returns the alive node set in ascending order.
+func (v *CSRView) LiveNodes() []Node {
+	out := make([]Node, 0, v.nAlive)
+	for u := range v.alive {
+		if v.alive[u] {
+			out = append(out, Node(u))
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the view sharing the immutable CSR.
+func (v *CSRView) Clone() *CSRView {
+	return &CSRView{
+		c:      v.c,
+		alive:  append([]bool(nil), v.alive...),
+		deg:    append([]int32(nil), v.deg...),
+		nAlive: v.nAlive,
+		mAlive: v.mAlive,
+		wAlive: v.wAlive,
+		dAlive: v.dAlive,
+	}
+}
+
+// MultiSourceBFS computes, for every node, the minimum unweighted distance
+// to any alive source, restricted to alive nodes. Dead nodes, dead
+// sources, and unreachable nodes get INF.
+func (v *CSRView) MultiSourceBFS(sources []Node) []int32 {
+	dist := make([]int32, v.c.NumNodes())
+	for i := range dist {
+		dist[i] = INF
+	}
+	queue := make([]Node, 0, len(sources))
+	for _, s := range sources {
+		if v.alive[s] && dist[s] == INF {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, w := range v.c.Neighbors(u) {
+			if v.alive[w] && dist[w] == INF {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ArticulationPoints returns a boolean mask over the alive nodes: mask[u]
+// is true when removing u disconnects the alive subgraph. It is the same
+// iterative Hopcroft–Tarjan low-link DFS as ArticulationPoints over a
+// Graph view, running on the packed CSR adjacency (identical sorted
+// neighbor order, so DFS trees — and therefore results — match exactly).
+func (v *CSRView) ArticulationPoints() []bool {
+	c := v.c
+	n := c.NumNodes()
+	isArt := make([]bool, n)
+	disc := make([]int32, n)  // discovery time, 0 = unvisited
+	low := make([]int32, n)   // low-link value
+	parent := make([]Node, n) // DFS-tree parent
+	childCnt := make([]int32, n)
+	iter := make([]int, n) // per-node adjacency cursor
+	for i := range parent {
+		parent[i] = -1
+	}
+	var timer int32 = 1
+	stack := make([]Node, 0, 64)
+
+	for s := 0; s < n; s++ {
+		if !v.alive[s] || disc[s] != 0 {
+			continue
+		}
+		disc[s], low[s] = timer, timer
+		timer++
+		stack = append(stack[:0], Node(s))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			adj := c.Neighbors(u)
+			advanced := false
+			for iter[u] < len(adj) {
+				w := adj[iter[u]]
+				iter[u]++
+				if !v.alive[w] {
+					continue
+				}
+				if disc[w] == 0 {
+					parent[w] = u
+					childCnt[u]++
+					disc[w], low[w] = timer, timer
+					timer++
+					stack = append(stack, w)
+					advanced = true
+					break
+				}
+				if w != parent[u] && disc[w] < low[u] {
+					low[u] = disc[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			p := parent[u]
+			if p >= 0 {
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+				if parent[p] >= 0 && low[u] >= disc[p] {
+					isArt[p] = true
+				}
+			}
+		}
+		if childCnt[s] >= 2 {
+			isArt[s] = true
+		}
+	}
+	return isArt
+}

@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomWeightedGraph builds a random graph whose every edge carries a
+// weight in (0.5, 2.5).
+func randomWeightedGraph(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.SetWeight(Node(u), Node(v), 0.5+2*rng.Float64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestCSRViewMatchesViewUnweighted(t *testing.T) {
+	g := randomGraph(40, 0.15, 7)
+	c := NewCSR(g)
+	v := NewView(g)
+	cv := NewCSRView(c)
+	rng := rand.New(rand.NewSource(1))
+	order := rng.Perm(40)
+	for _, u := range order[:30] {
+		v.Remove(Node(u))
+		cv.Remove(Node(u))
+		if v.NumAlive() != cv.NumAlive() || v.NumAliveEdges() != cv.NumAliveEdges() {
+			t.Fatalf("alive %d/%d edges %d/%d", v.NumAlive(), cv.NumAlive(),
+				v.NumAliveEdges(), cv.NumAliveEdges())
+		}
+		for x := Node(0); int(x) < 40; x++ {
+			if v.DegreeIn(x) != cv.DegreeIn(x) || v.Alive(x) != cv.Alive(x) {
+				t.Fatalf("node %d: deg %d/%d alive %v/%v", x,
+					v.DegreeIn(x), cv.DegreeIn(x), v.Alive(x), cv.Alive(x))
+			}
+		}
+		if cv.InternalWeight() != float64(cv.NumAliveEdges()) {
+			t.Fatalf("unweighted InternalWeight=%g want %d", cv.InternalWeight(), cv.NumAliveEdges())
+		}
+	}
+}
+
+// The incremental weighted aggregates must equal a direct recount after
+// any removal/restore sequence (within float tolerance — the recount sums
+// in a different order).
+func TestCSRViewWeightedAggregates(t *testing.T) {
+	g := randomWeightedGraph(30, 0.25, 3)
+	c := NewCSR(g)
+	cv := NewCSRView(c)
+	rng := rand.New(rand.NewSource(2))
+	recheck := func() {
+		var wC, dS float64
+		for u := Node(0); int(u) < 30; u++ {
+			if !cv.Alive(u) {
+				continue
+			}
+			dS += g.WeightedDegree(u)
+			for _, w := range g.Neighbors(u) {
+				if cv.Alive(w) && u < w {
+					wC += g.EdgeWeight(u, w)
+				}
+			}
+		}
+		if d := cv.InternalWeight() - wC; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("InternalWeight=%g recount=%g", cv.InternalWeight(), wC)
+		}
+		if d := cv.NodeWeightSum() - dS; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("NodeWeightSum=%g recount=%g", cv.NodeWeightSum(), dS)
+		}
+	}
+	recheck()
+	removed := make([]Node, 0, 30)
+	for _, u := range rng.Perm(30)[:20] {
+		cv.Remove(Node(u))
+		removed = append(removed, Node(u))
+		recheck()
+	}
+	for _, u := range removed {
+		cv.Restore(u)
+		recheck()
+	}
+	if cv.NumAlive() != 30 {
+		t.Fatalf("NumAlive=%d after full restore", cv.NumAlive())
+	}
+}
+
+// WeightedDegreeIn must equal the ordered sum of alive-neighbor weights —
+// exactly what the peeling objectives call k_{v,S}.
+func TestCSRViewWeightedDegreeIn(t *testing.T) {
+	g := randomWeightedGraph(25, 0.3, 11)
+	c := NewCSR(g)
+	cv := NewCSRView(c)
+	cv.Remove(3)
+	cv.Remove(17)
+	for u := Node(0); int(u) < 25; u++ {
+		var k float64
+		for _, w := range g.Neighbors(u) {
+			if cv.Alive(w) {
+				k += g.EdgeWeight(u, w)
+			}
+		}
+		if got := cv.WeightedDegreeIn(u); got != k {
+			t.Fatalf("WeightedDegreeIn(%d)=%g want %g", u, got, k)
+		}
+	}
+}
+
+func TestNewCSRViewOfDuplicatesAndSubset(t *testing.T) {
+	g := complete(6)
+	c := NewCSR(g)
+	v := NewCSRViewOf(c, []Node{0, 2, 4})
+	dup := NewCSRViewOf(c, []Node{0, 2, 4, 2, 0})
+	if v.NumAlive() != 3 || dup.NumAlive() != 3 {
+		t.Fatalf("alive %d/%d want 3", v.NumAlive(), dup.NumAlive())
+	}
+	if v.NumAliveEdges() != 3 || dup.NumAliveEdges() != 3 {
+		t.Fatalf("edges %d/%d want 3", v.NumAliveEdges(), dup.NumAliveEdges())
+	}
+	if v.InternalWeight() != 3 || dup.InternalWeight() != 3 ||
+		dup.NodeWeightSum() != v.NodeWeightSum() {
+		t.Fatalf("aggregates broken: wC=%g/%g dS=%g/%g",
+			v.InternalWeight(), dup.InternalWeight(), v.NodeWeightSum(), dup.NodeWeightSum())
+	}
+	if v.DegreeIn(0) != 2 || dup.DegreeIn(0) != 2 {
+		t.Fatalf("DegreeIn(0)=%d/%d want 2", v.DegreeIn(0), dup.DegreeIn(0))
+	}
+	if v.Alive(1) || dup.Alive(5) {
+		t.Fatal("dead nodes alive")
+	}
+}
+
+func TestCSRViewArticulationPointsMatchView(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(35, 0.12, seed)
+		c := NewCSR(g)
+		v := NewView(g)
+		cv := NewCSRView(c)
+		rng := rand.New(rand.NewSource(seed * 31))
+		for _, u := range rng.Perm(35)[:10] {
+			v.Remove(Node(u))
+			cv.Remove(Node(u))
+		}
+		want := ArticulationPoints(v)
+		got := cv.ArticulationPoints()
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("seed %d node %d: art %v vs %v", seed, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestCSRViewMultiSourceBFSMatchesView(t *testing.T) {
+	g := randomGraph(40, 0.1, 5)
+	c := NewCSR(g)
+	v := NewView(g)
+	cv := NewCSRView(c)
+	for _, u := range []Node{1, 7, 13, 22} {
+		v.Remove(u)
+		cv.Remove(u)
+	}
+	src := []Node{0, 9, 7} // 7 is dead: must be skipped by both
+	want := MultiSourceBFSView(v, src)
+	got := cv.MultiSourceBFS(src)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("dist[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSRMultiSourceBFSAndDijkstra(t *testing.T) {
+	g := randomWeightedGraph(30, 0.2, 9)
+	c := NewCSR(g)
+	wantB := MultiSourceBFS(g, []Node{0, 4})
+	gotB := c.MultiSourceBFS([]Node{0, 4})
+	for i := range wantB {
+		if wantB[i] != gotB[i] {
+			t.Fatalf("bfs dist[%d]=%d want %d", i, gotB[i], wantB[i])
+		}
+	}
+	wantD := Dijkstra(g, []Node{0})
+	gotD := c.Dijkstra([]Node{0})
+	for i := range wantD {
+		if wantD[i] != gotD[i] {
+			t.Fatalf("dijkstra dist[%d]=%g want %g", i, gotD[i], wantD[i])
+		}
+	}
+}
+
+func TestCSREdgesIterator(t *testing.T) {
+	g := randomWeightedGraph(20, 0.3, 13)
+	c := NewCSR(g)
+	var sum float64
+	count := 0
+	c.Edges(func(u, v Node, w float64) bool {
+		if u >= v {
+			t.Fatalf("edge (%d,%d) not u<v", u, v)
+		}
+		if w != g.EdgeWeight(u, v) {
+			t.Fatalf("weight(%d,%d)=%g want %g", u, v, w, g.EdgeWeight(u, v))
+		}
+		sum += w
+		count++
+		return true
+	})
+	if count != g.NumEdges() {
+		t.Fatalf("visited %d edges want %d", count, g.NumEdges())
+	}
+	if d := sum - g.TotalWeight(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("edge-weight sum %g want %g", sum, g.TotalWeight())
+	}
+}
+
+func TestCSRViewCloneIndependent(t *testing.T) {
+	g := randomWeightedGraph(15, 0.3, 1)
+	c := NewCSR(g)
+	v := NewCSRView(c)
+	cl := v.Clone()
+	cl.Remove(0)
+	if !v.Alive(0) || cl.Alive(0) {
+		t.Fatal("clone removal leaked")
+	}
+	if v.InternalWeight() == cl.InternalWeight() && v.DegreeIn(0) > 0 {
+		t.Fatal("clone aggregates not independent")
+	}
+}

@@ -22,9 +22,8 @@ type Node = int32
 // id, enabling binary-search membership tests via HasEdge.
 type Graph struct {
 	adj    [][]Node
-	m      int       // number of undirected edges
-	labels []string  // optional external labels, len 0 or NumNodes
-	w      []float64 // optional per-node... (unused; weights live on edges)
+	m      int      // number of undirected edges
+	labels []string // optional external labels, len 0 or NumNodes
 	ew     map[[2]Node]float64
 }
 
@@ -121,6 +120,22 @@ func (g *Graph) Edges(fn func(u, v Node) bool) {
 		for _, v := range g.adj[u] {
 			if Node(u) < v {
 				if !fn(Node(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// EdgesW is Edges with the edge weight passed along (1 for unweighted
+// graphs): one map lookup per undirected edge, in deterministic
+// ascending-adjacency order. It serves one-shot construction sweeps;
+// repeated weighted passes should pack a CSR and use CSR.Edges.
+func (g *Graph) EdgesW(fn func(u, v Node, w float64) bool) {
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if Node(u) < v {
+				if !fn(Node(u), v, g.EdgeWeight(Node(u), v)) {
 					return
 				}
 			}

@@ -170,7 +170,11 @@ func (h *dijkstraHeap) Pop() interface{} {
 
 // Dijkstra computes weighted shortest-path distances from the sources,
 // using EdgeWeight (1 for unweighted graphs, so it degenerates to BFS
-// distances). Unreachable nodes get +Inf encoded as -1.
+// distances). Unreachable nodes get +Inf encoded as -1. This is the
+// one-shot convenience form: it only pays map lookups for edges it
+// actually relaxes. Repeated or whole-graph weighted traversals should
+// pack a snapshot once and use CSR.Dijkstra, which reads the packed
+// weights instead.
 func Dijkstra(g *Graph, sources []Node) []float64 {
 	dist := make([]float64, g.NumNodes())
 	for i := range dist {

@@ -29,19 +29,24 @@ func NewView(g *Graph) *View {
 }
 
 // NewViewOf creates a view in which exactly the nodes of set are alive.
+// Duplicate nodes in set are counted once.
 func NewViewOf(g *Graph, set []Node) *View {
 	v := &View{
 		g:     g,
 		alive: make([]bool, g.NumNodes()),
 		deg:   make([]int32, g.NumNodes()),
 	}
+	// Dedup while preserving first-occurrence order; iterating the raw set
+	// below would double-count deg/mAlive for repeated nodes.
+	members := make([]Node, 0, len(set))
 	for _, u := range set {
 		if !v.alive[u] {
 			v.alive[u] = true
 			v.nAlive++
+			members = append(members, u)
 		}
 	}
-	for _, u := range set {
+	for _, u := range members {
 		for _, w := range g.Neighbors(u) {
 			if v.alive[w] {
 				v.deg[u]++

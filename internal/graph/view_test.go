@@ -62,6 +62,26 @@ func TestNewViewOf(t *testing.T) {
 	}
 }
 
+// Regression: NewViewOf must count deg/mAlive once per distinct node even
+// when the input set contains duplicates (it used to loop per occurrence
+// while only nAlive was dedup-guarded).
+func TestNewViewOfDuplicates(t *testing.T) {
+	g := complete(5)
+	v := NewViewOf(g, []Node{0, 1, 2})
+	dup := NewViewOf(g, []Node{0, 1, 2, 1, 0, 0})
+	if dup.NumAlive() != v.NumAlive() {
+		t.Fatalf("NumAlive=%d want %d", dup.NumAlive(), v.NumAlive())
+	}
+	if dup.NumAliveEdges() != v.NumAliveEdges() {
+		t.Fatalf("NumAliveEdges=%d want %d", dup.NumAliveEdges(), v.NumAliveEdges())
+	}
+	for u := Node(0); u < 5; u++ {
+		if dup.DegreeIn(u) != v.DegreeIn(u) {
+			t.Fatalf("DegreeIn(%d)=%d want %d", u, dup.DegreeIn(u), v.DegreeIn(u))
+		}
+	}
+}
+
 // Property: after any sequence of removals the view's edge count equals the
 // count of edges with both endpoints alive, and DegreeIn matches a direct
 // recount.

@@ -41,8 +41,7 @@ func MinCut(g *graph.Graph) (float64, []graph.Node) {
 	for i := range w {
 		w[i] = make([]float64, n)
 	}
-	g.Edges(func(u, v graph.Node) bool {
-		we := g.EdgeWeight(u, v)
+	g.EdgesW(func(u, v graph.Node, we float64) bool {
 		w[u][v] += we
 		w[v][u] += we
 		return true

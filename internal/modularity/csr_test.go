@@ -1,0 +1,101 @@
+package modularity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmcs/internal/graph"
+)
+
+func randomSet(rng *rand.Rand, n, size int) []graph.Node {
+	perm := rng.Perm(n)
+	out := make([]graph.Node, 0, size)
+	for _, u := range perm[:size] {
+		out = append(out, graph.Node(u))
+	}
+	return out
+}
+
+func TestStatsOfCSRMatchesStatsOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(30)
+		b := graph.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.15 {
+					b.AddEdge(graph.Node(u), graph.Node(v))
+				}
+			}
+		}
+		g := b.Build()
+		csr := graph.NewCSR(g)
+		set := randomSet(rng, n, 1+rng.Intn(n))
+		want := StatsOf(g, set)
+		got := StatsOfCSR(csr, set)
+		if want != got {
+			t.Fatalf("trial %d: StatsOfCSR=%+v want %+v", trial, got, want)
+		}
+		// duplicates must be counted once
+		dup := append(append([]graph.Node(nil), set...), set[0], set[len(set)-1])
+		if got := StatsOfCSR(csr, dup); got != want {
+			t.Fatalf("trial %d: duplicates changed stats: %+v want %+v", trial, got, want)
+		}
+	}
+}
+
+func TestCSRGoodnessMatchesGraphForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := graph.NewBuilder(30)
+	for u := 0; u < 30; u++ {
+		for v := u + 1; v < 30; v++ {
+			if rng.Float64() < 0.2 {
+				b.AddEdge(graph.Node(u), graph.Node(v))
+			}
+		}
+	}
+	g := b.Build()
+	csr := graph.NewCSR(g)
+	for trial := 0; trial < 10; trial++ {
+		set := randomSet(rng, 30, 2+rng.Intn(20))
+		if got, want := ClassicCSR(csr, set), Classic(g, set); got != want {
+			t.Fatalf("ClassicCSR=%v want %v", got, want)
+		}
+		if got, want := DensityCSR(csr, set), Density(g, set); got != want {
+			t.Fatalf("DensityCSR=%v want %v", got, want)
+		}
+		if got, want := GeneralizedDensityCSR(csr, set, 1.5), GeneralizedDensity(g, set, 1.5); got != want {
+			t.Fatalf("GeneralizedDensityCSR=%v want %v", got, want)
+		}
+	}
+}
+
+func TestDensityWeightedCSRMatchesMapForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := graph.NewBuilder(25)
+	for u := 0; u < 25; u++ {
+		for v := u + 1; v < 25; v++ {
+			if rng.Float64() < 0.25 {
+				b.SetWeight(graph.Node(u), graph.Node(v), 0.5+3*rng.Float64())
+			}
+		}
+	}
+	g := b.Build()
+	csr := graph.NewCSR(g)
+	for trial := 0; trial < 10; trial++ {
+		set := randomSet(rng, 25, 2+rng.Intn(15))
+		got := DensityWeightedCSR(csr, set)
+		want := DensityWeighted(g, set)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("DensityWeightedCSR=%v want %v", got, want)
+		}
+	}
+	// unweighted snapshots fall back to unit weights and the unweighted DM
+	gu := graph.FromEdges(4, [][2]graph.Node{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	cu := graph.NewCSR(gu)
+	set := []graph.Node{0, 1, 2}
+	if got, want := DensityWeightedCSR(cu, set), Density(gu, set); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("unweighted DensityWeightedCSR=%v want %v", got, want)
+	}
+}

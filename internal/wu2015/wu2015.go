@@ -85,9 +85,18 @@ func Proximity(g *graph.Graph, q []graph.Node, opt Options) []float64 {
 // nodes (r = 0) make the score 0, reflecting that they should never be in
 // the community.
 func QueryBiasedDensity(v *graph.View, prox []float64) float64 {
+	return queryBiasedDensity(v.NumAliveEdges(), v.Graph().NumNodes(), v.Alive, prox)
+}
+
+// QueryBiasedDensityCSR is QueryBiasedDensity over a CSR peeling view.
+func QueryBiasedDensityCSR(v *graph.CSRView, prox []float64) float64 {
+	return queryBiasedDensity(v.NumAliveEdges(), v.CSR().NumNodes(), v.Alive, prox)
+}
+
+func queryBiasedDensity(mAlive, n int, alive func(graph.Node) bool, prox []float64) float64 {
 	var wsum float64
-	for u := 0; u < v.Graph().NumNodes(); u++ {
-		if !v.Alive(graph.Node(u)) {
+	for u := 0; u < n; u++ {
+		if !alive(graph.Node(u)) {
 			continue
 		}
 		p := prox[u]
@@ -99,7 +108,7 @@ func QueryBiasedDensity(v *graph.View, prox []float64) float64 {
 	if wsum == 0 {
 		return 0
 	}
-	return float64(v.NumAliveEdges()) / wsum
+	return float64(mAlive) / wsum
 }
 
 // Search runs the greedy node-deletion algorithm: starting from the
@@ -107,24 +116,32 @@ func QueryBiasedDensity(v *graph.View, prox []float64) float64 {
 // non-query node with the smallest proximity-weighted retention score
 // r(v)^η · k(v,S), and return the intermediate subgraph with the largest
 // query-biased density. Returns nil when the query nodes are disconnected.
+// The peeling loop — articulation recomputation plus candidate scans every
+// iteration — runs on the packed CSR substrate like the dmcs searches.
 func Search(g *graph.Graph, q []graph.Node, opt Options) []graph.Node {
-	opt = opt.withDefaults()
-	if len(q) == 0 || !graph.SameComponent(g, q) {
+	if len(q) == 0 {
 		return nil
 	}
+	opt = opt.withDefaults()
+	c := graph.NewCSR(g)
+	// restrict to the component containing the query; the same distance
+	// array validates that the whole query is inside it
+	comp, dist := c.Component(q[0])
+	for _, u := range q[1:] {
+		if dist[u] == graph.INF {
+			return nil
+		}
+	}
 	prox := Proximity(g, q, opt)
-	v := graph.NewView(g)
-	// restrict to the component containing the query
-	comp := graph.ComponentOf(v, q[0])
-	v = graph.NewViewOf(g, comp)
+	v := graph.NewCSRViewOf(c, comp)
 	isQuery := make(map[graph.Node]bool, len(q))
 	for _, u := range q {
 		isQuery[u] = true
 	}
 	best := append([]graph.Node(nil), comp...)
-	bestScore := QueryBiasedDensity(v, prox)
+	bestScore := QueryBiasedDensityCSR(v, prox)
 	for v.NumAlive() > len(q) {
-		art := graph.ArticulationPoints(v)
+		art := v.ArticulationPoints()
 		var pick graph.Node = -1
 		pickScore := math.Inf(1)
 		for _, u := range comp {
@@ -142,7 +159,7 @@ func Search(g *graph.Graph, q []graph.Node, opt Options) []graph.Node {
 			break
 		}
 		v.Remove(pick)
-		if s := QueryBiasedDensity(v, prox); s > bestScore {
+		if s := QueryBiasedDensityCSR(v, prox); s > bestScore {
 			bestScore = s
 			best = v.LiveNodes()
 		}
