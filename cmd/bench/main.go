@@ -1,12 +1,22 @@
 // Command bench runs the repository's Go benchmarks with a pinned
-// -benchtime and records ns/op per benchmark in a JSON file, so the
-// performance trajectory of the hot paths is checked in next to the code
-// (BENCH_2.json at the repo root is the CSR-migration baseline).
+// -benchtime and records ns/op and allocs/op per benchmark in a JSON
+// file, so the performance trajectory of the hot paths is checked in
+// next to the code (BENCH_2.json is the CSR-migration baseline,
+// BENCH_3.json the query-scoped SubCSR/arena baseline).
 //
 // Usage:
 //
-//	go run ./cmd/bench                       # weighted-search suite -> BENCH_2.json
+//	go run ./cmd/bench                       # weighted + small-query suite -> BENCH_3.json
 //	go run ./cmd/bench -bench . -pkgs ./...  # everything (slow)
+//
+// -baseline merges a previously recorded report into the output (under
+// "baseline_ns_per_op") and computes per-benchmark speedups, so a single
+// JSON artifact shows before/after.
+//
+// -gate enforces allocation budgets: "-gate BenchmarkName=N" (comma
+// separated, suffix-matched against package-qualified names) exits
+// non-zero when a benchmark allocates more than N allocs/op. CI uses it
+// to fail when steady-state engine query serving starts allocating.
 package main
 
 import (
@@ -23,45 +33,59 @@ import (
 	"strings"
 )
 
-// benchLine matches standard testing.B output:
-// BenchmarkName-8   123   4567 ns/op [extra metrics...]
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+// benchLine matches standard testing.B output with -benchmem:
+// BenchmarkName-8   123   4567 ns/op   89 B/op   7 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
 
 type report struct {
-	GoVersion string             `json:"go_version"`
-	NumCPU    int                `json:"num_cpu"`
-	Benchtime string             `json:"benchtime"`
-	Packages  []string           `json:"packages"`
-	NsPerOp   map[string]float64 `json:"ns_per_op"`
+	GoVersion   string             `json:"go_version"`
+	NumCPU      int                `json:"num_cpu"`
+	Benchtime   string             `json:"benchtime"`
+	Packages    []string           `json:"packages"`
+	NsPerOp     map[string]float64 `json:"ns_per_op"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	// BaselineNsPerOp and Speedup are present only when -baseline is
+	// given: the prior report's numbers and new-vs-old ratios for the
+	// benchmarks both runs contain.
+	BaselineNsPerOp     map[string]float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp map[string]float64 `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             map[string]float64 `json:"speedup,omitempty"`
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_2.json", "output JSON path")
+		out       = flag.String("out", "BENCH_3.json", "output JSON path")
 		benchtime = flag.String("benchtime", "200ms", "go test -benchtime value (pinned for comparability)")
-		bench     = flag.String("bench", "Weighted", "go test -bench regex")
-		pkgs      = flag.String("pkgs", "./internal/dmcs", "comma-separated package patterns")
+		bench     = flag.String("bench", "Weighted|SmallQueries", "go test -bench regex")
+		pkgs      = flag.String("pkgs", "./internal/dmcs,./internal/engine", "comma-separated package patterns")
+		baseline  = flag.String("baseline", "", "prior report JSON to merge as the before numbers")
+		gate      = flag.String("gate", "", "comma-separated Name=MaxAllocs budgets enforced on allocs/op")
 	)
 	flag.Parse()
 
 	patterns := strings.Split(*pkgs, ",")
-	args := append([]string{"test", "-run=NONE", "-bench", *bench, "-benchtime", *benchtime}, patterns...)
+	args := append([]string{"test", "-run=NONE", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
 	if err := cmd.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 
 	rep := report{
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Benchtime: *benchtime,
-		Packages:  patterns,
-		NsPerOp:   map[string]float64{},
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Benchtime:   *benchtime,
+		Packages:    patterns,
+		NsPerOp:     map[string]float64{},
+		AllocsPerOp: map[string]float64{},
 	}
 	pkg := ""
 	sc := bufio.NewScanner(&buf)
@@ -84,20 +108,75 @@ func main() {
 			name = pkg + "." + name
 		}
 		rep.NsPerOp[name] = ns
+		if m[5] != "" {
+			if allocs, err := strconv.ParseFloat(m[5], 64); err == nil {
+				rep.AllocsPerOp[name] = allocs
+			}
+		}
 	}
 	if len(rep.NsPerOp) == 0 {
-		fmt.Fprintln(os.Stderr, "bench: no benchmark results parsed")
-		os.Exit(1)
+		fail("no benchmark results parsed")
 	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fail("baseline: %v", err)
+		}
+		var base report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fail("baseline: %v", err)
+		}
+		rep.BaselineNsPerOp = base.NsPerOp
+		rep.BaselineAllocsPerOp = base.AllocsPerOp
+		rep.Speedup = map[string]float64{}
+		for name, ns := range rep.NsPerOp {
+			if old, ok := base.NsPerOp[name]; ok && ns > 0 {
+				rep.Speedup[name] = old / ns
+			}
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.NsPerOp))
+
+	if *gate != "" {
+		violations := 0
+		for _, g := range strings.Split(*gate, ",") {
+			name, limitStr, ok := strings.Cut(strings.TrimSpace(g), "=")
+			if !ok {
+				fail("bad -gate entry %q (want Name=MaxAllocs)", g)
+			}
+			limit, err := strconv.ParseFloat(limitStr, 64)
+			if err != nil {
+				fail("bad -gate limit %q: %v", limitStr, err)
+			}
+			matched := false
+			for full, allocs := range rep.AllocsPerOp {
+				if full == name || strings.HasSuffix(full, "."+name) {
+					matched = true
+					if allocs > limit {
+						fmt.Fprintf(os.Stderr, "bench: GATE FAILED %s: %.0f allocs/op > %.0f\n", full, allocs, limit)
+						violations++
+					} else {
+						fmt.Printf("gate ok: %s %.0f allocs/op <= %.0f\n", full, allocs, limit)
+					}
+				}
+			}
+			if !matched {
+				fmt.Fprintf(os.Stderr, "bench: GATE FAILED %s: benchmark not found in results\n", name)
+				violations++
+			}
+		}
+		if violations > 0 {
+			os.Exit(1)
+		}
+	}
 }

@@ -50,7 +50,7 @@
 // sorted, duplicate-free queries get byte-identical answers to the
 // serial entry points.
 //
-// # Architecture: the flat CSR core
+// # Architecture: the flat CSR core, scoped per query
 //
 // Every algorithm in the library runs on one canonical substrate: a CSR
 // snapshot of the graph — adjacency packed into a single contiguous
@@ -61,15 +61,29 @@
 // packed arrays. No hashed edge-weight-map lookup happens on any query
 // path.
 //
+// Individual queries are additionally scoped to their connected
+// component: the search relabels the component into a compact sub-CSR
+// and peels entirely in that dense local space, so per-query time and
+// memory are proportional to the component — typically a tiny fraction
+// of the graph — rather than to the whole snapshot. All per-query
+// scratch (the compact sub-CSR, alive-set arrays, BFS queues, heaps,
+// epoch-tagged visited tables) comes from reusable arenas: the one-shot
+// entry points draw them from an internal pool, and the Engine owns one
+// per worker plus a per-component sub-CSR cache on its snapshot. The
+// zero-alloc contract that falls out: steady-state engine serving —
+// a warm result cache answering repeated queries — performs zero heap
+// allocations per query, and even a computed query allocates only its
+// escaping Result. CI gates the cache-hit benchmark at 0 allocs/op.
+//
 // The map-backed Graph is the construction and I/O type only: build or
 // parse one, then either call the one-shot entry points (FPA, NCA,
 // Search — each packs a throwaway snapshot per call), or pack a snapshot
 // yourself with NewCSR and reuse it across calls to SearchCSR, or — for
 // concurrent serving — hand the graph to NewEngine, which snapshots once
 // and routes every query through the shared packed arrays. All three
-// routes return identical results; the CSR port preserves the exact
-// float accumulation order of the historical implementation, so even
-// scores are bit-identical.
+// routes return identical results; the compact relabelling is monotonic
+// and the substrate preserves the exact float accumulation order of the
+// historical implementation, so even scores are bit-identical.
 package dmcs
 
 import (

@@ -8,7 +8,7 @@
 package clique
 
 import (
-	"sort"
+	"slices"
 
 	"dmcs/internal/graph"
 )
@@ -170,7 +170,7 @@ func PercolationCommunity(g *graph.Graph, q graph.Node, k int) []graph.Node {
 	for u := range seen {
 		out = append(out, u)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

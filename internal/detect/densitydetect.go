@@ -1,7 +1,7 @@
 package detect
 
 import (
-	"sort"
+	"slices"
 
 	"dmcs/internal/graph"
 	"dmcs/internal/modularity"
@@ -219,7 +219,7 @@ func PartitionCommunities(labels []int) [][]graph.Node {
 		out[lab] = append(out[lab], graph.Node(u))
 	}
 	for _, c := range out {
-		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		slices.Sort(c)
 	}
 	return out
 }

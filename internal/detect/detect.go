@@ -11,7 +11,7 @@
 package detect
 
 import (
-	"sort"
+	"slices"
 
 	"dmcs/internal/graph"
 	"dmcs/internal/modularity"
@@ -169,7 +169,7 @@ func GirvanNewman(g *graph.Graph, q []graph.Node, maxRemovals int) []graph.Node 
 			best = append(best[:0], comp...)
 		}
 	}
-	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	slices.Sort(best)
 	return best
 }
 
@@ -264,7 +264,7 @@ func CNM(g *graph.Graph, q []graph.Node) []graph.Node {
 		active--
 		scoreIfQueryCommunity(bi)
 	}
-	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	slices.Sort(best)
 	return best
 }
 
@@ -483,7 +483,7 @@ func ICWI2008(g *graph.Graph, q []graph.Node) []graph.Node {
 	for u := range s {
 		out = append(out, u)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

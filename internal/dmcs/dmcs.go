@@ -12,7 +12,7 @@
 // plus the layer-based pruning strategy of Section 5.7 and the multi-query
 // Steiner merge of Section 5.6.
 //
-// # Architecture: one flat substrate
+// # Architecture: one flat substrate, query-scoped
 //
 // Every search runs on a graph.CSR snapshot — packed adjacency, a packed
 // parallel edge-weight slice, and cached per-node weighted degrees d_v and
@@ -25,15 +25,36 @@
 // (internal/engine) build the snapshot once and call the CSR entry points
 // directly. The map-backed Graph remains the construction/IO type only.
 //
-// The CSR port is float-exact: weight accumulation follows the same
-// sorted-adjacency order the historical map-backed implementation used,
-// so communities AND scores are bit-identical (see
-// TestDifferentialLegacyVsCSR).
+// On top of the snapshot, every query is scoped to its connected
+// component: the component is relabelled into a compact graph.SubCSR
+// (dense 0..k-1 ids, identity-wrapped when it spans the whole graph) and
+// the entire peel — layer grouping, Θ heap, articulation sweeps,
+// candidate scans — runs in the local id space, so a 50-node community
+// on a 10M-node graph touches 50-node-sized state, not 10M-node-sized
+// state. All scratch comes from a reusable Arena (pooled here, owned
+// per worker by internal/engine): sub-CSR backing stores, view arrays,
+// epoch-tagged visited tables, BFS queues, heap storage, the removal
+// trace. The zero-alloc contract: once an arena is warm, a search heap-
+// allocates only the Result and its Community slice (plus RemovalOrder
+// when requested) — everything else is recycled, which is what lets the
+// engine serve steady-state traffic with 0 allocs/op.
+//
+// NCA additionally re-compacts geometrically: whenever the alive set
+// (by nodes or edges) halves, the sub-CSR is rebuilt over the survivors
+// so its per-removal articulation DFS and candidate rescan cost
+// O(alive), collapsing the historical O(iterations·(n+m)) behavior.
+// Aggregates are carried — never re-accumulated — across rebuilds.
+//
+// The whole substrate is float-exact: relabelling is monotonic and
+// weight accumulation follows the same sorted-adjacency order the
+// historical map-backed implementation used, so communities AND scores
+// are bit-identical (see TestDifferentialLegacyVsCSR and
+// TestArenaReuseMatchesFresh, which re-proves it on poisoned arenas).
 package dmcs
 
 import (
 	"errors"
-	"sort"
+	"slices"
 	"time"
 
 	"dmcs/internal/graph"
@@ -150,14 +171,22 @@ func SearchComponent(g *graph.Graph, q, comp []graph.Node, variant Variant, opts
 }
 
 // SearchCSR runs the selected variant against a packed snapshot: it
-// validates the query, extracts the sorted connected component containing
-// it, and peels.
+// validates the query, enumerates the sorted connected component
+// containing it, and peels. The component flood uses the arena's
+// epoch-tagged visited table (no whole-graph distance array to clear),
+// so the entire call — admission, extraction, peel — costs
+// O(|component|), not O(|G|).
 func SearchCSR(c *graph.CSR, q []graph.Node, variant Variant, opts Options) (*Result, error) {
-	comp, err := queryComponent(c, q)
+	if len(q) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
+	comp, err := queryComponentArena(a, c, q)
 	if err != nil {
 		return nil, err
 	}
-	return SearchComponentCSR(c, q, comp, variant, opts)
+	return searchExtract(a, c, q, comp, variant, opts)
 }
 
 // SearchComponentCSR runs the selected variant on a precomputed connected
@@ -166,19 +195,69 @@ func SearchCSR(c *graph.CSR, q []graph.Node, variant Variant, opts Options) (*Re
 // Callers that serve many queries against one graph (internal/engine)
 // precompute the component partition once and skip the per-query BFS +
 // sort; comp is only read, so one slice may serve concurrent searches.
+//
+// The search itself is query-scoped: the component is relabelled into a
+// compact sub-CSR (skipped when it spans the whole snapshot) and every
+// peel structure is sized to the component, so the per-query cost is
+// O(|component|), not O(|G|). Scratch comes from a pooled Arena; callers
+// that want per-worker arenas (and a prebuilt sub-CSR) use SearchSub.
 func SearchComponentCSR(c *graph.CSR, q, comp []graph.Node, variant Variant, opts Options) (*Result, error) {
 	if len(q) == 0 {
 		return nil, ErrEmptyQuery
 	}
+	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
+	return searchExtract(a, c, q, comp, variant, opts)
+}
+
+// searchExtract compacts comp into the arena's sub-CSR slot (or wraps the
+// snapshot when the component spans it) and dispatches.
+func searchExtract(a *Arena, c *graph.CSR, q, comp []graph.Node, variant Variant, opts Options) (*Result, error) {
+	var sub *graph.SubCSR
+	if len(comp) == c.NumNodes() {
+		sub = a.g.WrapFull(0, c)
+	} else {
+		sub = a.g.ExtractSub(0, c, comp)
+	}
+	return searchSub(a, sub, q, comp, variant, opts)
+}
+
+// SearchSub runs the selected variant against a prebuilt sub-CSR using
+// caller-owned scratch: sub must be the compact snapshot of comp (the
+// sorted connected component containing every query node, in source ids),
+// either extracted with graph.NewSubCSR or wrapped with graph.WrapCSR.
+// The engine calls it with its per-worker arena and its per-component
+// sub-CSR cache, so steady-state serving touches only component-sized
+// memory and allocates nothing but the Result. sub and comp are only
+// read; the arena is exclusively owned for the duration of the call.
+func SearchSub(a *Arena, sub *graph.SubCSR, q, comp []graph.Node, variant Variant, opts Options) (*Result, error) {
+	return searchSub(a, sub, q, comp, variant, opts)
+}
+
+// searchSub translates the query into local ids and dispatches.
+func searchSub(a *Arena, sub *graph.SubCSR, q, comp []graph.Node, variant Variant, opts Options) (*Result, error) {
+	if len(q) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	a.layerGen = 0 // new query: peelLayerTheta re-seeds its tags
+	lq := a.localQ[:0]
+	for _, u := range q {
+		l, ok := sub.LocalOf(u)
+		if !ok {
+			return nil, errOutOfRange
+		}
+		lq = append(lq, l)
+	}
+	a.localQ = lq
 	switch variant {
 	case VariantNCA:
-		return runNCA(c, q, comp, opts, pickLambda)
+		return runNCA(a, sub, lq, comp, opts, pickLambda)
 	case VariantNCADR:
-		return runNCA(c, q, comp, opts, pickTheta)
+		return runNCA(a, sub, lq, comp, opts, pickTheta)
 	case VariantFPA:
-		return runFPA(c, q, comp, opts, true)
+		return runFPA(a, sub, lq, comp, opts, true)
 	case VariantFPADMG:
-		return runFPA(c, q, comp, opts, false)
+		return runFPA(a, sub, lq, comp, opts, false)
 	}
 	return nil, errors.New("dmcs: unknown variant")
 }
@@ -203,40 +282,97 @@ func FPADMG(g *graph.Graph, q []graph.Node, opts Options) (*Result, error) {
 	return Search(g, q, VariantFPADMG, opts)
 }
 
-// peelState drives one peel: a CSRView maintains the alive subgraph and
-// its sufficient statistics (w_C, d_S) incrementally over the packed
-// arrays; peelState adds the removal trace, the best intermediate
-// subgraph seen so far, and deadline/cancellation polling. Statistics are
-// floats so the same code path serves unweighted graphs (where they are
-// exact integers) and the weighted Definition 2.
-type peelState struct {
-	c     *graph.CSR
-	v     *graph.CSRView
-	wG    float64   // total edge weight of G (|E| when unweighted)
-	wdeg  []float64 // cached node weights d_v, shared with the snapshot
-	opts  Options
-	comp  []graph.Node // initial component (node universe of the search)
-	trace []graph.Node // removal order
-	// best intermediate subgraph = comp minus trace[:bestIdx]
-	bestIdx   int
-	bestScore float64
-	deadline  time.Time
-	timedOut  bool
+// deadlinePoller amortizes wall-clock checks during peeling: the
+// cancellation channel is polled on every call (cheap, non-blocking), but
+// time.Now() is consulted only every 64 calls — a syscall per removal
+// dominated small-community peels before. The first call always checks,
+// so an already-expired deadline stops the search before any removal.
+type deadlinePoller struct {
+	deadline time.Time
+	cancel   <-chan struct{}
+	calls    uint32
+	expired  bool
 }
 
-func newPeelState(c *graph.CSR, comp []graph.Node, opts Options) *peelState {
-	s := &peelState{
-		c:    c,
-		v:    graph.NewCSRViewOf(c, comp),
-		wG:   c.TotalWeight(),
-		wdeg: c.WeightedDegrees(),
-		opts: opts,
-		comp: comp,
+// deadlinePollStride is the number of check calls between time.Now()
+// polls; a power of two so the modulus is a mask.
+const deadlinePollStride = 64
+
+func (p *deadlinePoller) check() bool {
+	if p.expired {
+		return true
+	}
+	if p.cancel != nil {
+		select {
+		case <-p.cancel:
+			p.expired = true
+			return true
+		default:
+		}
+	}
+	if p.deadline.IsZero() {
+		return false
+	}
+	p.calls++
+	if p.calls&(deadlinePollStride-1) != 1 {
+		return false
+	}
+	if time.Now().After(p.deadline) {
+		p.expired = true
+	}
+	return p.expired
+}
+
+// peelState drives one peel over a compact sub-CSR: a CSRView maintains
+// the alive subgraph and its sufficient statistics (w_C, d_S)
+// incrementally over the packed local arrays; peelState adds the removal
+// trace (recorded in source ids, so it survives re-compaction), the best
+// intermediate subgraph seen so far, and deadline/cancellation polling.
+// Statistics are floats so the same code path serves unweighted graphs
+// (where they are exact integers) and the weighted Definition 2. All
+// mutable storage is arena-backed.
+type peelState struct {
+	a    *Arena
+	sub  *graph.SubCSR  // current compact snapshot (swapped by re-compaction)
+	v    *graph.CSRView // alive overlay of sub
+	wG   float64        // total edge weight of G (|E| when unweighted)
+	wdeg []float64      // node weights d_v of sub's members, by local id
+	opts Options
+	// origGlobals[i] is the source id of the i-th node of the search
+	// universe at construction (the component — stable caller memory);
+	// universe restricts it to a subset of construction-time local ids
+	// (nil = the whole sub). Together they let result() reconstruct the
+	// community after the sub has been re-compacted away.
+	origGlobals []graph.Node
+	universe    []graph.Node
+	trace       []graph.Node // removal order, source ids
+	// best intermediate subgraph = universe minus trace[:bestIdx]
+	bestIdx   int
+	bestScore float64
+	poll      deadlinePoller
+}
+
+// newPeelState resets the arena's embedded peel state around an
+// already-built view of sub. universe is nil for a full-sub peel, or the
+// sorted construction-time local ids the view was restricted to.
+func newPeelState(a *Arena, sub *graph.SubCSR, v *graph.CSRView, origGlobals, universe []graph.Node, opts Options) *peelState {
+	s := &a.ps
+	*s = peelState{
+		a:           a,
+		sub:         sub,
+		v:           v,
+		wG:          sub.TotalWeight(),
+		wdeg:        sub.WeightedDegrees(),
+		opts:        opts,
+		origGlobals: origGlobals,
+		universe:    universe,
+		trace:       a.trace[:0],
 	}
 	s.bestScore = s.score()
 	if opts.Timeout > 0 {
-		s.deadline = time.Now().Add(opts.Timeout)
+		s.poll.deadline = time.Now().Add(opts.Timeout)
 	}
+	s.poll.cancel = opts.Cancel
 	return s
 }
 
@@ -271,69 +407,78 @@ func scoreView(v *graph.CSRView, wG float64, opts Options) float64 {
 	}
 }
 
-// remove deletes u (the view updates w_C and d_S) and records the new
-// subgraph as best when it scores at least as well (Algorithm 2 line 13
-// uses ≥, which prefers the smaller of equally good communities).
+// remove deletes local node u (the view updates w_C and d_S), records its
+// source id in the trace, and records the new subgraph as best when it
+// scores at least as well (Algorithm 2 line 13 uses ≥, which prefers the
+// smaller of equally good communities).
 func (s *peelState) remove(u graph.Node) {
 	s.v.Remove(u)
-	s.trace = append(s.trace, u)
+	s.trace = append(s.trace, s.sub.GlobalOf(u))
 	if sc := s.score(); sc >= s.bestScore {
 		s.bestScore = sc
 		s.bestIdx = len(s.trace)
 	}
 }
 
-// expired polls the cancellation channel and the deadline (cheaply, only
-// when they are set).
-func (s *peelState) expired() bool {
-	if s.timedOut {
-		return true
-	}
-	if s.opts.Cancel != nil {
-		select {
-		case <-s.opts.Cancel:
-			s.timedOut = true
-			return true
-		default:
-		}
-	}
-	if s.deadline.IsZero() {
-		return false
-	}
-	if time.Now().After(s.deadline) {
-		s.timedOut = true
-	}
-	return s.timedOut
-}
+// expired polls the cancellation channel on every call and the deadline
+// every deadlinePollStride calls.
+func (s *peelState) expired() bool { return s.poll.check() }
 
-// result reconstructs the best intermediate subgraph.
+// result reconstructs the best intermediate subgraph: the construction
+// universe minus the first bestIdx removals, both in ascending source-id
+// order, filtered by a sorted merge (the historical implementation
+// built a map of the dead prefix per query). The Community slice is the
+// one allocation a warm arena's search performs — it escapes to the
+// caller.
 func (s *peelState) result() *Result {
-	dead := make(map[graph.Node]bool, s.bestIdx)
-	for _, u := range s.trace[:s.bestIdx] {
-		dead[u] = true
+	dead := append(s.a.dead[:0], s.trace[:s.bestIdx]...)
+	slices.Sort(dead)
+	s.a.dead = dead
+
+	size := len(s.universe)
+	if s.universe == nil {
+		size = len(s.origGlobals)
 	}
-	community := make([]graph.Node, 0, len(s.comp)-s.bestIdx)
-	for _, u := range s.comp {
-		if !dead[u] {
-			community = append(community, u)
+	community := make([]graph.Node, 0, size-s.bestIdx)
+	j := 0
+	if s.universe == nil {
+		for _, g := range s.origGlobals {
+			if j < len(dead) && dead[j] == g {
+				j++
+				continue
+			}
+			community = append(community, g)
+		}
+	} else {
+		for _, u := range s.universe {
+			g := s.origGlobals[u]
+			if j < len(dead) && dead[j] == g {
+				j++
+				continue
+			}
+			community = append(community, g)
 		}
 	}
 	r := &Result{
 		Community:  community,
 		Score:      s.bestScore,
 		Iterations: len(s.trace),
-		TimedOut:   s.timedOut,
+		TimedOut:   s.poll.expired,
 	}
 	if s.opts.TrackOrder {
 		r.RemovalOrder = append([]graph.Node(nil), s.trace...)
 	}
+	s.a.trace = s.trace[:0] // hand the grown trace back to the arena
 	return r
 }
 
-// queryComponent validates the query and returns the connected component
-// containing it, sorted. One BFS from the first query node both checks
-// connectivity of Q and enumerates the component.
-func queryComponent(c *graph.CSR, q []graph.Node) ([]graph.Node, error) {
+// queryComponentArena validates the query and returns the connected
+// component containing it, sorted ascending, in arena memory valid for
+// the current query. One flood from the first query node both checks
+// connectivity of Q and enumerates the component; visited bookkeeping is
+// the arena's epoch-tagged mark table, so nothing whole-graph-sized is
+// written — the flood touches O(|component|) memory.
+func queryComponentArena(a *Arena, c *graph.CSR, q []graph.Node) ([]graph.Node, error) {
 	if len(q) == 0 {
 		return nil, ErrEmptyQuery
 	}
@@ -342,15 +487,31 @@ func queryComponent(c *graph.CSR, q []graph.Node) ([]graph.Node, error) {
 			return nil, errOutOfRange
 		}
 	}
-	comp, dist := c.Component(q[0])
+	a.g.BeginEpoch(c.NumNodes())
+	comp := append(a.compBuf[:0], q[0]) // BFS queue doubles as the member list
+	a.g.Mark(q[0], 0)
+	for head := 0; head < len(comp); head++ {
+		for _, w := range c.Neighbors(comp[head]) {
+			if _, seen := a.g.Marked(w); !seen {
+				a.g.Mark(w, 0)
+				comp = append(comp, w)
+			}
+		}
+	}
+	a.compBuf = comp
 	for _, u := range q[1:] {
-		if dist[u] == graph.INF {
+		if _, seen := a.g.Marked(u); !seen {
 			return nil, ErrDisconnected
 		}
 	}
+	slices.Sort(comp)
 	return comp, nil
 }
 
+// sortNodes sorts node ids ascending. slices.Sort compiles to a
+// monomorphized pdqsort — no reflection, no per-comparison indirection —
+// which BenchmarkSortNodes* in internal/graph quantifies against the
+// historical sort.Slice.
 func sortNodes(a []graph.Node) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	slices.Sort(a)
 }

@@ -382,12 +382,13 @@ func TestSteinerProtect(t *testing.T) {
 		b.AddEdge(graph.Node(i), graph.Node(i+1))
 	}
 	g := b.Build()
-	prot := steinerProtect(graph.NewCSR(g), []graph.Node{0, 4})
+	sub := graph.WrapCSR(graph.NewCSR(g))
+	prot := steinerProtect(NewArena(), sub, []graph.Node{0, 4})
 	if len(prot) != 5 {
 		t.Fatalf("protected=%v want the whole path", prot)
 	}
 	// single query: just itself
-	if p := steinerProtect(graph.NewCSR(g), []graph.Node{2}); len(p) != 1 || p[0] != 2 {
+	if p := steinerProtect(NewArena(), sub, []graph.Node{2}); len(p) != 1 || p[0] != 2 {
 		t.Fatalf("single protect=%v", p)
 	}
 }

@@ -1,7 +1,6 @@
 package dmcs
 
 import (
-	"container/heap"
 	"math"
 	"time"
 
@@ -9,46 +8,53 @@ import (
 	"dmcs/internal/modularity"
 )
 
-// steinerProtect returns the protected node set of Section 5.6: the query
-// nodes plus, when there are several, the nodes on shortest paths from a
-// root query node to every other query node. Protected nodes get distance
-// 0 and are never removed, which guarantees that removing any farthest
-// node keeps the subgraph connected.
-func steinerProtect(c *graph.CSR, q []graph.Node) []graph.Node {
+// steinerProtect returns the protected node set of Section 5.6 in local
+// ids, sorted ascending: the query nodes plus, when there are several,
+// the nodes on shortest paths from a root query node to every other query
+// node. Protected nodes get distance 0 and are never removed, which
+// guarantees that removing any farthest node keeps the subgraph
+// connected. All scratch (BFS parents, queue, membership flags) is
+// arena-backed and component-sized.
+func steinerProtect(a *Arena, sub *graph.SubCSR, q []graph.Node) []graph.Node {
+	a.protected = append(a.protected[:0], q...)
 	if len(q) <= 1 {
-		return append([]graph.Node(nil), q...)
+		return a.protected
 	}
+	k := sub.NumNodes()
 	// BFS parents from the root query node
-	parent := make([]graph.Node, c.NumNodes())
+	parent := a.g.Nodes(0, k)
 	for i := range parent {
 		parent[i] = -1
 	}
 	root := q[0]
 	parent[root] = root
-	queue := []graph.Node{root}
+	queue := append(a.g.Queue(k), root)
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
-		for _, w := range c.Neighbors(u) {
+		for _, w := range sub.Neighbors(u) {
 			if parent[w] < 0 {
 				parent[w] = u
 				queue = append(queue, w)
 			}
 		}
 	}
-	set := map[graph.Node]bool{root: true}
+	inSet := a.g.Marks(0, k)
+	inSet[root] = true
 	for _, t := range q[1:] {
-		for u := t; !set[u]; u = parent[u] {
+		for u := t; !inSet[u]; u = parent[u] {
 			if parent[u] < 0 {
 				break // unreachable; caller validates connectivity
 			}
-			set[u] = true
+			inSet[u] = true
 		}
 	}
-	out := make([]graph.Node, 0, len(set))
-	for u := range set {
-		out = append(out, u)
+	out := a.protected[:0]
+	for u := 0; u < k; u++ {
+		if inSet[u] {
+			out = append(out, graph.Node(u))
+		}
 	}
-	sortNodes(out)
+	a.protected = out
 	return out
 }
 
@@ -61,68 +67,70 @@ type thetaItem struct {
 	k     float64
 }
 
-type thetaHeap []thetaItem
-
-func (h thetaHeap) Len() int { return len(h) }
-func (h thetaHeap) Less(i, j int) bool {
-	if h[i].theta != h[j].theta {
-		return h[i].theta > h[j].theta // max-heap on Θ
-	}
-	// Θ ties are common (every fully-internal node has Θ = 1). Break them
-	// the way the exact criterion Λ would: with k_v = Θ·d_v fixed, Λ =
-	// k_v·(Θ(2d_S − Θk_v) − 4w_G) is maximized by the smallest k_v at the
-	// start of peeling, so remove low-degree nodes first.
-	if h[i].k != h[j].k {
-		return h[i].k < h[j].k
-	}
-	return h[i].node < h[j].node
-}
-func (h thetaHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *thetaHeap) Push(x interface{}) { *h = append(*h, x.(thetaItem)) }
-func (h *thetaHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// runFPA implements Algorithm 2 and its FPA-DMG sibling. useTheta selects
-// the density-ratio pick (stable, heap-driven); otherwise the density
-// modularity gain Λ is rescanned over the remaining layer candidates each
-// iteration (unstable, the 150× slowdown of Section 6.2.5). comp is the
-// sorted connected component containing q (see SearchComponentCSR).
-func runFPA(c *graph.CSR, q, comp []graph.Node, opts Options, useTheta bool) (*Result, error) {
-	protected := steinerProtect(c, q)
+// runFPA implements Algorithm 2 and its FPA-DMG sibling over the compact
+// sub-CSR. useTheta selects the density-ratio pick (stable, heap-driven);
+// otherwise the density modularity gain Λ is rescanned over the remaining
+// layer candidates each iteration (unstable, the 150× slowdown of Section
+// 6.2.5). q is in local ids; comp is the sorted source-id component (see
+// SearchComponentCSR), used only to reconstruct the result.
+func runFPA(a *Arena, sub *graph.SubCSR, q, comp []graph.Node, opts Options, useTheta bool) (*Result, error) {
+	protected := steinerProtect(a, sub, q)
 	if opts.LayerPruning {
-		return fpaWithPruning(c, comp, protected, opts, useTheta)
+		return fpaWithPruning(a, sub, protected, comp, opts, useTheta)
 	}
-	s := newPeelState(c, comp, opts)
-	dist := s.v.MultiSourceBFS(protected)
-	layers, maxD := groupLayers(comp, dist)
+	k := sub.NumNodes()
+	s := newPeelState(a, sub, a.g.ViewAll(0, sub), comp, nil, opts)
+	dist := s.v.MultiSourceBFSInto(protected, a.g.Dist(0, k), a.g.Queue(k))
+	maxD := groupLayersInto(a, k, dist)
 	for d := maxD; d >= 1; d-- {
 		if s.expired() {
 			break
 		}
-		peelLayer(s, layers[d], useTheta)
+		peelLayer(s, a.layer(d), useTheta)
 	}
 	return s.result(), nil
 }
 
-// groupLayers buckets comp by distance; unreachable nodes cannot occur
-// because comp is a connected component containing the sources.
-func groupLayers(comp []graph.Node, dist []int32) ([][]graph.Node, int) {
+// groupLayersInto buckets the k local nodes by BFS distance into the
+// arena's flat bucket structure (counts, prefix offsets, one fill pass —
+// the CSR trick again) and returns the maximum distance. Within a layer
+// nodes come out in ascending id order, exactly the order the historical
+// append-per-node grouping produced. Unreachable nodes cannot occur
+// because the sub spans a connected component containing the sources.
+func groupLayersInto(a *Arena, k int, dist []int32) int {
 	maxD := int32(0)
-	for _, u := range comp {
+	for u := 0; u < k; u++ {
 		if dist[u] > maxD {
 			maxD = dist[u]
 		}
 	}
-	layers := make([][]graph.Node, maxD+1)
-	for _, u := range comp {
-		layers[dist[u]] = append(layers[dist[u]], u)
+	off := growInt32Slice(a.layerOff, int(maxD)+2)
+	for i := range off {
+		off[i] = 0
 	}
-	return layers, int(maxD)
+	for u := 0; u < k; u++ {
+		off[dist[u]+1]++
+	}
+	for d := 1; d < len(off); d++ {
+		off[d] += off[d-1]
+	}
+	nodes := growNodeSlice(a.layerNodes, k)
+	fill := growInt32Slice(a.layerFill, int(maxD)+1) // per-layer cursors
+	for i := range fill {
+		fill[i] = 0
+	}
+	for u := 0; u < k; u++ {
+		d := dist[u]
+		nodes[off[d]+fill[d]] = graph.Node(u)
+		fill[d]++
+	}
+	a.layerOff, a.layerNodes = off, nodes
+	return int(maxD)
+}
+
+// layer returns the d-distance bucket (ascending local ids).
+func (a *Arena) layer(d int) []graph.Node {
+	return a.layerNodes[a.layerOff[d]:a.layerOff[d+1]]
 }
 
 // peelLayer removes every node of one distance layer in goodness order.
@@ -135,35 +143,45 @@ func peelLayer(s *peelState, cand []graph.Node, useTheta bool) {
 }
 
 // peelLayerTheta removes the layer in density-ratio order using a lazy
-// max-heap: when a removal changes a neighbor's Θ, a fresh entry is pushed
-// and the stale one is skipped on pop (Lemma 5 makes these the only
-// updates needed).
+// max-heap: when a removal changes a neighbor's Θ, a fresh entry is
+// pushed and the stale one is skipped on pop (Lemma 5 makes these the
+// only updates needed). Layer membership is a generation-tagged arena
+// slice — the inLayer map of the historical implementation.
 func peelLayerTheta(s *peelState, cand []graph.Node) {
-	inLayer := make(map[graph.Node]bool, len(cand))
-	for _, u := range cand {
-		inLayer[u] = true
-	}
-	h := make(thetaHeap, 0, len(cand))
-	for _, u := range cand {
-		k := s.kOf(u)
-		h = append(h, thetaItem{u, modularity.ThetaF(s.dOf(u), k), k})
-	}
-	heap.Init(&h)
-	for h.Len() > 0 {
-		if s.expired() {
-			return
+	a := s.a
+	k := s.sub.NumNodes()
+	mark := growInt32Slice(a.layerInLayer, k)
+	if a.layerGen == 0 { // first theta layer of this query: forget stale tags
+		for i := range mark {
+			mark[i] = 0
 		}
-		it := heap.Pop(&h).(thetaItem)
+	}
+	a.layerInLayer = mark
+	a.layerGen++
+	gen := a.layerGen
+	for _, u := range cand {
+		mark[u] = gen
+	}
+	h := &a.pq
+	h.items = h.items[:0]
+	for _, u := range cand {
+		h.items = append(h.items, thetaOf(s, u))
+	}
+	h.init()
+	for len(h.items) > 0 {
+		if s.expired() {
+			break
+		}
+		it := h.pop()
 		u := it.node
 		if !s.v.Alive(u) || s.kOf(u) != it.k {
 			continue // removed or stale entry
 		}
 		s.remove(u)
-		delete(inLayer, u)
-		for _, w := range s.c.Neighbors(u) {
-			if s.v.Alive(w) && inLayer[w] {
-				k := s.kOf(w)
-				heap.Push(&h, thetaItem{w, modularity.ThetaF(s.dOf(w), k), k})
+		mark[u] = 0
+		for _, w := range s.sub.Neighbors(u) {
+			if s.v.Alive(w) && mark[w] == gen {
+				h.push(thetaOf(s, w))
 			}
 		}
 	}
@@ -173,7 +191,8 @@ func peelLayerTheta(s *peelState, cand []graph.Node) {
 // every removal changes, so the whole candidate set is rescanned per
 // iteration.
 func peelLayerLambda(s *peelState, cand []graph.Node) {
-	remaining := append([]graph.Node(nil), cand...)
+	remaining := append(s.a.remaining[:0], cand...)
+	defer func() { s.a.remaining = remaining[:0] }()
 	for len(remaining) > 0 {
 		if s.expired() {
 			return
@@ -197,58 +216,53 @@ func peelLayerLambda(s *peelState, cand []graph.Node) {
 // fpaWithPruning implements the Section 5.7 layer-based pruning strategy:
 // (1) iteratively drop whole outermost layers, scoring each prefix
 // subgraph; (2) keep the best-scoring prefix and apply the node-removal
-// process to its outermost layer only. Both phases run on one CSRView;
-// the view's incremental w_C/d_S maintenance replaces the hand-rolled
-// statistics the map-backed implementation carried.
-func fpaWithPruning(c *graph.CSR, comp, protected []graph.Node, opts Options, useTheta bool) (*Result, error) {
-	vAll := graph.NewCSRViewOf(c, comp)
-	dist := vAll.MultiSourceBFS(protected)
-	layers, maxD := groupLayers(comp, dist)
-	wG := c.TotalWeight()
+// process to its outermost layer only. Both phases run on arena-backed
+// views of the compact sub-CSR; the view's incremental w_C/d_S
+// maintenance replaces the hand-rolled statistics the map-backed
+// implementation carried.
+func fpaWithPruning(a *Arena, sub *graph.SubCSR, protected, comp []graph.Node, opts Options, useTheta bool) (*Result, error) {
+	k := sub.NumNodes()
+	vAll := a.g.ViewAll(0, sub)
+	dist := vAll.MultiSourceBFSInto(protected, a.g.Dist(0, k), a.g.Queue(k))
+	maxD := groupLayersInto(a, k, dist)
+	wG := sub.TotalWeight()
 
-	scoreOf := func() float64 { return scoreView(vAll, wG, opts) }
 	// Phase 1 honours Cancel and Timeout at layer granularity; the best
 	// prefix scored so far is kept on expiry, and phase 2 runs on the
 	// remaining time budget so the bound covers both phases.
+	var poll deadlinePoller
+	poll.cancel = opts.Cancel
 	var deadline time.Time
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
+		poll.deadline = deadline
 	}
-	expired := func() bool {
-		if opts.Cancel != nil {
-			select {
-			case <-opts.Cancel:
-				return true
-			default:
-			}
-		}
-		return !deadline.IsZero() && time.Now().After(deadline)
-	}
-	bestJ, bestScore := maxD, scoreOf()
+	bestJ, bestScore := maxD, scoreView(vAll, wG, opts)
 	phase1 := 0
 	timedOut := false
 	for d := maxD; d >= 1; d-- {
-		if expired() {
+		if poll.check() {
 			timedOut = true
 			break
 		}
-		for _, u := range layers[d] {
+		for _, u := range a.layer(d) {
 			vAll.Remove(u)
 			phase1++
 		}
-		if sc := scoreOf(); sc >= bestScore {
+		if sc := scoreView(vAll, wG, opts); sc >= bestScore {
 			bestScore, bestJ = sc, d-1
 		}
 	}
 
 	// Phase 2: fresh peel over the selected prefix, removing only its
-	// outermost layer.
-	var comp2 []graph.Node
-	for _, u := range comp {
+	// outermost layer. comp2 holds the prefix members in local ids.
+	comp2 := a.comp2[:0]
+	for u := 0; u < k; u++ {
 		if int(dist[u]) <= bestJ {
-			comp2 = append(comp2, u)
+			comp2 = append(comp2, graph.Node(u))
 		}
 	}
+	a.comp2 = comp2
 	opts2 := opts
 	if !deadline.IsZero() {
 		if remaining := time.Until(deadline); remaining > 0 {
@@ -257,9 +271,9 @@ func fpaWithPruning(c *graph.CSR, comp, protected []graph.Node, opts Options, us
 			timedOut = true
 		}
 	}
-	s := newPeelState(c, comp2, opts2)
+	s := newPeelState(a, sub, a.g.ViewOf(1, sub, comp2), comp, comp2, opts2)
 	if bestJ >= 1 && !timedOut {
-		peelLayer(s, layers[bestJ], useTheta)
+		peelLayer(s, a.layer(bestJ), useTheta)
 	}
 	r := s.result()
 	r.Iterations += phase1

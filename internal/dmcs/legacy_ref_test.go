@@ -260,6 +260,54 @@ func legacySteinerProtect(g *graph.Graph, q []graph.Node) []graph.Node {
 	return out
 }
 
+// thetaHeap is the historical container/heap-backed Θ max-heap. The
+// production path uses the concrete thetaPQ (same ordering, same
+// binary-heap moves, no interface boxing); this one stays as the frozen
+// reference it must match pop-for-pop.
+type thetaHeap []thetaItem
+
+func (h thetaHeap) Len() int { return len(h) }
+func (h thetaHeap) Less(i, j int) bool {
+	if h[i].theta != h[j].theta {
+		return h[i].theta > h[j].theta // max-heap on Θ
+	}
+	// Θ ties are common (every fully-internal node has Θ = 1). Break them
+	// the way the exact criterion Λ would: with k_v = Θ·d_v fixed, Λ =
+	// k_v·(Θ(2d_S − Θk_v) − 4w_G) is maximized by the smallest k_v at the
+	// start of peeling, so remove low-degree nodes first.
+	if h[i].k != h[j].k {
+		return h[i].k < h[j].k
+	}
+	return h[i].node < h[j].node
+}
+func (h thetaHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *thetaHeap) Push(x interface{}) { *h = append(*h, x.(thetaItem)) }
+func (h *thetaHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// groupLayers buckets comp by distance; unreachable nodes cannot occur
+// because comp is a connected component containing the sources. (The
+// production path uses the arena's flat bucket structure; this
+// append-per-node grouping is the historical shape it must match.)
+func groupLayers(comp []graph.Node, dist []int32) ([][]graph.Node, int) {
+	maxD := int32(0)
+	for _, u := range comp {
+		if dist[u] > maxD {
+			maxD = dist[u]
+		}
+	}
+	layers := make([][]graph.Node, maxD+1)
+	for _, u := range comp {
+		layers[dist[u]] = append(layers[dist[u]], u)
+	}
+	return layers, int(maxD)
+}
+
 func legacyRunFPA(g *graph.Graph, q, comp []graph.Node, opts Options, useTheta bool) (*Result, error) {
 	protected := legacySteinerProtect(g, q)
 	if opts.LayerPruning {

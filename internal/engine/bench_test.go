@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+)
+
+// smallQueryEngineGraph mirrors the internal/dmcs small-query fixture:
+// many disjoint ring+chord communities, so each query's answer lives in a
+// component that is a tiny fraction of the graph.
+func smallQueryEngineGraph(numComp, compSize int) *graph.Graph {
+	b := graph.NewBuilder(numComp * compSize)
+	for c := 0; c < numComp; c++ {
+		base := c * compSize
+		for i := 0; i < compSize; i++ {
+			u := graph.Node(base + i)
+			b.AddEdge(u, graph.Node(base+(i+1)%compSize))
+			b.AddEdge(u, graph.Node(base+(i+7)%compSize))
+			b.AddEdge(u, graph.Node(base+(i+13)%compSize))
+		}
+	}
+	return b.Build()
+}
+
+const (
+	benchComponents = 400
+	benchCompSize   = 80
+)
+
+// BenchmarkEngineSmallQueries measures computed (cache-off) engine
+// serving of the interactive workload: per-op cost and allocations are
+// the steady-state price of one small query against a large graph.
+func BenchmarkEngineSmallQueries(b *testing.B) {
+	e := New(smallQueryEngineGraph(benchComponents, benchCompSize), Options{Workers: 1, CacheSize: -1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := Query{Nodes: []graph.Node{graph.Node((i % benchComponents) * benchCompSize)}}
+		if _, err := e.Search(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSmallQueriesNCA is the same computed workload through
+// the articulation-recomputation variant.
+func BenchmarkEngineSmallQueriesNCA(b *testing.B) {
+	e := New(smallQueryEngineGraph(benchComponents, benchCompSize), Options{Workers: 1, CacheSize: -1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := Query{
+			Nodes:   []graph.Node{graph.Node((i % benchComponents) * benchCompSize)},
+			Variant: dmcs.VariantNCA,
+		}
+		if _, err := e.Search(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSmallQueriesCacheHit is the steady-state serving path: a
+// warm LRU answers every query. The allocs/op of this benchmark is the
+// engine's zero-alloc contract — CI gates it at 0.
+func BenchmarkEngineSmallQueriesCacheHit(b *testing.B) {
+	e := New(smallQueryEngineGraph(benchComponents, benchCompSize), Options{Workers: 1})
+	ctx := context.Background()
+	nodes := make([]graph.Node, 1)
+	for c := 0; c < benchComponents; c++ {
+		nodes[0] = graph.Node(c * benchCompSize)
+		if _, err := e.Search(ctx, Query{Nodes: nodes}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[0] = graph.Node((i % benchComponents) * benchCompSize)
+		if _, err := e.Search(ctx, Query{Nodes: nodes}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -36,14 +36,17 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // get returns the cached result for key, promoting it to most recently
-// used. The result is shared — callers must treat it as immutable.
-func (c *resultCache) get(key string) (*dmcs.Result, bool) {
+// used. The result is shared — callers must treat it as immutable. The
+// key is a byte view (usually a recycled worker buffer): the map lookup
+// uses Go's string([]byte)-index optimization, so a cache hit performs no
+// allocation.
+func (c *resultCache) get(key []byte) (*dmcs.Result, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
+	el, ok := c.byKey[string(key)]
 	if !ok {
 		return nil, false
 	}
@@ -51,20 +54,22 @@ func (c *resultCache) get(key string) (*dmcs.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// add stores res under key, evicting the least recently used entry when
-// the cache is full.
-func (c *resultCache) add(key string, res *dmcs.Result) {
+// add stores res under a copy of key, evicting the least recently used
+// entry when the cache is full. Only the insert path materializes the key
+// string.
+func (c *resultCache) add(key []byte, res *dmcs.Result) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
+	if el, ok := c.byKey[string(key)]; ok {
 		c.order.MoveToFront(el)
 		el.Value.(*cacheEntry).res = res
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	k := string(key)
+	c.byKey[k] = c.order.PushFront(&cacheEntry{key: k, res: res})
 	if c.order.Len() > c.cap {
 		el := c.order.Back()
 		c.order.Remove(el)

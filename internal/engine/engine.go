@@ -66,13 +66,47 @@ type BatchResult struct {
 // Engine answers DMCS queries against one immutable graph snapshot. It is
 // safe for concurrent use and needs no shutdown — it owns no background
 // goroutines, only a concurrency bound that Search/SearchBatch respect.
+//
+// Steady-state serving is allocation-free: each admitted query checks out
+// a per-worker scratch bundle (a search arena plus the normalized-node
+// and cache-key buffers) from a free list sized to the worker pool, and a
+// cache hit touches nothing but those reusable buffers and the shared
+// *Result. Computed queries allocate only the escaping Result and the
+// cache entry that stores it.
 type Engine struct {
 	snap           *Snapshot
 	cache          *resultCache
 	stats          statsCollector
-	sem            chan struct{} // worker-pool slots
+	sem            chan struct{}       // worker-pool slots
+	scratch        chan *workerScratch // per-worker reusable query scratch
 	workers        int
 	defaultTimeout time.Duration
+}
+
+// workerScratch is the reusable per-query state one worker needs: the
+// dmcs search arena and the admission buffers. At most Workers bundles
+// exist at steady state (one per in-flight query); the free list hands
+// them out without allocation.
+type workerScratch struct {
+	arena *dmcs.Arena
+	nodes []graph.Node // normalized query nodes
+	key   []byte       // cache key
+}
+
+func (e *Engine) getScratch() *workerScratch {
+	select {
+	case ws := <-e.scratch:
+		return ws
+	default:
+		return &workerScratch{arena: dmcs.NewArena()}
+	}
+}
+
+func (e *Engine) putScratch(ws *workerScratch) {
+	select {
+	case e.scratch <- ws:
+	default: // pool full (transient oversubscription); let the GC take it
+	}
 }
 
 // New packs a read-optimized snapshot of g and returns an Engine serving
@@ -91,6 +125,7 @@ func New(g *graph.Graph, opts Options) *Engine {
 		snap:           NewSnapshot(g),
 		cache:          newResultCache(cs), // nil (disabled) when cs < 0
 		sem:            make(chan struct{}, w),
+		scratch:        make(chan *workerScratch, w),
 		workers:        w,
 		defaultTimeout: opts.DefaultTimeout,
 	}
@@ -159,16 +194,20 @@ func (e *Engine) SearchBatch(ctx context.Context, qs []Query) []BatchResult {
 }
 
 // run executes one admitted query: cache lookup, snapshot validation,
-// then the CSR search armed with the context, running directly on the
-// snapshot's packed arrays.
+// then the query-scoped search armed with the context, running on the
+// component's cached sub-CSR with the worker's arena. The whole path
+// reuses per-worker buffers; a cache hit allocates nothing.
 func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
-	nodes := normalizeNodes(q.Nodes)
-	key := cacheKey(nodes, q.Variant, q.Opts)
-	if res, ok := e.cache.get(key); ok {
+	ws := e.getScratch()
+	defer e.putScratch(ws)
+	ws.nodes = normalizeNodesInto(ws.nodes[:0], q.Nodes)
+	nodes := ws.nodes
+	ws.key = appendCacheKey(ws.key[:0], nodes, q.Variant, q.Opts)
+	if res, ok := e.cache.get(ws.key); ok {
 		e.stats.recordHit()
 		return res, nil
 	}
-	comp, err := e.snap.Component(nodes)
+	id, err := e.snap.componentIndex(nodes)
 	if err != nil {
 		e.stats.recordError()
 		return nil, err
@@ -179,11 +218,11 @@ func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
 	}
 	opts.Cancel = ctx.Done()
 	start := time.Now()
-	// The snapshot's CSR goes straight into the search: per-query work
-	// touches only the packed adjacency, the parallel weights slice, and
-	// the cached node-weight/total-weight aggregates — never the
-	// map-backed Graph.
-	res, err := dmcs.SearchComponentCSR(e.snap.CSR(), nodes, comp, q.Variant, opts)
+	// The component's compact sub-CSR goes straight into the search:
+	// per-query work touches only component-sized packed arrays plus the
+	// arena's recycled scratch — never whole-graph-sized state and never
+	// the map-backed Graph.
+	res, err := dmcs.SearchSub(ws.arena, e.snap.SubCSR(id), nodes, e.snap.comps[id], q.Variant, opts)
 	if err != nil {
 		e.stats.recordError()
 		return nil, err
@@ -197,26 +236,32 @@ func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
 	}
 	e.stats.recordSearch(time.Since(start))
 	if !res.TimedOut {
-		e.cache.add(key, res)
+		e.cache.add(ws.key, res)
 	}
 	return res, nil
 }
 
-// normalizeNodes returns a sorted, deduplicated copy of q.
-func normalizeNodes(q []graph.Node) []graph.Node {
-	out := append([]graph.Node(nil), q...)
+// normalizeNodesInto appends a sorted, deduplicated copy of q to dst
+// (usually a recycled worker buffer).
+func normalizeNodesInto(dst, q []graph.Node) []graph.Node {
+	out := append(dst, q...)
 	if len(out) < 2 {
 		return out
 	}
 	sortNodes(out)
-	dst := 1
+	dup := 1
 	for _, u := range out[1:] {
-		if u != out[dst-1] {
-			out[dst] = u
-			dst++
+		if u != out[dup-1] {
+			out[dup] = u
+			dup++
 		}
 	}
-	return out[:dst]
+	return out[:dup]
+}
+
+// normalizeNodes returns a sorted, deduplicated copy of q.
+func normalizeNodes(q []graph.Node) []graph.Node {
+	return normalizeNodesInto(nil, q)
 }
 
 func sortNodes(a []graph.Node) {
@@ -228,11 +273,12 @@ func sortNodes(a []graph.Node) {
 	}
 }
 
-// cacheKey encodes the normalized node set plus every option that shapes
-// a completed result. Timeout is deliberately excluded: only results that
-// ran to completion are cached, and those do not depend on the deadline.
-func cacheKey(nodes []graph.Node, v dmcs.Variant, o dmcs.Options) string {
-	b := make([]byte, 0, 16+8*len(nodes))
+// appendCacheKey appends the encoding of the normalized node set plus
+// every option that shapes a completed result to b (usually a recycled
+// worker buffer, so the hit path builds its key without allocating).
+// Timeout is deliberately excluded: only results that ran to completion
+// are cached, and those do not depend on the deadline.
+func appendCacheKey(b []byte, nodes []graph.Node, v dmcs.Variant, o dmcs.Options) []byte {
 	b = strconv.AppendInt(b, int64(v), 10)
 	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(o.Objective), 10)
@@ -249,5 +295,5 @@ func cacheKey(nodes []graph.Node, v dmcs.Variant, o dmcs.Options) string {
 		b = append(b, '|')
 		b = strconv.AppendInt(b, int64(u), 10)
 	}
-	return string(b)
+	return b
 }

@@ -145,16 +145,16 @@ func TestCacheHits(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	c := newResultCache(2)
 	r := &dmcs.Result{}
-	c.add("a", r)
-	c.add("b", r)
-	if _, ok := c.get("a"); !ok {
+	c.add([]byte("a"), r)
+	c.add([]byte("b"), r)
+	if _, ok := c.get([]byte("a")); !ok {
 		t.Fatal("a evicted too early")
 	}
-	c.add("c", r) // evicts b (a was just touched)
-	if _, ok := c.get("b"); ok {
+	c.add([]byte("c"), r) // evicts b (a was just touched)
+	if _, ok := c.get([]byte("b")); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get([]byte("a")); !ok {
 		t.Error("a should have survived")
 	}
 	if c.len() != 2 {
@@ -279,5 +279,87 @@ func TestWeightedBatchMatchesSerial(t *testing.T) {
 			t.Errorf("query %d: engine (%v, %v) != serial (%v, %v)",
 				i, got[i].Result.Community, got[i].Result.Score, want.Community, want.Score)
 		}
+	}
+}
+
+// TestStressMixedVariantsArenaReuse floods the engine with mixed-variant
+// queries across many components — unweighted and weighted rounds, with
+// components big enough (>= 2×recompactMinAlive nodes) that NCA's
+// geometric re-compaction and the fused weighted articulation kernel
+// both run through the per-worker arena slot ping-pong — twice over the
+// same engine so every worker arena is reused by dozens of searches, and
+// checks every answer against a fresh serial search. Run under -race
+// (CI does) this also proves arena checkout is properly isolated per
+// in-flight query.
+func TestStressMixedVariantsArenaReuse(t *testing.T) {
+	const comps, size = 12, 80
+	base := smallQueryEngineGraph(comps, size)
+	weighted := graph.NewBuilder(base.NumNodes())
+	i := 0
+	base.Edges(func(u, v graph.Node) bool {
+		weighted.SetWeight(u, v, 0.5+float64(i%7)/3)
+		i++
+		return true
+	})
+	variants := []dmcs.Variant{dmcs.VariantFPA, dmcs.VariantNCA, dmcs.VariantNCADR, dmcs.VariantFPADMG}
+	var qs []Query
+	for c := 0; c < comps; c++ {
+		b := c * size
+		v := variants[c%len(variants)]
+		qs = append(qs,
+			Query{Nodes: []graph.Node{graph.Node(b)}, Variant: v},
+			Query{Nodes: []graph.Node{graph.Node(b + 5), graph.Node(b + 50)}, Variant: v,
+				Opts: dmcs.Options{LayerPruning: v == dmcs.VariantFPA}},
+		)
+	}
+	for _, g := range []*graph.Graph{base, weighted.Build()} {
+		// Cache disabled: both rounds must recompute on recycled arenas.
+		e := New(g, Options{Workers: 8, CacheSize: -1})
+		for round := 0; round < 2; round++ {
+			got := e.SearchBatch(context.Background(), qs)
+			for i, q := range qs {
+				want, err := dmcs.Search(g, normalizeNodes(q.Nodes), q.Variant, q.Opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i].Err != nil {
+					t.Fatalf("round %d query %d: %v", round, i, got[i].Err)
+				}
+				if !reflect.DeepEqual(got[i].Result.Community, want.Community) || got[i].Result.Score != want.Score {
+					t.Fatalf("round %d query %d (%v weighted=%v): engine (%v, %v) != serial (%v, %v)",
+						round, i, q.Variant, g.Weighted(), got[i].Result.Community, got[i].Result.Score, want.Community, want.Score)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineSteadyStateZeroAlloc pins the zero-alloc serving contract:
+// once the cache is warm, Engine.Search performs no heap allocation.
+// cmd/bench gates the same property via BenchmarkEngineSmallQueriesCacheHit.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := smallQueryEngineGraph(8, 40)
+	e := New(g, Options{Workers: 1})
+	ctx := context.Background()
+	nodes := make([]graph.Node, 1)
+	for c := 0; c < 8; c++ {
+		nodes[0] = graph.Node(c * 40)
+		if _, err := e.Search(ctx, Query{Nodes: nodes}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(400, func() {
+		nodes[0] = graph.Node((i % 8) * 40)
+		i++
+		if _, err := e.Search(ctx, Query{Nodes: nodes}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cache-hit serving allocates %.1f allocs/op, want 0", allocs)
 	}
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"sync"
 
 	"dmcs/internal/dmcs"
 	"dmcs/internal/graph"
@@ -16,11 +17,21 @@ var ErrNodeOutOfRange = errors.New("engine: query node out of range")
 // formulas need) and precomputes the connected-component partition, so
 // admitting a query costs O(|Q|) instead of the BFS + sort that the plain
 // dmcs.Search entry points pay per call. Snapshots are safe for concurrent
-// readers; nothing in them is ever mutated after construction.
+// readers; nothing visible to them is ever mutated after construction.
+//
+// Per component the snapshot also caches a compact sub-CSR (the
+// component's adjacency relabelled into dense 0..k-1 ids), built lazily
+// on the component's first query and shared by every later one, so a
+// query against a small component of a huge graph touches only
+// component-sized memory end to end. A component spanning the whole graph
+// wraps the main CSR instead of copying it.
 type Snapshot struct {
 	csr    *graph.CSR
 	compID []int32        // node id -> component id
 	comps  [][]graph.Node // component id -> sorted member list
+
+	subOnce []sync.Once     // per-component lazy sub-CSR construction
+	subs    []*graph.SubCSR // component id -> compact sub-CSR
 }
 
 // NewSnapshot builds the read-optimized snapshot of g. The map-backed
@@ -58,6 +69,8 @@ func NewSnapshot(g *graph.Graph) *Snapshot {
 	for u, id := range s.compID {
 		s.comps[id] = append(s.comps[id], graph.Node(u))
 	}
+	s.subOnce = make([]sync.Once, len(s.comps))
+	s.subs = make([]*graph.SubCSR, len(s.comps))
 	return s
 }
 
@@ -72,19 +85,44 @@ func (s *Snapshot) NumComponents() int { return len(s.comps) }
 // shared across queries and must not be modified. It fails with
 // dmcs.ErrEmptyQuery, ErrNodeOutOfRange, or dmcs.ErrDisconnected.
 func (s *Snapshot) Component(q []graph.Node) ([]graph.Node, error) {
+	id, err := s.componentIndex(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.comps[id], nil
+}
+
+// componentIndex is Component returning the partition index instead of
+// the member list — the allocation-free admission check of the query
+// path.
+func (s *Snapshot) componentIndex(q []graph.Node) (int32, error) {
 	if len(q) == 0 {
-		return nil, dmcs.ErrEmptyQuery
+		return 0, dmcs.ErrEmptyQuery
 	}
 	for _, u := range q {
 		if u < 0 || int(u) >= len(s.compID) {
-			return nil, ErrNodeOutOfRange
+			return 0, ErrNodeOutOfRange
 		}
 	}
 	id := s.compID[q[0]]
 	for _, u := range q[1:] {
 		if s.compID[u] != id {
-			return nil, dmcs.ErrDisconnected
+			return 0, dmcs.ErrDisconnected
 		}
 	}
-	return s.comps[id], nil
+	return id, nil
+}
+
+// SubCSR returns the compact sub-CSR of component id, building it on
+// first use. Safe for concurrent callers; the result is immutable and
+// shared.
+func (s *Snapshot) SubCSR(id int32) *graph.SubCSR {
+	s.subOnce[id].Do(func() {
+		if len(s.comps[id]) == s.csr.NumNodes() {
+			s.subs[id] = graph.WrapCSR(s.csr)
+		} else {
+			s.subs[id] = graph.NewSubCSR(s.csr, s.comps[id])
+		}
+	})
+	return s.subs[id]
 }

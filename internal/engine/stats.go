@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"time"
 )
@@ -82,7 +82,7 @@ func (s *statsCollector) snapshot(cacheEntries int) Stats {
 	if len(lat) == 0 {
 		return st
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	slices.Sort(lat)
 	st.P50 = lat[(len(lat)-1)*50/100]
 	st.P95 = lat[(len(lat)-1)*95/100]
 	return st

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"math/rand"
+	"slices"
+	"sort"
 	"testing"
 )
 
@@ -49,5 +51,60 @@ func BenchmarkMultiSourceBFS(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MultiSourceBFS(g, []Node{0, 1, 2})
+	}
+}
+
+// BenchmarkSortNodesReflect vs BenchmarkSortNodesSlices quantify the
+// sortNodes migration from reflection-based sort.Slice to the
+// monomorphized slices.Sort on a component-sized id slice — the sort
+// every SearchCSR query pays after its component flood.
+func sortBenchInput() []Node {
+	rng := rand.New(rand.NewSource(9))
+	out := make([]Node, 4096)
+	for i := range out {
+		out[i] = Node(rng.Intn(1 << 20))
+	}
+	return out
+}
+
+func BenchmarkSortNodesReflect(b *testing.B) {
+	src := sortBenchInput()
+	buf := make([]Node, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		sort.Slice(buf, func(x, y int) bool { return buf[x] < buf[y] })
+	}
+}
+
+func BenchmarkSortNodesSlices(b *testing.B) {
+	src := sortBenchInput()
+	buf := make([]Node, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		slices.Sort(buf)
+	}
+}
+
+// BenchmarkSubCSRExtract measures the per-query component compaction of
+// the arena path: relabel one component of a multi-community graph into
+// a dense sub-CSR, reusing arena storage.
+func BenchmarkSubCSRExtract(b *testing.B) {
+	bld := NewBuilder(64 * 256)
+	for c := 0; c < 256; c++ {
+		base := c * 64
+		for i := 0; i < 64; i++ {
+			bld.AddEdge(Node(base+i), Node(base+(i+1)%64))
+			bld.AddEdge(Node(base+i), Node(base+(i+7)%64))
+		}
+	}
+	csr := NewCSR(bld.Build())
+	a := NewArena()
+	comp, _ := csr.Component(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ExtractSub(i%2, csr, comp)
 	}
 }

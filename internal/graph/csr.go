@@ -148,11 +148,20 @@ func (c *CSR) BFS(src Node) []int32 {
 // to any of the sources (the paper's dist(v) = min over q in Q of d(q,v)).
 // Unreachable nodes get INF.
 func (c *CSR) MultiSourceBFS(sources []Node) []int32 {
-	dist := make([]int32, c.NumNodes())
+	n := c.NumNodes()
+	return c.MultiSourceBFSInto(sources, make([]int32, n), make([]Node, 0, n))
+}
+
+// MultiSourceBFSInto is MultiSourceBFS writing into caller-owned scratch:
+// dist must have length >= NumNodes and queue capacity >= NumNodes (each
+// node is enqueued at most once, so the queue never reallocates). Arenas
+// use it to make per-query traversal allocation-free.
+func (c *CSR) MultiSourceBFSInto(sources []Node, dist []int32, queue []Node) []int32 {
+	dist = dist[:c.NumNodes()]
 	for i := range dist {
 		dist[i] = INF
 	}
-	queue := make([]Node, 0, len(sources))
+	queue = queue[:0]
 	for _, s := range sources {
 		if dist[s] == INF {
 			dist[s] = 0

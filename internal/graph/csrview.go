@@ -1,5 +1,22 @@
 package graph
 
+import "unsafe"
+
+// i32at / f64at are the unchecked loads of the articulation hot loop.
+// The DFS executes once per node removal of NCA — the dominant cost of
+// the whole variant — and every index is in range by construction (CSR
+// targets hold valid node ids < n; cursors stay below the row end, which
+// is bounded by len(targets)), so the compiler's per-entry bounds checks
+// are pure overhead (~25% of the sweep, measured). Touch these only with
+// indices whose validity follows from the packed-array invariants.
+func i32at(base *int32, i int32) *int32 {
+	return (*int32)(unsafe.Add(unsafe.Pointer(base), uintptr(uint32(i))*4))
+}
+
+func f64at(base *float64, i int32) *float64 {
+	return (*float64)(unsafe.Add(unsafe.Pointer(base), uintptr(uint32(i))*8))
+}
+
 // CSRView is a mutable "alive set" over an immutable CSR snapshot — the
 // peeling substrate every search algorithm in this repository runs on.
 // Like View it tracks alive nodes and alive degrees in O(deg) per
@@ -213,11 +230,18 @@ func (v *CSRView) Clone() *CSRView {
 // to any alive source, restricted to alive nodes. Dead nodes, dead
 // sources, and unreachable nodes get INF.
 func (v *CSRView) MultiSourceBFS(sources []Node) []int32 {
-	dist := make([]int32, v.c.NumNodes())
+	n := v.c.NumNodes()
+	return v.MultiSourceBFSInto(sources, make([]int32, n), make([]Node, 0, n))
+}
+
+// MultiSourceBFSInto is MultiSourceBFS writing into caller-owned scratch;
+// dist needs length >= NumNodes, queue capacity >= NumNodes.
+func (v *CSRView) MultiSourceBFSInto(sources []Node, dist []int32, queue []Node) []int32 {
+	dist = dist[:v.c.NumNodes()]
 	for i := range dist {
 		dist[i] = INF
 	}
-	queue := make([]Node, 0, len(sources))
+	queue = queue[:0]
 	for _, s := range sources {
 		if v.alive[s] && dist[s] == INF {
 			dist[s] = 0
@@ -236,72 +260,179 @@ func (v *CSRView) MultiSourceBFS(sources []Node) []int32 {
 	return dist
 }
 
+// ArtScratch is the reusable backing memory of one articulation-point
+// DFS: per-node discovery/low-link/parent/cursor tables plus the explicit
+// DFS stack. NCA recomputes articulation points once per node removal, so
+// arenas keep one ArtScratch and pay an O(alive) re-initialization per
+// sweep instead of six fresh allocations.
+type ArtScratch struct {
+	isArt  []bool
+	disc   []int32 // discovery time; 0 = unvisited, -1 = dead
+	low    []int32 // low-link value
+	parent []Node  // DFS-tree parent
+	iter   []int32 // per-node absolute adjacency cursor
+	stack  []Node
+}
+
+// reset sizes every table for n nodes and restores the pre-DFS state;
+// the adjacency cursors start at each node's absolute offset into the
+// packed targets array. Deadness is folded into disc (-1) so the hot
+// edge loop pays one random read per target instead of two. low and
+// parent need no reset — both are written at discovery before any read —
+// and the reset loop is the only whole-table pass of a sweep.
+func (s *ArtScratch) reset(c *CSR, alive []bool, n int) {
+	s.isArt = growBool(s.isArt, n)
+	s.disc = growInt32(s.disc, n)
+	s.low = growInt32(s.low, n)
+	s.parent = growNodes(s.parent, n)
+	s.iter = growInt32(s.iter, n)
+	for i := 0; i < n; i++ {
+		s.isArt[i] = false
+		if alive[i] {
+			s.disc[i] = 0
+		} else {
+			s.disc[i] = -1
+		}
+		s.iter[i] = c.offsets[i]
+	}
+	if cap(s.stack) < 64 {
+		s.stack = make([]Node, 0, 64)
+	}
+}
+
 // ArticulationPoints returns a boolean mask over the alive nodes: mask[u]
 // is true when removing u disconnects the alive subgraph. It is the same
 // iterative Hopcroft–Tarjan low-link DFS as ArticulationPoints over a
 // Graph view, running on the packed CSR adjacency (identical sorted
 // neighbor order, so DFS trees — and therefore results — match exactly).
 func (v *CSRView) ArticulationPoints() []bool {
+	return v.ArticulationPointsInto(new(ArtScratch))
+}
+
+// ArticulationPointsInto is ArticulationPoints running on caller-owned
+// scratch. The returned mask aliases s.isArt and is valid until the next
+// sweep on the same scratch.
+func (v *CSRView) ArticulationPointsInto(s *ArtScratch) []bool {
+	return v.articulation(s, nil)
+}
+
+// ArticulationPointsKInto additionally accumulates, for every alive node
+// u, its weighted degree into the alive set k_{u,S} into kSum[u]; entries
+// of dead nodes are left untouched (stale) and must not be read. The DFS
+// cursor walks each alive node's
+// packed adjacency exactly once in ascending order — the same term order
+// WeightedDegreeIn uses — so the fused sums are bit-identical to separate
+// per-node rescans while saving a full pass over the alive edges. NCA's
+// candidate scan consumes them every removal.
+func (v *CSRView) ArticulationPointsKInto(s *ArtScratch, kSum []float64) []bool {
+	return v.articulation(s, kSum)
+}
+
+func (v *CSRView) articulation(s *ArtScratch, kSum []float64) []bool {
 	c := v.c
 	n := c.NumNodes()
-	isArt := make([]bool, n)
-	disc := make([]int32, n)  // discovery time, 0 = unvisited
-	low := make([]int32, n)   // low-link value
-	parent := make([]Node, n) // DFS-tree parent
-	childCnt := make([]int32, n)
-	iter := make([]int, n) // per-node adjacency cursor
-	for i := range parent {
-		parent[i] = -1
+	s.reset(c, v.alive, n)
+	offsets, targets, weights := c.offsets, c.targets, c.weights
+	isArt := s.isArt
+	disc, low := s.disc, s.low
+	parent := s.parent
+	iter := s.iter
+	// Unchecked base pointers for the per-entry loads/stores (see i32at).
+	targetsP := unsafe.SliceData(targets)
+	discP := unsafe.SliceData(disc)
+	lowP := unsafe.SliceData(low)
+	parentP := unsafe.SliceData(parent)
+	var weightsP, kSumP *float64
+	if kSum != nil {
+		weightsP = unsafe.SliceData(weights)
+		kSumP = unsafe.SliceData(kSum)
 	}
 	var timer int32 = 1
-	stack := make([]Node, 0, 64)
+	stack := s.stack[:0]
+	defer func() { s.stack = stack[:0] }() // keep a grown stack
 
-	for s := 0; s < n; s++ {
-		if !v.alive[s] || disc[s] != 0 {
+	for ri := 0; ri < n; ri++ {
+		if disc[ri] != 0 { // dead (-1) or already visited
 			continue
 		}
-		disc[s], low[s] = timer, timer
+		root := Node(ri)
+		disc[root], low[root] = timer, timer
+		parent[root] = -1
+		if kSum != nil {
+			kSum[root] = 0
+		}
+		rootChildren := 0
 		timer++
-		stack = append(stack[:0], Node(s))
+		stack = append(stack[:0], root)
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
-			adj := c.Neighbors(u)
+			end := offsets[u+1]
+			cur := iter[u]
+			pu := parent[u]
+			lu := low[u]
 			advanced := false
-			for iter[u] < len(adj) {
-				w := adj[iter[u]]
-				iter[u]++
-				if !v.alive[w] {
+			// The low-link and k_{u,S} accumulators live in registers
+			// while u is the stack top and are flushed on descend/pop;
+			// the += order is the cursor order either way, so the fused
+			// sums stay bit-identical to a per-node rescan.
+			var ku float64
+			if kSum != nil {
+				ku = kSum[u]
+			}
+			for cur < end {
+				w := *i32at(targetsP, cur)
+				dw := *i32at(discP, w) // the one random read of the edge loop
+				if dw > 0 {            // visited alive neighbor: the common case
+					if kSumP != nil {
+						ku += *f64at(weightsP, cur)
+					}
+					cur++
+					if w != pu && dw < lu {
+						lu = dw
+					}
 					continue
 				}
-				if disc[w] == 0 {
-					parent[w] = u
-					childCnt[u]++
-					disc[w], low[w] = timer, timer
-					timer++
-					stack = append(stack, w)
-					advanced = true
-					break
+				if dw < 0 { // dead neighbor
+					cur++
+					continue
 				}
-				if w != parent[u] && disc[w] < low[u] {
-					low[u] = disc[w]
+				// tree edge: discover w
+				if kSumP != nil {
+					ku += *f64at(weightsP, cur)
+					*f64at(kSumP, w) = 0
 				}
+				cur++
+				*i32at(parentP, w) = u
+				if u == root {
+					rootChildren++
+				}
+				*i32at(discP, w) = timer
+				*i32at(lowP, w) = timer
+				timer++
+				stack = append(stack, w)
+				advanced = true
+				break
+			}
+			iter[u] = cur
+			low[u] = lu
+			if kSum != nil {
+				kSum[u] = ku
 			}
 			if advanced {
 				continue
 			}
 			stack = stack[:len(stack)-1]
-			p := parent[u]
-			if p >= 0 {
-				if low[u] < low[p] {
-					low[p] = low[u]
+			if pu >= 0 {
+				if lu < low[pu] {
+					low[pu] = lu
 				}
-				if parent[p] >= 0 && low[u] >= disc[p] {
-					isArt[p] = true
+				if parent[pu] >= 0 && lu >= disc[pu] {
+					isArt[pu] = true
 				}
 			}
 		}
-		if childCnt[s] >= 2 {
-			isArt[s] = true
+		if rootChildren >= 2 {
+			isArt[root] = true
 		}
 	}
 	return isArt

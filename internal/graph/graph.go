@@ -10,6 +10,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -159,7 +160,7 @@ func (g *Graph) InducedSubgraph(keep []Node) (*Graph, []Node) {
 	old2new := make(map[Node]Node, len(keep))
 	back := make([]Node, len(keep))
 	sorted := append([]Node(nil), keep...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	for i, u := range sorted {
 		old2new[u] = Node(i)
 		back[i] = u
@@ -275,7 +276,7 @@ func (b *Builder) Build() *Graph {
 	}
 	for u := range g.adj {
 		a := g.adj[u]
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		slices.Sort(a)
 	}
 	if b.labels != nil {
 		g.labels = append([]string(nil), b.labels...)

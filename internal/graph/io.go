@@ -4,7 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -101,7 +101,7 @@ func ParseCommunities(r io.Reader, g *Graph) ([][]Node, error) {
 			}
 			c = append(c, u)
 		}
-		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		slices.Sort(c)
 		comms = append(comms, c)
 	}
 	if err := sc.Err(); err != nil {

@@ -12,6 +12,7 @@ package kecc
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 
 	"dmcs/internal/graph"
@@ -111,7 +112,7 @@ func MinCut(g *graph.Graph) (float64, []graph.Node) {
 			}
 		}
 	}
-	sort.Slice(bestSide, func(i, j int) bool { return bestSide[i] < bestSide[j] })
+	slices.Sort(bestSide)
 	return bestW, bestSide
 }
 
@@ -140,7 +141,7 @@ func Decompose(g *graph.Graph, k int, seed int64) [][]graph.Node {
 			}
 			side := findCutBelow(g, comp, k, rng)
 			if side == nil {
-				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				slices.Sort(comp)
 				out = append(out, comp)
 				continue
 			}

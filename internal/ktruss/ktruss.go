@@ -6,7 +6,7 @@
 package ktruss
 
 import (
-	"sort"
+	"slices"
 
 	"dmcs/internal/graph"
 )
@@ -177,7 +177,7 @@ func (d *Decomposition) CommunityFrom(q []graph.Node, k int) []graph.Node {
 	for u := range seen {
 		out = append(out, u)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -267,7 +267,7 @@ func ClosestTruss(g *graph.Graph, q []graph.Node) []graph.Node {
 			}
 		}
 	}
-	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	slices.Sort(best)
 	return best
 }
 

@@ -15,7 +15,7 @@ package wu2015
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"dmcs/internal/graph"
 )
@@ -164,6 +164,6 @@ func Search(g *graph.Graph, q []graph.Node, opt Options) []graph.Node {
 			best = v.LiveNodes()
 		}
 	}
-	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	slices.Sort(best)
 	return best
 }
