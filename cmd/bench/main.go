@@ -2,11 +2,12 @@
 // -benchtime and records ns/op and allocs/op per benchmark in a JSON
 // file, so the performance trajectory of the hot paths is checked in
 // next to the code (BENCH_2.json is the CSR-migration baseline,
-// BENCH_3.json the query-scoped SubCSR/arena baseline).
+// BENCH_3.json the query-scoped SubCSR/arena baseline, BENCH_4.json adds
+// the dynamic-update suite: mutation throughput and query-under-churn).
 //
 // Usage:
 //
-//	go run ./cmd/bench                       # weighted + small-query suite -> BENCH_3.json
+//	go run ./cmd/bench                       # weighted + small-query + update suite -> BENCH_4.json
 //	go run ./cmd/bench -bench . -pkgs ./...  # everything (slow)
 //
 // -baseline merges a previously recorded report into the output (under
@@ -59,9 +60,9 @@ func fail(format string, args ...interface{}) {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_3.json", "output JSON path")
+		out       = flag.String("out", "BENCH_4.json", "output JSON path")
 		benchtime = flag.String("benchtime", "200ms", "go test -benchtime value (pinned for comparability)")
-		bench     = flag.String("bench", "Weighted|SmallQueries", "go test -bench regex")
+		bench     = flag.String("bench", "Weighted|SmallQueries|EngineApply|UnderChurn", "go test -bench regex")
 		pkgs      = flag.String("pkgs", "./internal/dmcs,./internal/engine", "comma-separated package patterns")
 		baseline  = flag.String("baseline", "", "prior report JSON to merge as the before numbers")
 		gate      = flag.String("gate", "", "comma-separated Name=MaxAllocs budgets enforced on allocs/op")

@@ -18,6 +18,21 @@
 // workers; batch mode supports the DMCS variants (FPA, NCA, NCA-DR,
 // FPA-DMG), prints one line per query, and ends with a throughput and
 // latency summary.
+//
+// Update-stream mode: -updates names a file of interleaved mutations and
+// queries, processed in order against a live engine:
+//
+//	add u v [w]     stage an edge insertion (weight defaults to 1; an
+//	                explicit weight — 0 included — is applied exactly)
+//	setw u v w      stage a weight change (inserts the edge if absent)
+//	del u v         stage an edge removal
+//	node u          stage an isolated-node creation
+//	apply           apply the staged ops as one atomic batch
+//	query a,b[,c]   answer a query against the current graph version
+//
+// Unknown labels in add/setw/node lines create new nodes. A query line
+// auto-applies any staged ops first, so each query always sees every
+// mutation above it. The run ends with the engine's serving summary.
 package main
 
 import (
@@ -27,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,17 +55,18 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (required; '-' for stdin)")
-		queryStr  = flag.String("query", "", "comma-separated query node labels")
-		queryFile = flag.String("queries", "", "file with one query per line (batch mode)")
-		algo      = flag.String("algo", "FPA", "algorithm: FPA, NCA, NCA-DR, FPA-DMG, or a baseline name")
-		k         = flag.Int("k", 3, "parameter k for kc/kecc (kt uses k+1)")
-		timeout   = flag.Duration("timeout", 60*time.Second, "per-run time limit for slow algorithms")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "batch mode: concurrent search workers")
-		verbose   = flag.Bool("v", false, "print the community membership")
+		graphPath  = flag.String("graph", "", "edge-list file (required; '-' for stdin)")
+		queryStr   = flag.String("query", "", "comma-separated query node labels")
+		queryFile  = flag.String("queries", "", "file with one query per line (batch mode)")
+		updateFile = flag.String("updates", "", "file with interleaved mutations and queries (stream mode)")
+		algo       = flag.String("algo", "FPA", "algorithm: FPA, NCA, NCA-DR, FPA-DMG, or a baseline name")
+		k          = flag.Int("k", 3, "parameter k for kc/kecc (kt uses k+1)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-run time limit for slow algorithms")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "batch mode: concurrent search workers")
+		verbose    = flag.Bool("v", false, "print the community membership")
 	)
 	flag.Parse()
-	if *graphPath == "" || (*queryStr == "" && *queryFile == "") {
+	if *graphPath == "" || (*queryStr == "" && *queryFile == "" && *updateFile == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -73,6 +90,10 @@ func main() {
 		byLabel[g.Label(graph.Node(u))] = graph.Node(u)
 	}
 
+	if *updateFile != "" {
+		runUpdates(g, byLabel, *updateFile, *algo, *parallel, *timeout, *verbose)
+		return
+	}
 	if *queryFile != "" {
 		runBatch(g, byLabel, *queryFile, *algo, *parallel, *timeout, *verbose)
 		return
@@ -175,6 +196,156 @@ func runBatch(g *graph.Graph, byLabel map[string]graph.Node, path, algo string, 
 		len(batch), wall.Round(time.Millisecond), float64(len(batch))/wall.Seconds(), eng.Workers())
 	fmt.Printf("engine: served=%d cache-hits=%d errors=%d p50=%s p95=%s\n",
 		st.Queries, st.CacheHits, st.Errors, st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
+}
+
+// runUpdates processes an update-stream file: mutations are staged into a
+// batch, applied atomically on `apply` (or implicitly before a query),
+// and queries are answered by the live engine against the current graph
+// version.
+func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, algo string, parallel int, timeout time.Duration, verbose bool) {
+	variant, ok := variantByName(algo)
+	if !ok {
+		fatalf("update-stream mode supports the DMCS variants (FPA, NCA, NCA-DR, FPA-DMG); got %q", algo)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("open updates: %v", err)
+	}
+	defer f.Close()
+
+	eng := engine.New(g, engine.Options{Workers: parallel})
+	// Labels grow with the graph; new tokens in mutation lines intern as
+	// fresh node ids staged into the pending batch.
+	labels := make([]string, g.NumNodes())
+	for u := range labels {
+		labels[u] = g.Label(graph.Node(u))
+	}
+	var pending engine.Batch
+	intern := func(tok string) graph.Node {
+		if id, ok := byLabel[tok]; ok {
+			return id
+		}
+		id := graph.Node(len(labels))
+		byLabel[tok] = id
+		labels = append(labels, tok)
+		pending.AddNode(id)
+		return id
+	}
+	labelOf := func(u graph.Node) string {
+		if int(u) < len(labels) {
+			return labels[u]
+		}
+		return fmt.Sprintf("%d", u)
+	}
+	applyPending := func() {
+		if pending.Len() == 0 {
+			return
+		}
+		st := eng.Apply(pending)
+		pending.Reset()
+		fmt.Printf("apply: epoch=%d +%dn +%de -%de ~%dw reflooded=%d components=%d\n",
+			st.Epoch, st.NodesAdded, st.EdgesAdded, st.EdgesRemoved, st.WeightsChanged,
+			st.RefloodedNodes, st.Components)
+	}
+
+	ctx := context.Background()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Split on any whitespace, like every other parser in the
+		// toolchain; rest keeps the raw operand text for query lines.
+		cmd := strings.ToLower(strings.Fields(line)[0])
+		rest := strings.TrimSpace(line[len(cmd):])
+		fields := strings.Fields(rest)
+		switch cmd {
+		case "add", "setw":
+			if len(fields) < 2 {
+				fatalf("line %d: %s wants at least 2 labels", lineNo, cmd)
+			}
+			u, v := intern(fields[0]), intern(fields[1])
+			w := 1.0
+			if len(fields) >= 3 {
+				if w, err = strconv.ParseFloat(fields[2], 64); err != nil {
+					fatalf("line %d: bad weight %q: %v", lineNo, fields[2], err)
+				}
+			} else if cmd == "setw" {
+				fatalf("line %d: setw wants an explicit weight", lineNo)
+			}
+			// A bare add is the API's AddEdge; an explicit weight column
+			// (0 included) is honored exactly via SetWeight.
+			if cmd == "add" && len(fields) < 3 {
+				pending.AddEdge(u, v)
+			} else {
+				pending.SetWeight(u, v, w)
+			}
+		case "del":
+			if len(fields) < 2 {
+				fatalf("line %d: del wants 2 labels", lineNo)
+			}
+			// del never creates nodes: unknown labels mean the edge cannot
+			// exist, so the removal is a no-op.
+			u, uok := byLabel[fields[0]]
+			v, vok := byLabel[fields[1]]
+			if uok && vok {
+				pending.RemoveEdge(u, v)
+			}
+		case "node":
+			if len(fields) < 1 {
+				fatalf("line %d: node wants a label", lineNo)
+			}
+			for _, tok := range fields {
+				u := intern(tok)
+				pending.AddNode(u) // idempotent for already-interned labels
+			}
+		case "apply":
+			applyPending()
+		case "query":
+			applyPending() // a query always sees every mutation above it
+			nodes, err := resolveQuery(rest, byLabel, ", \t")
+			if err != nil {
+				fmt.Printf("%-24s error: %v\n", line, err)
+				continue
+			}
+			res, err := eng.Search(ctx, engine.Query{
+				Nodes:   nodes,
+				Variant: variant,
+				Opts:    dmcs.Options{Timeout: timeout, LayerPruning: variant == dmcs.VariantFPA},
+			})
+			if err != nil {
+				fmt.Printf("%-24s error: %v\n", line, err)
+				continue
+			}
+			mark := ""
+			if res.TimedOut {
+				mark = " TIMED-OUT(partial)"
+			}
+			if verbose {
+				members := make([]string, len(res.Community))
+				for i, u := range res.Community {
+					members[i] = labelOf(u)
+				}
+				fmt.Printf("%-24s epoch=%-3d size=%-5d score=%.6f%s members: %s\n",
+					line, eng.Epoch(), len(res.Community), res.Score, mark, strings.Join(members, " "))
+			} else {
+				fmt.Printf("%-24s epoch=%-3d size=%-5d score=%.6f%s\n",
+					line, eng.Epoch(), len(res.Community), res.Score, mark)
+			}
+		default:
+			fatalf("line %d: unknown command %q (want add/setw/del/node/apply/query)", lineNo, cmd)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read updates: %v", err)
+	}
+	applyPending()
+	st := eng.Stats()
+	fmt.Printf("\nstream done: epoch=%d served=%d cache-hits=%d errors=%d p50=%s p95=%s\n",
+		eng.Epoch(), st.Queries, st.CacheHits, st.Errors, st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
 }
 
 // parseQuery resolves a separated list of node labels, exiting on unknown

@@ -50,6 +50,45 @@
 // sorted, duplicate-free queries get byte-identical answers to the
 // serial entry points.
 //
+// # Dynamic graphs
+//
+// The engine's graph is not frozen: Engine.Apply takes an EngineBatch of
+// staged mutations — AddEdge, SetWeight, RemoveEdge, AddNode — and
+// applies them atomically:
+//
+//	var b dmcs.EngineBatch
+//	b.AddEdge(7, 42)
+//	b.SetWeight(3, 9, 2.5)
+//	b.RemoveEdge(1, 2)
+//	stats := eng.Apply(b) // stats.Epoch, stats.RefloodedNodes, ...
+//
+// Apply merges the batch into the current packed snapshot in one sweep
+// over the CSR arrays (no round-trip through the map-backed Graph),
+// maintains the connected-component partition incrementally — insertions
+// union components in near-constant time, and only components that
+// actually lost an edge are re-flooded — and publishes the result as the
+// next graph version with an atomic pointer swap. Within a batch the last
+// op on an edge wins; removing an absent edge is a no-op; endpoints past
+// the node count (and AddNode) grow the graph; setting a non-unit weight
+// on an unweighted graph upgrades it to weighted.
+//
+// The guarantees that make this safe under full query traffic:
+//
+//   - Drain: Apply never blocks queries and never mutates a published
+//     snapshot. Queries in flight when Apply lands complete on the version
+//     they admitted against; queries admitted afterwards see the new one.
+//     A query racing an Apply therefore returns a result bit-identical to
+//     running against either the pre- or the post-batch graph — never a
+//     hybrid.
+//   - Epoch invalidation: every snapshot carries an epoch (0 initially,
+//     +1 per Apply). The per-component sub-CSR cache lives on the snapshot
+//     itself, and the result LRU keys every entry by epoch, so after an
+//     Apply no query can ever observe a pre-update cached community — not
+//     even one inserted by a slow pre-update query finishing after the
+//     swap.
+//   - Writers serialize: concurrent Apply calls are applied one at a
+//     time, each producing its own version.
+//
 // # Architecture: the flat CSR core, scoped per query
 //
 // Every algorithm in the library runs on one canonical substrate: a CSR
@@ -149,6 +188,15 @@ type EngineQuery = engine.Query
 
 // EngineStats is a point-in-time snapshot of an Engine's counters.
 type EngineStats = engine.Stats
+
+// EngineBatch stages graph mutations for Engine.Apply (see the package
+// comment's "Dynamic graphs" section).
+type EngineBatch = engine.Batch
+
+// EngineApplyStats reports what one Engine.Apply did: the new epoch, the
+// batch's net effect, and how many nodes the incremental component
+// maintenance re-flooded.
+type EngineApplyStats = engine.ApplyStats
 
 // BatchResult pairs one query of Engine.SearchBatch with its outcome.
 type BatchResult = engine.BatchResult

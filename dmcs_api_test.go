@@ -1,6 +1,7 @@
 package dmcs_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -117,5 +118,35 @@ func TestPublicObjectiveConstants(t *testing.T) {
 		if _, err := dmcs.FPA(g, []dmcs.Node{0}, dmcs.Options{Objective: obj}); err != nil {
 			t.Fatalf("objective %v: %v", obj, err)
 		}
+	}
+}
+
+func TestPublicEngineApply(t *testing.T) {
+	g := twoCliques()
+	eng := dmcs.NewEngine(g, dmcs.EngineOptions{Workers: 2})
+	ctx := context.Background()
+	if _, err := eng.Search(ctx, dmcs.EngineQuery{Nodes: []dmcs.Node{0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b dmcs.EngineBatch
+	b.RemoveEdge(4, 5) // cut the bridge
+	b.AddNode(10)
+	st := eng.Apply(b)
+	if st.Epoch != 1 || st.EdgesRemoved != 1 || st.NodesAdded != 1 {
+		t.Fatalf("ApplyStats = %+v, want epoch 1 with one removal and one new node", st)
+	}
+	if st.Components != 3 {
+		t.Fatalf("components = %d, want 3 (two cliques + isolated node)", st.Components)
+	}
+	if _, err := eng.Search(ctx, dmcs.EngineQuery{Nodes: []dmcs.Node{0, 5}}); err != dmcs.ErrDisconnected {
+		t.Fatalf("cross-cut query err = %v, want ErrDisconnected", err)
+	}
+	res, err := eng.Search(ctx, dmcs.EngineQuery{Nodes: []dmcs.Node{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Community) != 5 {
+		t.Fatalf("post-cut community = %v, want the K5", res.Community)
 	}
 }

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"dmcs/internal/graph"
+)
+
+// Batch stages an ordered set of graph mutations for Engine.Apply. The
+// zero value is an empty batch; stage ops with AddEdge / SetWeight /
+// RemoveEdge / AddNode and hand the batch to Apply, which applies it
+// atomically — queries see either none of the batch or all of it, never a
+// prefix. Within a batch the last op on an edge wins, matching the
+// Builder's duplicate-edge rule.
+//
+// A Batch is not safe for concurrent staging; build it on one goroutine
+// (or guard it) and it may be reused after Apply via Reset.
+type Batch struct {
+	ops []graph.Delta
+}
+
+// AddEdge stages inserting the undirected edge (u,v) with weight 1.
+// Inserting an existing edge resets its weight to 1 (last wins).
+// Endpoints beyond the current node count grow the graph. Self-loops are
+// ignored, as in the Builder.
+func (b *Batch) AddEdge(u, v graph.Node) {
+	b.ops = append(b.ops, graph.Delta{Op: graph.DeltaAddEdge, U: u, V: v, W: 1})
+}
+
+// SetWeight stages setting the weight of edge (u,v) to w, inserting the
+// edge if absent. Applying a non-unit weight to a previously unweighted
+// graph upgrades it to weighted.
+func (b *Batch) SetWeight(u, v graph.Node, w float64) {
+	b.ops = append(b.ops, graph.Delta{Op: graph.DeltaSetWeight, U: u, V: v, W: w})
+}
+
+// RemoveEdge stages deleting the undirected edge (u,v). Removing an
+// absent edge is a no-op.
+func (b *Batch) RemoveEdge(u, v graph.Node) {
+	b.ops = append(b.ops, graph.Delta{Op: graph.DeltaRemoveEdge, U: u, V: v})
+}
+
+// AddNode stages ensuring node u exists (growing the node count to u+1),
+// as an isolated node unless edges to it are staged too.
+func (b *Batch) AddNode(u graph.Node) {
+	b.ops = append(b.ops, graph.Delta{Op: graph.DeltaAddNode, U: u})
+}
+
+// Len returns the number of staged ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch for reuse, keeping its capacity.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// ApplyStats reports what one Engine.Apply did.
+type ApplyStats struct {
+	// Epoch is the version of the snapshot the batch produced (the
+	// engine's initial snapshot is epoch 0). A batch whose ops all
+	// normalize to nothing leaves the current version — and its warm
+	// caches — in place, reporting the unchanged epoch.
+	Epoch uint64
+	// NodesAdded, EdgesAdded, EdgesRemoved, and WeightsChanged count the
+	// batch's net effect after last-wins normalization against the
+	// pre-batch snapshot: re-adding an existing edge or removing an absent
+	// one counts nothing.
+	NodesAdded, EdgesAdded, EdgesRemoved, WeightsChanged int
+	// RefloodedNodes is how many nodes the incremental component
+	// maintenance re-flooded — 0 for insert-only batches, and bounded by
+	// the sizes of the post-union components containing a removal (a
+	// batch that both merges components and removes an edge inside the
+	// merged group re-floods the whole group).
+	RefloodedNodes int
+	// Components is the component count of the new snapshot.
+	Components int
+}
+
+// Apply merges the batch into the current snapshot and publishes the
+// result as the next graph version. Concurrent Apply calls are
+// serialized; Search/SearchBatch are never blocked — queries in flight
+// drain on the version they admitted against (old snapshots are immutable
+// and stay valid until their last reader finishes), and queries admitted
+// after Apply returns run on the new version.
+//
+// Invalidation is epoch-based and airtight: the per-component sub-CSR
+// cache lives on the snapshot (a new version starts fresh), and the
+// result LRU keys every entry by epoch, so no query can ever observe a
+// community computed against a pre-batch graph — not even a result that a
+// slow pre-batch query inserts into the cache after the swap. Apply also
+// drops the previous version's cache entries eagerly; that is a memory
+// optimization, not a correctness requirement.
+//
+// Cost: the merge is one sweep over the packed arrays (O(V+E) for the
+// whole snapshot, independent of batch size), and component maintenance
+// is incremental — insertions union in near-constant time, and only
+// components that lost an edge are re-flooded.
+func (e *Engine) Apply(b Batch) ApplyStats {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	cur := e.snap.Load()
+	if len(b.ops) == 0 {
+		return ApplyStats{Epoch: cur.epoch, Components: len(cur.comps)}
+	}
+	csr, info := graph.MergeCSR(cur.csr, b.ops)
+	if info.NodesAdded == 0 && len(info.Inserted) == 0 && len(info.Removed) == 0 && info.WeightsChanged == 0 {
+		// Every op normalized away (removes of absent edges, re-adds of
+		// existing ones): the merged graph is bit-identical, so keep the
+		// current version and its warm result/sub-CSR caches.
+		return ApplyStats{Epoch: cur.epoch, Components: len(cur.comps)}
+	}
+	compID, comps, reflooded := graph.UpdateComponents(csr, cur.compID, len(cur.comps), info)
+	next := newSnapshotParts(csr, compID, comps, cur.epoch+1)
+	// Clear before publishing: at this point the cache holds only
+	// about-to-be-stale entries (epoch-prefixed keys make them unreachable
+	// after the swap anyway; clearing frees their memory instead of
+	// waiting for LRU churn). Clearing after the Store would race with
+	// fast post-swap queries and wipe their freshly cached, valid results.
+	e.cache.clear()
+	e.snap.Store(next)
+	return ApplyStats{
+		Epoch:          next.epoch,
+		NodesAdded:     info.NodesAdded,
+		EdgesAdded:     len(info.Inserted),
+		EdgesRemoved:   len(info.Removed),
+		WeightsChanged: info.WeightsChanged,
+		RefloodedNodes: reflooded,
+		Components:     len(comps),
+	}
+}

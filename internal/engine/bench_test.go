@@ -64,6 +64,78 @@ func BenchmarkEngineSmallQueriesNCA(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineApplyUpdates is the mutation-throughput benchmark: each
+// op applies one 8-edge toggle batch confined to a single component of a
+// large many-component graph. The per-op cost is dominated by the O(V+E)
+// merge sweep; the incremental component maintenance contributes only the
+// one re-flooded component.
+func BenchmarkEngineApplyUpdates(b *testing.B) {
+	e := New(smallQueryEngineGraph(benchComponents, benchCompSize), Options{Workers: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Consecutive op pairs (i even/odd) remove then restore the same
+		// 8 edges, so the graph returns to its start state every two ops
+		// and the measured cost never drifts with b.N.
+		comp := (i / 2) % benchComponents
+		base := graph.Node(comp * benchCompSize)
+		var batch Batch
+		for k := 0; k < 8; k++ {
+			u := base + graph.Node(((i/2)*11+k*5)%(benchCompSize-1))
+			if i%2 == 0 {
+				batch.RemoveEdge(u, u+1)
+			} else {
+				batch.AddEdge(u, u+1)
+			}
+		}
+		e.Apply(batch)
+	}
+}
+
+// BenchmarkEngineQueryUnderChurn measures query latency while a
+// background writer continuously applies mutation batches — the
+// query-during-update serving cost, including the version swaps and
+// per-version sub-CSR rebuilds the churn forces.
+func BenchmarkEngineQueryUnderChurn(b *testing.B) {
+	e := New(smallQueryEngineGraph(benchComponents, benchCompSize), Options{Workers: 2})
+	ctx := context.Background()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Churn component 0 only; queries spread across the rest, so
+			// the benchmark isolates versioning overhead from result
+			// changes. Each removed edge is restored on the next round,
+			// keeping the workload steady however long the timer runs.
+			var batch Batch
+			u := graph.Node(((i / 2) * 7) % (benchCompSize - 1))
+			if i%2 == 0 {
+				batch.RemoveEdge(u, u+1)
+			} else {
+				batch.AddEdge(u, u+1)
+			}
+			e.Apply(batch)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := Query{Nodes: []graph.Node{graph.Node((1 + i%(benchComponents-1)) * benchCompSize)}}
+		if _, err := e.Search(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
 // BenchmarkEngineSmallQueriesCacheHit is the steady-state serving path: a
 // warm LRU answers every query. The allocs/op of this benchmark is the
 // engine's zero-alloc contract — CI gates it at 0.

@@ -8,10 +8,18 @@ import (
 )
 
 // resultCache is a mutex-guarded LRU keyed by the normalized query key
-// (sorted deduplicated node set + algorithm variant + result-shaping
-// options). Only complete results are stored — timed-out or cancelled
-// searches return whatever was peeled so far, which depends on wall-clock
-// time, so caching them would leak nondeterminism into later queries.
+// (snapshot epoch + sorted deduplicated node set + algorithm variant +
+// result-shaping options). Only complete results are stored — timed-out
+// or cancelled searches return whatever was peeled so far, which depends
+// on wall-clock time, so caching them would leak nondeterminism into
+// later queries.
+//
+// Entries are immutable once published: add on an existing key replaces
+// the whole *cacheEntry rather than mutating the existing one in place.
+// (Both paths hold the mutex, so the in-place write was not a data race;
+// the invariant exists so no published entry is ever rewritten, keeping
+// the cache safe against future lock-free readers or entries escaping
+// the critical section.)
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -65,7 +73,9 @@ func (c *resultCache) add(key []byte, res *dmcs.Result) {
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[string(key)]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
+		// Replace immutably: the old entry is retired, never rewritten.
+		old := el.Value.(*cacheEntry)
+		el.Value = &cacheEntry{key: old.key, res: res}
 		return
 	}
 	k := string(key)
@@ -75,6 +85,19 @@ func (c *resultCache) add(key []byte, res *dmcs.Result) {
 		c.order.Remove(el)
 		delete(c.byKey, el.Value.(*cacheEntry).key)
 	}
+}
+
+// clear drops every entry. Apply calls it after an epoch bump: entries of
+// older epochs can no longer match any lookup, so holding them would only
+// waste capacity until LRU churn evicts them.
+func (c *resultCache) clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.byKey)
 }
 
 // len returns the number of cached entries.

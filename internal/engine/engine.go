@@ -7,11 +7,21 @@
 // deadlines, an LRU cache answers repeated queries without recomputation,
 // and a stats collector tracks throughput and latency percentiles.
 //
+// The graph is shared but not frozen: Engine.Apply takes a Batch of edge
+// and node mutations, merges it into the current snapshot's packed CSR
+// (internal/graph.MergeCSR — no round-trip through the map-backed Graph),
+// maintains the component partition incrementally (unions on insert,
+// re-flooding only components that lost an edge), and publishes the
+// result as the next version with an atomic pointer swap. Snapshots are
+// versioned by an epoch; in-flight queries drain on the version they
+// admitted against, and the result cache keys every entry by epoch, so a
+// mutation can never leave a stale community result servable.
+//
 // Queries are deterministic: node sets are normalized (sorted,
 // deduplicated) on entry, and for a given normalized set and options the
 // engine returns exactly what the serial dmcs entry points return for
-// that slice, regardless of worker count, batch composition, or cache
-// state.
+// that slice against the same graph version, regardless of worker count,
+// batch composition, or cache state.
 package engine
 
 import (
@@ -63,9 +73,10 @@ type BatchResult struct {
 	Err    error
 }
 
-// Engine answers DMCS queries against one immutable graph snapshot. It is
-// safe for concurrent use and needs no shutdown — it owns no background
-// goroutines, only a concurrency bound that Search/SearchBatch respect.
+// Engine answers DMCS queries against the current version of one graph,
+// mutable through Apply. It is safe for concurrent use and needs no
+// shutdown — it owns no background goroutines, only a concurrency bound
+// that Search/SearchBatch respect.
 //
 // Steady-state serving is allocation-free: each admitted query checks out
 // a per-worker scratch bundle (a search arena plus the normalized-node
@@ -74,7 +85,8 @@ type BatchResult struct {
 // *Result. Computed queries allocate only the escaping Result and the
 // cache entry that stores it.
 type Engine struct {
-	snap           *Snapshot
+	snap           atomic.Pointer[Snapshot] // current version; swapped by Apply
+	applyMu        sync.Mutex               // serializes writers (Apply)
 	cache          *resultCache
 	stats          statsCollector
 	sem            chan struct{}       // worker-pool slots
@@ -121,18 +133,24 @@ func New(g *graph.Graph, opts Options) *Engine {
 	if cs == 0 {
 		cs = defaultCacheSize
 	}
-	return &Engine{
-		snap:           NewSnapshot(g),
+	e := &Engine{
 		cache:          newResultCache(cs), // nil (disabled) when cs < 0
 		sem:            make(chan struct{}, w),
 		scratch:        make(chan *workerScratch, w),
 		workers:        w,
 		defaultTimeout: opts.DefaultTimeout,
 	}
+	e.snap.Store(NewSnapshot(g))
+	return e
 }
 
-// Snapshot exposes the engine's read-optimized graph snapshot.
-func (e *Engine) Snapshot() *Snapshot { return e.snap }
+// Snapshot exposes the engine's current read-optimized graph snapshot.
+// Successive calls may return different versions once Apply is in play;
+// each returned snapshot is individually immutable.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Epoch returns the current graph version (0 until the first Apply).
+func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
 
 // Workers returns the concurrency bound the engine runs with.
 func (e *Engine) Workers() int { return e.workers }
@@ -197,17 +215,25 @@ func (e *Engine) SearchBatch(ctx context.Context, qs []Query) []BatchResult {
 // then the query-scoped search armed with the context, running on the
 // component's cached sub-CSR with the worker's arena. The whole path
 // reuses per-worker buffers; a cache hit allocates nothing.
+//
+// The snapshot pointer is loaded exactly once, so a query racing an
+// Apply runs consistently against one version end to end: its cache key
+// carries that version's epoch, its component lookup and search read that
+// version's arrays, and a result it inserts afterwards is keyed under
+// that epoch — visible only to queries of the same version, never to
+// queries admitted after the swap.
 func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
+	snap := e.snap.Load()
 	ws := e.getScratch()
 	defer e.putScratch(ws)
 	ws.nodes = normalizeNodesInto(ws.nodes[:0], q.Nodes)
 	nodes := ws.nodes
-	ws.key = appendCacheKey(ws.key[:0], nodes, q.Variant, q.Opts)
+	ws.key = appendCacheKey(ws.key[:0], snap.epoch, nodes, q.Variant, q.Opts)
 	if res, ok := e.cache.get(ws.key); ok {
 		e.stats.recordHit()
 		return res, nil
 	}
-	id, err := e.snap.componentIndex(nodes)
+	id, err := snap.componentIndex(nodes)
 	if err != nil {
 		e.stats.recordError()
 		return nil, err
@@ -222,7 +248,7 @@ func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
 	// per-query work touches only component-sized packed arrays plus the
 	// arena's recycled scratch — never whole-graph-sized state and never
 	// the map-backed Graph.
-	res, err := dmcs.SearchSub(ws.arena, e.snap.SubCSR(id), nodes, e.snap.comps[id], q.Variant, opts)
+	res, err := dmcs.SearchSub(ws.arena, snap.SubCSR(id), nodes, snap.comps[id], q.Variant, opts)
 	if err != nil {
 		e.stats.recordError()
 		return nil, err
@@ -273,12 +299,18 @@ func sortNodes(a []graph.Node) {
 	}
 }
 
-// appendCacheKey appends the encoding of the normalized node set plus
-// every option that shapes a completed result to b (usually a recycled
-// worker buffer, so the hit path builds its key without allocating).
-// Timeout is deliberately excluded: only results that ran to completion
-// are cached, and those do not depend on the deadline.
-func appendCacheKey(b []byte, nodes []graph.Node, v dmcs.Variant, o dmcs.Options) []byte {
+// appendCacheKey appends the encoding of the snapshot epoch, the
+// normalized node set, and every option that shapes a completed result to
+// b (usually a recycled worker buffer, so the hit path builds its key
+// without allocating). The epoch prefix makes version confusion
+// structurally impossible: a result computed against snapshot N is keyed
+// under N and can never answer a lookup for snapshot N+1, even when the
+// computing query finishes (and inserts) after the swap. Timeout is
+// deliberately excluded: only results that ran to completion are cached,
+// and those do not depend on the deadline.
+func appendCacheKey(b []byte, epoch uint64, nodes []graph.Node, v dmcs.Variant, o dmcs.Options) []byte {
+	b = strconv.AppendUint(b, epoch, 10)
+	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(v), 10)
 	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(o.Objective), 10)

@@ -11,13 +11,23 @@ import (
 // ErrNodeOutOfRange is returned for query nodes outside [0, NumNodes).
 var ErrNodeOutOfRange = errors.New("engine: query node out of range")
 
-// Snapshot is the immutable, read-optimized view of one graph that every
-// query served by an Engine runs against. It packs the adjacency into a
-// CSR (with the weighted-degree and total-weight aggregates the modularity
-// formulas need) and precomputes the connected-component partition, so
-// admitting a query costs O(|Q|) instead of the BFS + sort that the plain
-// dmcs.Search entry points pay per call. Snapshots are safe for concurrent
-// readers; nothing visible to them is ever mutated after construction.
+// Snapshot is the immutable, read-optimized view of one graph version
+// that every query served by an Engine runs against. It packs the
+// adjacency into a CSR (with the weighted-degree and total-weight
+// aggregates the modularity formulas need) and precomputes the
+// connected-component partition, so admitting a query costs O(|Q|)
+// instead of the BFS + sort that the plain dmcs.Search entry points pay
+// per call. Snapshots are safe for concurrent readers; nothing visible to
+// them is ever mutated after construction. Engine.Apply never touches an
+// existing snapshot either — it builds the next one and swaps an atomic
+// pointer, so queries that admitted against an older version drain on it
+// undisturbed.
+//
+// Each snapshot carries an epoch — 0 at construction, incremented by
+// every applied mutation batch. The epoch keys all version-scoped caching
+// (the per-component sub-CSR cache lives on the snapshot itself, and the
+// engine's result LRU prefixes its keys with the epoch), so a result
+// computed against one version can never be served for a later one.
 //
 // Per component the snapshot also caches a compact sub-CSR (the
 // component's adjacency relabelled into dense 0..k-1 ids), built lazily
@@ -29,53 +39,69 @@ type Snapshot struct {
 	csr    *graph.CSR
 	compID []int32        // node id -> component id
 	comps  [][]graph.Node // component id -> sorted member list
+	epoch  uint64         // graph version; 0 at construction, +1 per Apply
 
 	subOnce []sync.Once     // per-component lazy sub-CSR construction
 	subs    []*graph.SubCSR // component id -> compact sub-CSR
 }
 
-// NewSnapshot builds the read-optimized snapshot of g. The map-backed
-// graph itself is not retained: once packed, every query runs off the
-// CSR, so a long-lived engine does not keep the edge-weight map and
-// nested adjacency resident alongside the flat copy.
+// NewSnapshot builds the read-optimized snapshot of g at epoch 0. The
+// map-backed graph itself is not retained: once packed, every query runs
+// off the CSR, so a long-lived engine does not keep the edge-weight map
+// and nested adjacency resident alongside the flat copy.
 func NewSnapshot(g *graph.Graph) *Snapshot {
-	s := &Snapshot{
-		csr:    graph.NewCSR(g),
-		compID: make([]int32, g.NumNodes()),
+	csr := graph.NewCSR(g)
+	compID := make([]int32, csr.NumNodes())
+	for i := range compID {
+		compID[i] = -1
 	}
-	for i := range s.compID {
-		s.compID[i] = -1
-	}
+	var comps [][]graph.Node
 	var queue []graph.Node
-	for root := 0; root < g.NumNodes(); root++ {
-		if s.compID[root] != -1 {
+	for root := 0; root < csr.NumNodes(); root++ {
+		if compID[root] != -1 {
 			continue
 		}
-		id := int32(len(s.comps))
-		s.compID[root] = id
+		id := int32(len(comps))
+		compID[root] = id
 		queue = append(queue[:0], graph.Node(root))
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
-			for _, w := range s.csr.Neighbors(u) {
-				if s.compID[w] == -1 {
-					s.compID[w] = id
+			for _, w := range csr.Neighbors(u) {
+				if compID[w] == -1 {
+					compID[w] = id
 					queue = append(queue, w)
 				}
 			}
 		}
-		s.comps = append(s.comps, nil)
+		comps = append(comps, nil)
 	}
 	// Member lists come out sorted for free by visiting node ids in order.
-	for u, id := range s.compID {
-		s.comps[id] = append(s.comps[id], graph.Node(u))
+	for u, id := range compID {
+		comps[id] = append(comps[id], graph.Node(u))
 	}
-	s.subOnce = make([]sync.Once, len(s.comps))
-	s.subs = make([]*graph.SubCSR, len(s.comps))
-	return s
+	return newSnapshotParts(csr, compID, comps, 0)
+}
+
+// newSnapshotParts assembles a snapshot from an already-built CSR and
+// component partition — the construction path of NewSnapshot and of every
+// Apply-produced successor version.
+func newSnapshotParts(csr *graph.CSR, compID []int32, comps [][]graph.Node, epoch uint64) *Snapshot {
+	return &Snapshot{
+		csr:     csr,
+		compID:  compID,
+		comps:   comps,
+		epoch:   epoch,
+		subOnce: make([]sync.Once, len(comps)),
+		subs:    make([]*graph.SubCSR, len(comps)),
+	}
 }
 
 // CSR returns the packed adjacency snapshot.
 func (s *Snapshot) CSR() *graph.CSR { return s.csr }
+
+// Epoch returns the snapshot's graph version: 0 for the engine's initial
+// snapshot, incremented by one per applied mutation batch.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // NumComponents returns the number of connected components.
 func (s *Snapshot) NumComponents() int { return len(s.comps) }

@@ -83,7 +83,21 @@ func (s *statsCollector) snapshot(cacheEntries int) Stats {
 		return st
 	}
 	slices.Sort(lat)
-	st.P50 = lat[(len(lat)-1)*50/100]
-	st.P95 = lat[(len(lat)-1)*95/100]
+	st.P50 = lat[ceilRank(len(lat), 50)]
+	st.P95 = lat[ceilRank(len(lat), 95)]
 	return st
+}
+
+// ceilRank returns the 0-based index of the p-th percentile under the
+// ceiling nearest-rank definition: the smallest sample below which at
+// least p% of the window lies. The previous floor formula
+// (lat[(n-1)*p/100]) collapsed P95 onto interior ranks for small windows
+// — with n < 20 it can never select the last sample, so P95 underreported
+// tail latency exactly when the window was smallest.
+func ceilRank(n, p int) int {
+	r := (n*p + 99) / 100
+	if r < 1 {
+		r = 1
+	}
+	return r - 1
 }

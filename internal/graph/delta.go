@@ -1,0 +1,383 @@
+package graph
+
+import "slices"
+
+// This file is the dynamic-graph substrate: applying a batch of edge/node
+// mutations to a packed CSR snapshot produces the next snapshot by a
+// single merge sweep over the packed arrays — the same relabelling-free,
+// order-preserving style as SubCSR extraction — instead of round-tripping
+// through the map-backed Graph. The component partition is maintained
+// incrementally on top: insertions union existing components, and only
+// components that actually lost an edge are re-flooded.
+
+// DeltaOp enumerates the mutation kinds a Delta can carry.
+type DeltaOp uint8
+
+const (
+	// DeltaAddEdge inserts the undirected edge (U,V) with weight W (0 means
+	// the default weight 1). If the edge already exists its weight is
+	// overwritten — within a batch, as in the Builder, the last record of
+	// an edge wins.
+	DeltaAddEdge DeltaOp = iota
+	// DeltaRemoveEdge deletes the undirected edge (U,V). Removing an absent
+	// edge is a no-op.
+	DeltaRemoveEdge
+	// DeltaSetWeight sets the weight of edge (U,V) to W, inserting the edge
+	// if absent.
+	DeltaSetWeight
+	// DeltaAddNode ensures node U exists, growing the node count to U+1.
+	// Edge deltas grow the node count implicitly the same way; an explicit
+	// DeltaAddNode adds an isolated node.
+	DeltaAddNode
+)
+
+// Delta is one graph mutation. Batches of deltas are applied atomically by
+// MergeCSR; op order within a batch only matters for repeats of the same
+// edge (last wins).
+type Delta struct {
+	Op   DeltaOp
+	U, V Node
+	W    float64
+}
+
+// MergeInfo is the connectivity-relevant residue of a batch after
+// normalizing it against the snapshot it was applied to: which edges were
+// actually inserted (absent before, present after) and actually removed
+// (present before, absent after), plus bookkeeping counts. Ops that
+// cancel out within the batch, re-adds of existing edges, and removals of
+// absent edges leave no trace here. UpdateComponents consumes it to
+// maintain the component partition incrementally.
+type MergeInfo struct {
+	Inserted       [][2]Node // now present, previously absent; u < v, sorted
+	Removed        [][2]Node // now absent, previously present; u < v, sorted
+	WeightsChanged int       // existing edges whose weight changed
+	NodesAdded     int       // node-count growth (explicit and implicit)
+}
+
+// edgeState tracks one touched edge through batch normalization: its
+// state in the source snapshot and its final state after the last op.
+type edgeState struct {
+	existed bool
+	oldW    float64
+	present bool
+	w       float64
+}
+
+// edgeWeightOf returns the weight of edge (u,v) in the snapshot and
+// whether the edge exists (binary search over the sorted packed adjacency).
+func (c *CSR) edgeWeightOf(u, v Node) (float64, bool) {
+	if int(u) >= c.NumNodes() || int(v) >= c.NumNodes() || u < 0 || v < 0 {
+		return 0, false
+	}
+	adj := c.Neighbors(u)
+	if d := c.Neighbors(v); len(d) < len(adj) {
+		adj, u, v = d, v, u
+	}
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(adj) || adj[lo] != v {
+		return 0, false
+	}
+	if c.weights == nil {
+		return 1, true
+	}
+	return c.weights[int(c.offsets[u])+lo], true
+}
+
+// HasEdge reports whether the undirected edge (u,v) is present in the
+// snapshot.
+func (c *CSR) HasEdge(u, v Node) bool {
+	_, ok := c.edgeWeightOf(u, v)
+	return ok
+}
+
+// MergeCSR applies a batch of deltas to c and returns the merged snapshot
+// plus the normalized residue of the batch. c itself is never modified —
+// readers holding it keep a consistent view — and the merge runs entirely
+// on the packed arrays: one sweep interleaves each node's old adjacency
+// with its sorted per-node ops, recomputing the weighted-degree and
+// total-weight aggregates in the same ascending-node, ascending-neighbor
+// order as NewCSR, so scores computed on the merged snapshot are
+// bit-identical to a from-scratch pack of the same graph.
+//
+// Semantics per edge (u ≠ v; self-loops are ignored like Builder.AddEdge):
+// the batch is normalized last-wins, then inserts add the edge with the
+// given weight (DeltaAddEdge with W=0 means 1), removes drop it, and
+// weight updates rewrite the packed weight in place. A previously
+// unweighted snapshot becomes weighted the first time any edge ends up
+// with a non-unit weight. Endpoints beyond the current node count grow
+// the graph (DeltaRemoveEdge never grows it).
+func MergeCSR(c *CSR, ops []Delta) (*CSR, *MergeInfo) {
+	oldN := c.NumNodes()
+	newN := oldN
+	touched := make(map[[2]Node]*edgeState, len(ops))
+	for _, d := range ops {
+		if d.Op == DeltaAddNode {
+			if int(d.U)+1 > newN && d.U >= 0 {
+				newN = int(d.U) + 1
+			}
+			continue
+		}
+		u, v := d.U, d.V
+		if u == v || u < 0 || v < 0 {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if d.Op != DeltaRemoveEdge && int(v)+1 > newN {
+			newN = int(v) + 1
+		}
+		key := [2]Node{u, v}
+		s := touched[key]
+		if s == nil {
+			s = &edgeState{}
+			if w, ok := c.edgeWeightOf(u, v); ok {
+				s.existed, s.oldW, s.present, s.w = true, w, true, w
+			}
+			touched[key] = s
+		}
+		switch d.Op {
+		case DeltaAddEdge:
+			w := d.W
+			if w == 0 {
+				w = 1
+			}
+			s.present, s.w = true, w
+		case DeltaSetWeight:
+			s.present, s.w = true, d.W
+		case DeltaRemoveEdge:
+			s.present = false
+		}
+	}
+
+	info := &MergeInfo{NodesAdded: newN - oldN}
+	// Directed op entries drive the per-node merge; only edges whose final
+	// state differs from the snapshot produce any.
+	type dirOp struct {
+		src, dst Node
+		w        float64
+		del      bool // final state absent (only for previously-present edges)
+		ins      bool // final state present, previously absent
+	}
+	var dir []dirOp
+	for key, s := range touched {
+		u, v := key[0], key[1]
+		switch {
+		case s.present && !s.existed:
+			info.Inserted = append(info.Inserted, key)
+			dir = append(dir, dirOp{u, v, s.w, false, true}, dirOp{v, u, s.w, false, true})
+		case !s.present && s.existed:
+			info.Removed = append(info.Removed, key)
+			dir = append(dir, dirOp{src: u, dst: v, del: true}, dirOp{src: v, dst: u, del: true})
+		case s.present && s.existed && s.w != s.oldW:
+			info.WeightsChanged++
+			dir = append(dir, dirOp{src: u, dst: v, w: s.w}, dirOp{src: v, dst: u, w: s.w})
+		}
+	}
+	slices.SortFunc(dir, func(a, b dirOp) int {
+		if a.src != b.src {
+			return int(a.src - b.src)
+		}
+		return int(a.dst - b.dst)
+	})
+	slices.SortFunc(info.Inserted, cmpEdge)
+	slices.SortFunc(info.Removed, cmpEdge)
+
+	weighted := c.weights != nil
+	if !weighted {
+		for _, s := range touched {
+			if s.present && s.w != 1 {
+				weighted = true
+				break
+			}
+		}
+	}
+
+	m := &CSR{
+		offsets: make([]int32, newN+1),
+		targets: make([]Node, 0, len(c.targets)+2*(len(info.Inserted)-len(info.Removed))),
+		wdeg:    make([]float64, newN),
+	}
+	if weighted {
+		m.weights = make([]float64, 0, cap(m.targets))
+	}
+	di := 0 // cursor into dir
+	for u := 0; u < newN; u++ {
+		m.offsets[u] = int32(len(m.targets))
+		var adj []Node
+		var ws []float64
+		if u < oldN {
+			adj = c.Neighbors(Node(u))
+			ws = c.NeighborWeights(Node(u))
+		}
+		ai := 0
+		emit := func(v Node, w float64) {
+			m.targets = append(m.targets, v)
+			if weighted {
+				m.weights = append(m.weights, w)
+			}
+			m.wdeg[u] += w
+			if Node(u) < v {
+				m.totalW += w
+			}
+		}
+		oldWeightAt := func(i int) float64 {
+			if ws == nil {
+				return 1
+			}
+			return ws[i]
+		}
+		for di < len(dir) && dir[di].src == Node(u) {
+			op := dir[di]
+			for ai < len(adj) && adj[ai] < op.dst {
+				emit(adj[ai], oldWeightAt(ai))
+				ai++
+			}
+			switch {
+			case op.del:
+				// op.dst is present in adj here; skip it.
+				ai++
+			case op.ins:
+				emit(op.dst, op.w)
+			default: // weight update in place
+				emit(op.dst, op.w)
+				ai++
+			}
+			di++
+		}
+		for ; ai < len(adj); ai++ {
+			emit(adj[ai], oldWeightAt(ai))
+		}
+	}
+	m.offsets[newN] = int32(len(m.targets))
+	if !weighted {
+		// Unweighted aggregates are exact counts; keep them in the same
+		// form NewCSR produces.
+		for u := range m.wdeg {
+			m.wdeg[u] = float64(m.Degree(Node(u)))
+		}
+		m.totalW = float64(m.NumEdges())
+	}
+	return m, info
+}
+
+func cmpEdge(a, b [2]Node) int {
+	if a[0] != b[0] {
+		return int(a[0] - b[0])
+	}
+	return int(a[1] - b[1])
+}
+
+// UpdateComponents maintains the connected-component partition across one
+// merge: c is the merged snapshot, oldCompID/numOldComps the partition of
+// the pre-merge snapshot, and info the merge residue. Insertions union
+// the endpoint components in near-constant time; only components that
+// actually lost an edge are re-flooded (a removal may split one into
+// many). New nodes start as singletons and join components through their
+// inserted edges. refloodedNodes counts exactly the nodes visited by
+// re-flooding — an insert-only batch reports 0, and a batch with
+// removals reports at most the sizes of the post-union components the
+// removals landed in (a removal inside a group the batch also merged
+// re-floods the whole merged group).
+//
+// The returned partition is in canonical form: component ids are assigned
+// in first-seen ascending-node order and each member list is sorted, the
+// same invariants a from-scratch flood produces.
+func UpdateComponents(c *CSR, oldCompID []int32, numOldComps int, info *MergeInfo) (compID []int32, comps [][]Node, refloodedNodes int) {
+	n := c.NumNodes()
+	oldN := len(oldCompID)
+	groups := numOldComps + (n - oldN) // old components + new-node singletons
+	parent := make([]int32, groups)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	groupOf := func(u Node) int32 {
+		if int(u) < oldN {
+			return oldCompID[u]
+		}
+		return int32(numOldComps + int(u) - oldN)
+	}
+	for _, e := range info.Inserted {
+		ru, rv := find(groupOf(e[0])), find(groupOf(e[1]))
+		if ru != rv {
+			parent[rv] = ru
+		}
+	}
+	// Mark after all unions so the dirty bit lands on the final root: a
+	// removal inside a group that an insertion also merged must dirty the
+	// whole merged group.
+	dirty := make([]bool, groups)
+	for _, e := range info.Removed {
+		dirty[find(groupOf(e[0]))] = true
+	}
+
+	// Provisional component ids: clean merged groups keep their root id;
+	// dirty groups are re-flooded into fresh ids starting at groups. Edges
+	// of the merged snapshot never cross group boundaries (kept edges stay
+	// within an old component, inserted edges were unioned), so each flood
+	// is confined to its dirty group by construction.
+	prov := make([]int32, n)
+	for i := range prov {
+		prov[i] = -1
+	}
+	next := int32(groups)
+	var queue []Node
+	for u := 0; u < n; u++ {
+		if prov[u] != -1 {
+			continue
+		}
+		r := find(groupOf(Node(u)))
+		if !dirty[r] {
+			prov[u] = r
+			continue
+		}
+		id := next
+		next++
+		prov[u] = id
+		refloodedNodes++
+		queue = append(queue[:0], Node(u))
+		for head := 0; head < len(queue); head++ {
+			for _, w := range c.Neighbors(queue[head]) {
+				if prov[w] == -1 {
+					prov[w] = id
+					refloodedNodes++
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+
+	// Renumber provisional ids into first-seen ascending-node order;
+	// member lists come out sorted for free.
+	table := make([]int32, next)
+	for i := range table {
+		table[i] = -1
+	}
+	compID = make([]int32, n)
+	for u := 0; u < n; u++ {
+		p := prov[u]
+		if table[p] == -1 {
+			table[p] = int32(len(comps))
+			comps = append(comps, nil)
+		}
+		id := table[p]
+		compID[u] = id
+		comps[id] = append(comps[id], Node(u))
+	}
+	return compID, comps, refloodedNodes
+}

@@ -1,0 +1,342 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// refApply applies a delta batch to a map-backed reference model
+// (edge -> weight, plus a node count) with the same last-wins semantics
+// MergeCSR documents, and rebuilds a CSR from scratch through the
+// Builder. MergeCSR must match it bit for bit.
+type refModel struct {
+	n     int
+	edges map[[2]Node]float64
+}
+
+func newRefModel(g *Graph) *refModel {
+	r := &refModel{n: g.NumNodes(), edges: map[[2]Node]float64{}}
+	g.EdgesW(func(u, v Node, w float64) bool {
+		r.edges[[2]Node{u, v}] = w
+		return true
+	})
+	return r
+}
+
+func (r *refModel) apply(ops []Delta) {
+	for _, d := range ops {
+		if d.Op == DeltaAddNode {
+			if int(d.U)+1 > r.n {
+				r.n = int(d.U) + 1
+			}
+			continue
+		}
+		u, v := d.U, d.V
+		if u == v || u < 0 || v < 0 {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if d.Op != DeltaRemoveEdge && int(v)+1 > r.n {
+			r.n = int(v) + 1
+		}
+		switch d.Op {
+		case DeltaAddEdge:
+			w := d.W
+			if w == 0 {
+				w = 1
+			}
+			r.edges[[2]Node{u, v}] = w
+		case DeltaSetWeight:
+			r.edges[[2]Node{u, v}] = d.W
+		case DeltaRemoveEdge:
+			delete(r.edges, [2]Node{u, v})
+		}
+	}
+}
+
+// build packs the reference model from scratch. weighted graphs keep
+// explicit weights; a model whose weights are all 1 builds unweighted,
+// matching MergeCSR's becomes-weighted rule.
+func (r *refModel) build() *CSR {
+	b := NewBuilder(r.n)
+	weighted := false
+	for _, w := range r.edges {
+		if w != 1 {
+			weighted = true
+			break
+		}
+	}
+	for e, w := range r.edges {
+		if weighted {
+			b.SetWeight(e[0], e[1], w)
+		} else {
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	return NewCSR(b.Build())
+}
+
+func csrEqual(t *testing.T, got, want *CSR) {
+	t.Helper()
+	if !reflect.DeepEqual(got.offsets, want.offsets) {
+		t.Fatalf("offsets mismatch:\n got %v\nwant %v", got.offsets, want.offsets)
+	}
+	if !reflect.DeepEqual(got.targets, want.targets) {
+		t.Fatalf("targets mismatch:\n got %v\nwant %v", got.targets, want.targets)
+	}
+	if !reflect.DeepEqual(got.weights, want.weights) {
+		t.Fatalf("weights mismatch:\n got %v\nwant %v", got.weights, want.weights)
+	}
+	if !reflect.DeepEqual(got.wdeg, want.wdeg) {
+		t.Fatalf("wdeg mismatch:\n got %v\nwant %v", got.wdeg, want.wdeg)
+	}
+	if got.totalW != want.totalW {
+		t.Fatalf("totalW = %v, want %v", got.totalW, want.totalW)
+	}
+}
+
+func randomDeltaGraph(rng *rand.Rand, n int, weighted bool) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if rng.Intn(4) == 0 {
+				if weighted {
+					b.SetWeight(Node(i), Node(j), 0.5+2*rng.Float64())
+				} else {
+					b.AddEdge(Node(i), Node(j))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randomBatch(rng *rand.Rand, n, size int, weighted bool) []Delta {
+	var ops []Delta
+	for i := 0; i < size; i++ {
+		u := Node(rng.Intn(n + 3)) // occasionally beyond the node count
+		v := Node(rng.Intn(n + 3))
+		switch rng.Intn(5) {
+		case 0:
+			ops = append(ops, Delta{Op: DeltaRemoveEdge, U: u, V: v})
+		case 1:
+			ops = append(ops, Delta{Op: DeltaAddNode, U: Node(rng.Intn(n + 4))})
+		case 2:
+			w := 1.0
+			if weighted {
+				w = 0.5 + 2*rng.Float64()
+			}
+			ops = append(ops, Delta{Op: DeltaSetWeight, U: u, V: v, W: w})
+		default:
+			ops = append(ops, Delta{Op: DeltaAddEdge, U: u, V: v})
+		}
+	}
+	return ops
+}
+
+// TestMergeCSRMatchesRebuild drives random batches (including repeats,
+// self-loops, no-op removals, and node growth) through chained MergeCSR
+// calls and checks every intermediate snapshot bit-identically against a
+// from-scratch rebuild of the reference model.
+func TestMergeCSRMatchesRebuild(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(7))
+		g := randomDeltaGraph(rng, 30, weighted)
+		ref := newRefModel(g)
+		cur := NewCSR(g)
+		for round := 0; round < 25; round++ {
+			ops := randomBatch(rng, cur.NumNodes(), 12, weighted)
+			next, _ := MergeCSR(cur, ops)
+			ref.apply(ops)
+			csrEqual(t, next, ref.build())
+			cur = next
+		}
+	}
+}
+
+// TestMergeCSRLastWins pins the in-batch normalization: the last op on an
+// edge decides its final state, and ops that cancel out leave no residue.
+func TestMergeCSRLastWins(t *testing.T) {
+	g := FromEdges(4, [][2]Node{{0, 1}, {1, 2}, {2, 3}})
+	c := NewCSR(g)
+	next, info := MergeCSR(c, []Delta{
+		{Op: DeltaAddEdge, U: 0, V: 3},    // insert...
+		{Op: DeltaRemoveEdge, U: 0, V: 3}, // ...cancelled
+		{Op: DeltaRemoveEdge, U: 1, V: 2}, // remove...
+		{Op: DeltaAddEdge, U: 1, V: 2},    // ...re-added: net no-op
+		{Op: DeltaSetWeight, U: 0, V: 1, W: 3.5},
+		{Op: DeltaSetWeight, U: 0, V: 1, W: 2.0}, // last wins
+		{Op: DeltaRemoveEdge, U: 2, V: 2},        // self-loop ignored
+		{Op: DeltaRemoveEdge, U: 0, V: 2},        // absent: no-op
+	})
+	if len(info.Inserted) != 0 || len(info.Removed) != 0 {
+		t.Fatalf("connectivity residue should be empty: %+v", info)
+	}
+	if info.WeightsChanged != 1 {
+		t.Fatalf("WeightsChanged = %d, want 1", info.WeightsChanged)
+	}
+	if w, ok := next.edgeWeightOf(0, 1); !ok || w != 2.0 {
+		t.Fatalf("weight(0,1) = %v,%v want 2,true", w, ok)
+	}
+	if !next.HasEdge(1, 2) || next.HasEdge(0, 3) {
+		t.Fatal("edge set wrong after cancelling ops")
+	}
+	if next.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", next.NumEdges())
+	}
+}
+
+// TestMergeCSRBecomesWeighted: merging a non-unit weight into an
+// unweighted snapshot upgrades it, with old edges at weight 1.
+func TestMergeCSRBecomesWeighted(t *testing.T) {
+	c := NewCSR(FromEdges(3, [][2]Node{{0, 1}, {1, 2}}))
+	if c.Weighted() {
+		t.Fatal("precondition: unweighted")
+	}
+	next, _ := MergeCSR(c, []Delta{{Op: DeltaSetWeight, U: 0, V: 2, W: 2.5}})
+	if !next.Weighted() {
+		t.Fatal("snapshot should become weighted")
+	}
+	if w, _ := next.edgeWeightOf(0, 1); w != 1 {
+		t.Fatalf("old edge weight = %v, want 1", w)
+	}
+	if next.TotalWeight() != 4.5 {
+		t.Fatalf("TotalWeight = %v, want 4.5", next.TotalWeight())
+	}
+	// Unit-weight merges must NOT upgrade.
+	next2, _ := MergeCSR(c, []Delta{{Op: DeltaAddEdge, U: 0, V: 2}})
+	if next2.Weighted() {
+		t.Fatal("unit-weight insert should keep the snapshot unweighted")
+	}
+}
+
+// floodComponents is the from-scratch partition UpdateComponents must
+// reproduce.
+func floodComponents(c *CSR) ([]int32, [][]Node) {
+	n := c.NumNodes()
+	compID := make([]int32, n)
+	for i := range compID {
+		compID[i] = -1
+	}
+	var comps [][]Node
+	var queue []Node
+	for root := 0; root < n; root++ {
+		if compID[root] != -1 {
+			continue
+		}
+		id := int32(len(comps))
+		compID[root] = id
+		queue = append(queue[:0], Node(root))
+		for head := 0; head < len(queue); head++ {
+			for _, w := range c.Neighbors(queue[head]) {
+				if compID[w] == -1 {
+					compID[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+		comps = append(comps, nil)
+	}
+	for u, id := range compID {
+		comps[id] = append(comps[id], Node(u))
+	}
+	return compID, comps
+}
+
+// TestUpdateComponentsMatchesFlood chains random batches and checks the
+// incrementally maintained partition against a full re-flood each round.
+func TestUpdateComponentsMatchesFlood(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomDeltaGraph(rng, 40, false)
+	cur := NewCSR(g)
+	compID, comps := floodComponents(cur)
+	for round := 0; round < 30; round++ {
+		ops := randomBatch(rng, cur.NumNodes(), 10, false)
+		next, info := MergeCSR(cur, ops)
+		compID, comps, _ = UpdateComponents(next, compID, len(comps), info)
+		wantID, wantComps := floodComponents(next)
+		if !reflect.DeepEqual(compID, wantID) {
+			t.Fatalf("round %d: compID mismatch\n got %v\nwant %v", round, compID, wantID)
+		}
+		if !reflect.DeepEqual(comps, wantComps) {
+			t.Fatalf("round %d: comps mismatch\n got %v\nwant %v", round, comps, wantComps)
+		}
+		cur = next
+	}
+}
+
+// TestUpdateComponentsRefloodScope pins the incremental contract: inserts
+// re-flood nothing, and removals re-flood only the affected component.
+func TestUpdateComponentsRefloodScope(t *testing.T) {
+	// Three components: a path 0-1-2-3, a triangle 4-5-6, a pair 7-8.
+	g := FromEdges(9, [][2]Node{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {4, 6}, {7, 8}})
+	cur := NewCSR(g)
+	compID, comps := floodComponents(cur)
+	if len(comps) != 3 {
+		t.Fatalf("want 3 components, got %d", len(comps))
+	}
+
+	// Insert-only batch: joins the pair to the path, refloods nothing.
+	next, info := MergeCSR(cur, []Delta{{Op: DeltaAddEdge, U: 3, V: 7}})
+	compID, comps, reflooded := UpdateComponents(next, compID, len(comps), info)
+	if reflooded != 0 {
+		t.Fatalf("insert-only batch reflooded %d nodes, want 0", reflooded)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("want 2 components after union, got %d", len(comps))
+	}
+
+	// Removal inside the triangle: refloods exactly the triangle (3 nodes),
+	// never the 6-node path+pair component.
+	cur = next
+	next, info = MergeCSR(cur, []Delta{{Op: DeltaRemoveEdge, U: 4, V: 5}})
+	compID, comps, reflooded = UpdateComponents(next, compID, len(comps), info)
+	if reflooded != 3 {
+		t.Fatalf("triangle removal reflooded %d nodes, want 3", reflooded)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("triangle minus one edge stays connected; want 2 components, got %d", len(comps))
+	}
+
+	// A splitting removal: cutting 2-3 splits the big component; only its
+	// 6 nodes are reflooded.
+	cur = next
+	next, info = MergeCSR(cur, []Delta{{Op: DeltaRemoveEdge, U: 2, V: 3}})
+	_, comps, reflooded = UpdateComponents(next, compID, len(comps), info)
+	if reflooded != 6 {
+		t.Fatalf("split removal reflooded %d nodes, want 6", reflooded)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("want 3 components after split, got %d", len(comps))
+	}
+	wantID, wantComps := floodComponents(next)
+	if !reflect.DeepEqual(comps, wantComps) {
+		t.Fatalf("comps mismatch after split:\n got %v\nwant %v (ids %v)", comps, wantComps, wantID)
+	}
+}
+
+// TestUpdateComponentsNewNodes: explicit and implicit node growth produce
+// singletons that join components through inserted edges.
+func TestUpdateComponentsNewNodes(t *testing.T) {
+	cur := NewCSR(FromEdges(2, [][2]Node{{0, 1}}))
+	compID, comps := floodComponents(cur)
+	next, info := MergeCSR(cur, []Delta{
+		{Op: DeltaAddNode, U: 4},       // isolated: nodes 2,3,4 appear
+		{Op: DeltaAddEdge, U: 1, V: 5}, // implicit growth to 6 nodes
+		{Op: DeltaAddEdge, U: 2, V: 3}, // two new nodes joined together
+	})
+	if info.NodesAdded != 4 {
+		t.Fatalf("NodesAdded = %d, want 4", info.NodesAdded)
+	}
+	compID, comps, reflooded := UpdateComponents(next, compID, len(comps), info)
+	if reflooded != 0 {
+		t.Fatalf("growth batch reflooded %d nodes, want 0", reflooded)
+	}
+	wantID, wantComps := floodComponents(next)
+	if !reflect.DeepEqual(compID, wantID) || !reflect.DeepEqual(comps, wantComps) {
+		t.Fatalf("partition mismatch:\n got %v %v\nwant %v %v", compID, comps, wantID, wantComps)
+	}
+}

@@ -205,8 +205,11 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
-// Builder accumulates edges and produces an immutable Graph. Duplicate
-// edges and self-loops are silently dropped.
+// Builder accumulates edges and produces an immutable Graph. Self-loops
+// are silently dropped. Repeated records of the same edge are
+// deterministic last-wins: the adjacency entry is never duplicated, and
+// the final AddEdge/SetWeight call decides the weight (AddEdge resets it
+// to the default 1).
 type Builder struct {
 	n      int
 	edges  map[[2]Node]struct{}
@@ -229,7 +232,9 @@ func (b *Builder) SetLabels(labels []string) {
 	}
 }
 
-// AddEdge records the undirected edge (u,v). Self-loops are ignored.
+// AddEdge records the undirected edge (u,v) with the default weight 1.
+// Self-loops are ignored. Re-adding an edge that already carries a weight
+// resets it to the default — the last record of an edge wins.
 func (b *Builder) AddEdge(u, v Node) {
 	if u == v || u < 0 || v < 0 {
 		return
@@ -241,9 +246,13 @@ func (b *Builder) AddEdge(u, v Node) {
 		b.n = int(v) + 1
 	}
 	b.edges[[2]Node{u, v}] = struct{}{}
+	if b.ew != nil {
+		delete(b.ew, [2]Node{u, v})
+	}
 }
 
-// SetWeight sets the weight of edge (u,v), adding the edge if absent.
+// SetWeight sets the weight of edge (u,v), adding the edge if absent and
+// overwriting any previously recorded weight (last wins).
 func (b *Builder) SetWeight(u, v Node, w float64) {
 	b.AddEdge(u, v)
 	if u > v {
@@ -281,7 +290,9 @@ func (b *Builder) Build() *Graph {
 	if b.labels != nil {
 		g.labels = append([]string(nil), b.labels...)
 	}
-	if b.ew != nil {
+	// len, not nil: AddEdge may have reset every recorded weight, and an
+	// empty weight map must not make the graph report Weighted.
+	if len(b.ew) > 0 {
 		g.ew = make(map[[2]Node]float64, len(b.ew))
 		for k, v := range b.ew {
 			g.ew[k] = v

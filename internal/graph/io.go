@@ -13,6 +13,15 @@ import (
 // Lines starting with '#' or '%' are comments. Endpoints may be arbitrary
 // string tokens; they are interned into dense node ids in first-seen order
 // and kept as labels. An optional third numeric column is an edge weight.
+//
+// Weight rule for mixed files: if any line carries a weight, the whole
+// graph is weighted and every bare 2-column line means weight 1.0 —
+// regardless of whether the bare line appears before or after the first
+// weighted one. (Previously bare lines got no weight entry at all,
+// producing a half-weighted graph whose unweighted edges silently fell
+// back to the default — correct by accident for the in-memory Graph, but
+// lost on any explicit per-edge weight sweep.) Repeated edge lines
+// overwrite: the last line mentioning an edge decides its weight.
 func ParseEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -28,6 +37,7 @@ func ParseEdgeList(r io.Reader) (*Graph, error) {
 		return id
 	}
 	b := NewBuilder(0)
+	anyWeighted := false
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -46,12 +56,30 @@ func ParseEdgeList(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, f[2], err)
 			}
 			b.SetWeight(u, v, w)
+			anyWeighted = true
 		} else {
 			b.AddEdge(u, v)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading edge list: %v", err)
+	}
+	// Whether the file is weighted is only known now. If any line carried
+	// a weight, backfill an explicit 1.0 entry for every edge whose last
+	// record was a bare line (AddEdge resets any earlier weight, so
+	// last-wins already held per line; this keeps the parse streaming
+	// instead of buffering O(E) lines). The tracked flag, not len(b.ew),
+	// decides: bare re-adds may have reset every recorded weight, and the
+	// file is weighted regardless.
+	if anyWeighted {
+		if b.ew == nil {
+			b.ew = make(map[[2]Node]float64, len(b.edges))
+		}
+		for e := range b.edges {
+			if _, ok := b.ew[e]; !ok {
+				b.ew[e] = 1
+			}
+		}
 	}
 	b.SetLabels(labels)
 	return b.Build(), nil
