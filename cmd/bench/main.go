@@ -2,22 +2,34 @@
 // -benchtime and records ns/op and allocs/op per benchmark in a JSON
 // file, so the performance trajectory of the hot paths is checked in
 // next to the code (BENCH_2.json is the CSR-migration baseline,
-// BENCH_3.json the query-scoped SubCSR/arena baseline, BENCH_4.json adds
-// the dynamic-update suite: mutation throughput and query-under-churn).
+// BENCH_3.json the query-scoped SubCSR/arena baseline, BENCH_4.json the
+// dynamic-update suite, BENCH_5.json adds the parallel serving suite:
+// b.RunParallel cache-hit/mixed/herd benchmarks swept across -cpu).
 //
 // Usage:
 //
-//	go run ./cmd/bench                       # weighted + small-query + update suite -> BENCH_4.json
+//	go run ./cmd/bench                       # serving + update suite -> BENCH_5.json
+//	go run ./cmd/bench -cpu 1,2,4,8          # same, swept across GOMAXPROCS
 //	go run ./cmd/bench -bench . -pkgs ./...  # everything (slow)
+//
+// Benchmark names keep testing's -N GOMAXPROCS suffix (BenchmarkFoo-8;
+// testing omits the suffix at GOMAXPROCS=1), so one benchmark swept
+// across -cpu 1,2,4 records three distinct entries — BenchmarkFoo,
+// BenchmarkFoo-2, BenchmarkFoo-4 — instead of silently overwriting
+// itself in the JSON map.
 //
 // -baseline merges a previously recorded report into the output (under
 // "baseline_ns_per_op") and computes per-benchmark speedups, so a single
-// JSON artifact shows before/after.
+// JSON artifact shows before/after. Baselines recorded before the
+// suffix was kept are still matched by falling back to the
+// suffix-stripped name.
 //
 // -gate enforces allocation budgets: "-gate BenchmarkName=N" (comma
-// separated, suffix-matched against package-qualified names) exits
-// non-zero when a benchmark allocates more than N allocs/op. CI uses it
-// to fail when steady-state engine query serving starts allocating.
+// separated, suffix-matched against package-qualified names, ignoring
+// the -N GOMAXPROCS suffix — a swept benchmark must pass its budget at
+// every GOMAXPROCS) exits non-zero when a benchmark allocates more than
+// N allocs/op. CI uses it to fail when steady-state engine query
+// serving — serial or parallel — starts allocating.
 package main
 
 import (
@@ -36,12 +48,19 @@ import (
 
 // benchLine matches standard testing.B output with -benchmem:
 // BenchmarkName-8   123   4567 ns/op   89 B/op   7 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
+// The -8 GOMAXPROCS suffix is captured and kept as part of the recorded
+// name; stripping it would make a -cpu sweep overwrite itself.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
+
+// procSuffix strips the GOMAXPROCS suffix for baseline fallback and
+// gate matching.
+var procSuffix = regexp.MustCompile(`-\d+$`)
 
 type report struct {
 	GoVersion   string             `json:"go_version"`
 	NumCPU      int                `json:"num_cpu"`
 	Benchtime   string             `json:"benchtime"`
+	CPUList     string             `json:"cpu,omitempty"`
 	Packages    []string           `json:"packages"`
 	NsPerOp     map[string]float64 `json:"ns_per_op"`
 	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
@@ -60,17 +79,22 @@ func fail(format string, args ...interface{}) {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_4.json", "output JSON path")
+		out       = flag.String("out", "BENCH_5.json", "output JSON path")
 		benchtime = flag.String("benchtime", "200ms", "go test -benchtime value (pinned for comparability)")
-		bench     = flag.String("bench", "Weighted|SmallQueries|EngineApply|UnderChurn", "go test -bench regex")
+		bench     = flag.String("bench", "Weighted|SmallQueries|EngineApply|UnderChurn|EngineParallel|HotKeyHerd", "go test -bench regex")
 		pkgs      = flag.String("pkgs", "./internal/dmcs,./internal/engine", "comma-separated package patterns")
+		cpu       = flag.String("cpu", "", "go test -cpu list (e.g. 1,2,4,8); empty runs at GOMAXPROCS only")
 		baseline  = flag.String("baseline", "", "prior report JSON to merge as the before numbers")
 		gate      = flag.String("gate", "", "comma-separated Name=MaxAllocs budgets enforced on allocs/op")
 	)
 	flag.Parse()
 
 	patterns := strings.Split(*pkgs, ",")
-	args := append([]string{"test", "-run=NONE", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}, patterns...)
+	args := []string{"test", "-run=NONE", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}
+	if *cpu != "" {
+		args = append(args, "-cpu", *cpu)
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	var buf bytes.Buffer
@@ -84,6 +108,7 @@ func main() {
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
 		Benchtime:   *benchtime,
+		CPUList:     *cpu,
 		Packages:    patterns,
 		NsPerOp:     map[string]float64{},
 		AllocsPerOp: map[string]float64{},
@@ -100,17 +125,17 @@ func main() {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
+		ns, err := strconv.ParseFloat(m[4], 64)
 		if err != nil {
 			continue
 		}
-		name := m[1]
+		name := m[1] + m[2] // keep the -N GOMAXPROCS suffix: one entry per swept proc count
 		if pkg != "" {
 			name = pkg + "." + name
 		}
 		rep.NsPerOp[name] = ns
-		if m[5] != "" {
-			if allocs, err := strconv.ParseFloat(m[5], 64); err == nil {
+		if m[6] != "" {
+			if allocs, err := strconv.ParseFloat(m[6], 64); err == nil {
 				rep.AllocsPerOp[name] = allocs
 			}
 		}
@@ -130,9 +155,30 @@ func main() {
 		}
 		rep.BaselineNsPerOp = base.NsPerOp
 		rep.BaselineAllocsPerOp = base.AllocsPerOp
+		// Index the baseline by suffix-stripped name too, so a baseline
+		// recorded at a different GOMAXPROCS (-8 there, -16 here) or
+		// before the suffix was kept still matches. A stripped name that
+		// maps to several baseline entries (a -cpu sweep) is ambiguous
+		// and only matched exactly.
+		strippedBase := map[string]float64{}
+		ambiguous := map[string]bool{}
+		for name, ns := range base.NsPerOp {
+			bare := procSuffix.ReplaceAllString(name, "")
+			if _, dup := strippedBase[bare]; dup {
+				ambiguous[bare] = true
+			}
+			strippedBase[bare] = ns
+		}
 		rep.Speedup = map[string]float64{}
 		for name, ns := range rep.NsPerOp {
-			if old, ok := base.NsPerOp[name]; ok && ns > 0 {
+			old, ok := base.NsPerOp[name]
+			if !ok {
+				bare := procSuffix.ReplaceAllString(name, "")
+				if !ambiguous[bare] {
+					old, ok = strippedBase[bare]
+				}
+			}
+			if ok && ns > 0 {
 				rep.Speedup[name] = old / ns
 			}
 		}
@@ -161,7 +207,9 @@ func main() {
 			}
 			matched := false
 			for full, allocs := range rep.AllocsPerOp {
-				if full == name || strings.HasSuffix(full, "."+name) {
+				bare := procSuffix.ReplaceAllString(full, "")
+				if full == name || bare == name ||
+					strings.HasSuffix(full, "."+name) || strings.HasSuffix(bare, "."+name) {
 					matched = true
 					if allocs > limit {
 						fmt.Fprintf(os.Stderr, "bench: GATE FAILED %s: %.0f allocs/op > %.0f\n", full, allocs, limit)

@@ -194,8 +194,9 @@ func runBatch(g *graph.Graph, byLabel map[string]graph.Node, path, algo string, 
 	st := eng.Stats()
 	fmt.Printf("\nbatch: %d queries in %s (%.1f q/s, %d workers)\n",
 		len(batch), wall.Round(time.Millisecond), float64(len(batch))/wall.Seconds(), eng.Workers())
-	fmt.Printf("engine: served=%d cache-hits=%d errors=%d p50=%s p95=%s\n",
-		st.Queries, st.CacheHits, st.Errors, st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
+	fmt.Printf("engine: served=%d cache-hits=%d collapsed=%d computed=%d errors=%d p50=%s p95=%s\n",
+		st.Queries, st.CacheHits, st.Collapsed, st.Computed, st.Errors,
+		st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
 }
 
 // runUpdates processes an update-stream file: mutations are staged into a
@@ -344,8 +345,9 @@ func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, algo string
 	}
 	applyPending()
 	st := eng.Stats()
-	fmt.Printf("\nstream done: epoch=%d served=%d cache-hits=%d errors=%d p50=%s p95=%s\n",
-		eng.Epoch(), st.Queries, st.CacheHits, st.Errors, st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
+	fmt.Printf("\nstream done: epoch=%d served=%d cache-hits=%d collapsed=%d computed=%d errors=%d p50=%s p95=%s\n",
+		eng.Epoch(), st.Queries, st.CacheHits, st.Collapsed, st.Computed, st.Errors,
+		st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
 }
 
 // parseQuery resolves a separated list of node labels, exiting on unknown

@@ -38,17 +38,34 @@
 // (CSR adjacency plus the cached degree/volume aggregates the modularity
 // formulas need, plus the connected-component partition) and serves
 // queries concurrently through a bounded worker pool. Each query carries
-// a context.Context for cancellation and deadlines; an LRU cache keyed by
-// the normalized query-node set and options answers repeats instantly;
-// Engine.Stats reports queries served, cache hits, and p50/p95 latency.
-// EngineOptions tunes the pool size (default GOMAXPROCS), the cache
-// capacity (default 1024 entries; negative disables), and a default
-// per-query timeout. Results are deterministic: the engine treats query
-// nodes as a set (sorting and deduplicating them first) and then returns
-// exactly what FPA/NCA/Search return for that normalized node slice,
-// regardless of worker count or cache state. Callers that pass already
-// sorted, duplicate-free queries get byte-identical answers to the
-// serial entry points.
+// a context.Context for cancellation and deadlines; a result cache keyed
+// by the normalized query-node set and options answers repeats instantly;
+// Engine.Stats reports queries served, cache hits, collapsed and computed
+// searches, and p50/p95 latency. EngineOptions tunes the pool size
+// (default GOMAXPROCS), the cache capacity (default 1024 entries;
+// negative disables), and a default per-query timeout.
+//
+// The serving path is built to scale across cores — no query-rate-
+// proportional work takes a globally contended lock. The result cache is
+// hash-sharded with a per-shard array-backed LRU, the stats counters are
+// striped cache-line-padded atomics (totals stay exact, not sampled),
+// per-query scratch comes from a per-P pool, and identical concurrent
+// misses collapse onto one in-flight computation (singleflight): a
+// thundering herd of N identical cold queries costs one peel, with the
+// other N-1 reported as Stats().Collapsed. A joiner's context cancels
+// only its own wait; the shared computation is aborted only when its
+// last waiter leaves, and timed-out or abandoned partial results are
+// never cached. A warm cache hit performs zero heap allocations and no
+// channel operations; the Workers bound throttles computed searches
+// only.
+//
+// Results are deterministic: the engine treats query nodes as a set
+// (sorting and deduplicating them first) and then returns exactly what
+// FPA/NCA/Search return for that normalized node slice, regardless of
+// worker count, shard count, cache state, or which caller's computation
+// a collapsed query joined. Callers that pass already sorted,
+// duplicate-free queries get byte-identical answers to the serial entry
+// points.
 //
 // # Dynamic graphs
 //

@@ -85,7 +85,11 @@ type ApplyStats struct {
 // community computed against a pre-batch graph — not even a result that a
 // slow pre-batch query inserts into the cache after the swap. Apply also
 // drops the previous version's cache entries eagerly; that is a memory
-// optimization, not a correctness requirement.
+// optimization, not a correctness requirement. In-flight singleflight
+// computations are deliberately left running: their waiters admitted
+// against the old version and are owed its answer, and whatever such a
+// flight publishes is keyed under the old epoch, unreachable by post-swap
+// lookups.
 //
 // Cost: the merge is one sweep over the packed arrays (O(V+E) for the
 // whole snapshot, independent of batch size), and component maintenance

@@ -1,111 +1,265 @@
 package engine
 
 import (
-	"container/list"
 	"sync"
 
 	"dmcs/internal/dmcs"
 )
 
-// resultCache is a mutex-guarded LRU keyed by the normalized query key
+// resultCache is a hash-sharded LRU keyed by the normalized query key
 // (snapshot epoch + sorted deduplicated node set + algorithm variant +
 // result-shaping options). Only complete results are stored — timed-out
 // or cancelled searches return whatever was peeled so far, which depends
 // on wall-clock time, so caching them would leak nondeterminism into
 // later queries.
 //
-// Entries are immutable once published: add on an existing key replaces
-// the whole *cacheEntry rather than mutating the existing one in place.
-// (Both paths hold the mutex, so the in-place write was not a data race;
-// the invariant exists so no published entry is ever rewritten, keeping
-// the cache safe against future lock-free readers or entries escaping
-// the critical section.)
+// Sharding is the cache's concurrency story: the key's FNV-1a hash picks
+// one of a power-of-two number of shards (sized to at least the engine's
+// parallelism), and each shard has its own mutex, so concurrent hits on
+// different keys proceed without contending on any global lock. Epoch
+// keying makes this safe under mutation without any cross-shard
+// coordination: Apply never needs to atomically invalidate the cache,
+// because entries of older epochs can no longer match any lookup.
+//
+// Within a shard the LRU is array-backed and intrusive: entries live in
+// one slab indexed by int32, with prev/next links stored inline and a
+// free list threaded through the same slab. Compared to the previous
+// container/list implementation this eliminates the per-entry
+// list.Element allocation and the pointer chase per touch — a hit is a
+// map probe plus two slab index updates on memory the shard owns
+// contiguously. Note the slab deliberately trades away the earlier
+// design's never-rewrite-a-published-entry invariant: slots are
+// recycled on eviction and overwritten on key replacement, so readers
+// MUST hold the shard mutex — lock-free slot reads are not an available
+// next step without reintroducing per-entry boxing. The shared
+// *dmcs.Result values themselves stay immutable, which is what lets a
+// hit hand the pointer out beyond the critical section.
+//
+// Each shard also anchors the singleflight table for its keys (see
+// flight.go): in-flight computations and cached results are checked and
+// published under the same shard lock, so a completed flight transitions
+// into a cache entry with no window in which a concurrent miss could
+// start a duplicate computation.
 type resultCache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used; values are *cacheEntry
-	byKey map[string]*list.Element
+	shards []cacheShard
+	mask   uint64
+}
+
+// cacheShard is one lock's worth of the cache. The trailing pad keeps
+// neighbouring shards' hot fields off one cache line when the shard
+// slab is iterated by independent cores.
+type cacheShard struct {
+	mu      sync.Mutex
+	byKey   map[string]int32
+	entries []cacheEntry // slab; prev/next/free links are slab indices
+	head    int32        // most recently used; -1 when empty
+	tail    int32        // least recently used; -1 when empty
+	free    int32        // free-list head threaded through next; -1 when none
+	cap     int32        // max entries this shard holds
+	flights map[string]*flight
+	_       [64]byte
 }
 
 type cacheEntry struct {
-	key string
-	res *dmcs.Result
+	key        string
+	res        *dmcs.Result
+	prev, next int32
 }
 
-func newResultCache(capacity int) *resultCache {
+// FNV-1a constants; the key hash that picks a shard.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashKey is allocation-free FNV-1a over the key bytes.
+func hashKey(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// nextPow2 returns the smallest power of two >= n (and >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newResultCache builds a cache of at most capacity entries spread over
+// a power-of-two number of shards. capacity <= 0 disables caching (nil
+// cache; every method no-ops). The shard count starts at
+// nextPow2(shards) and is halved until shards <= capacity, so the total
+// never exceeds the configured capacity — a tiny cache on a many-core
+// machine trades shard count for its capacity contract, not the other
+// way around.
+func newResultCache(capacity, shards int) *resultCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &resultCache{
-		cap:   capacity,
-		order: list.New(),
-		byKey: make(map[string]*list.Element, capacity),
+	n := nextPow2(max(1, shards))
+	for n > capacity {
+		n >>= 1
 	}
+	perShard := capacity / n
+	c := &resultCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.byKey = make(map[string]int32, perShard)
+		s.head, s.tail, s.free = -1, -1, -1
+		s.cap = int32(perShard)
+	}
+	return c
+}
+
+// shardFor returns the shard owning hash h.
+func (c *resultCache) shardFor(h uint64) *cacheShard {
+	// xor-fold the high bits in so shard choice uses the whole hash, not
+	// just the low bits FNV mixes least.
+	return &c.shards[(h^(h>>32))&c.mask]
 }
 
 // get returns the cached result for key, promoting it to most recently
-// used. The result is shared — callers must treat it as immutable. The
-// key is a byte view (usually a recycled worker buffer): the map lookup
-// uses Go's string([]byte)-index optimization, so a cache hit performs no
-// allocation.
-func (c *resultCache) get(key []byte) (*dmcs.Result, bool) {
+// used in its shard. The result is shared — callers must treat it as
+// immutable. The key is a byte view (usually a recycled worker buffer):
+// the map lookup uses Go's string([]byte)-index optimization, so a cache
+// hit performs no allocation and no channel operation — just one shard
+// mutex.
+func (c *resultCache) get(h uint64, key []byte) (*dmcs.Result, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[string(key)]
+	s := c.shardFor(h)
+	s.mu.Lock()
+	// Inline map probe: the direct m[string(b)] expression is what keeps
+	// the conversion allocation-free on the hit path.
+	i, ok := s.byKey[string(key)]
 	if !ok {
+		s.mu.Unlock()
 		return nil, false
 	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	s.moveToFrontLocked(i)
+	res := s.entries[i].res
+	s.mu.Unlock()
+	return res, true
 }
 
-// add stores res under a copy of key, evicting the least recently used
-// entry when the cache is full. Only the insert path materializes the key
-// string.
-func (c *resultCache) add(key []byte, res *dmcs.Result) {
+// add stores res under a copy of key, evicting the shard's least
+// recently used entry when the shard is full.
+func (c *resultCache) add(h uint64, key []byte, res *dmcs.Result) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[string(key)]; ok {
-		c.order.MoveToFront(el)
-		// Replace immutably: the old entry is retired, never rewritten.
-		old := el.Value.(*cacheEntry)
-		el.Value = &cacheEntry{key: old.key, res: res}
+	s := c.shardFor(h)
+	s.mu.Lock()
+	s.addLocked(string(key), res)
+	s.mu.Unlock()
+}
+
+// addLocked inserts or replaces key's entry. Only this path materializes
+// key strings; flight publication passes an already-built string.
+func (s *cacheShard) addLocked(key string, res *dmcs.Result) {
+	if i, ok := s.byKey[key]; ok {
+		s.entries[i].res = res
+		s.moveToFrontLocked(i)
 		return
 	}
-	k := string(key)
-	c.byKey[k] = c.order.PushFront(&cacheEntry{key: k, res: res})
-	if c.order.Len() > c.cap {
-		el := c.order.Back()
-		c.order.Remove(el)
-		delete(c.byKey, el.Value.(*cacheEntry).key)
+	var i int32
+	switch {
+	case s.free >= 0:
+		i = s.free
+		s.free = s.entries[i].next
+	case int32(len(s.entries)) < s.cap:
+		s.entries = append(s.entries, cacheEntry{})
+		i = int32(len(s.entries) - 1)
+	default:
+		// Recycle the LRU slot in place: no allocation, no free-list hop.
+		i = s.tail
+		s.detachLocked(i)
+		delete(s.byKey, s.entries[i].key)
+	}
+	s.entries[i] = cacheEntry{key: key, res: res, prev: -1, next: -1}
+	s.byKey[key] = i
+	s.pushFrontLocked(i)
+}
+
+func (s *cacheShard) detachLocked(i int32) {
+	e := &s.entries[i]
+	if e.prev >= 0 {
+		s.entries[e.prev].next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next >= 0 {
+		s.entries[e.next].prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+func (s *cacheShard) pushFrontLocked(i int32) {
+	e := &s.entries[i]
+	e.prev, e.next = -1, s.head
+	if s.head >= 0 {
+		s.entries[s.head].prev = i
+	}
+	s.head = i
+	if s.tail < 0 {
+		s.tail = i
 	}
 }
 
-// clear drops every entry. Apply calls it after an epoch bump: entries of
-// older epochs can no longer match any lookup, so holding them would only
-// waste capacity until LRU churn evicts them.
+func (s *cacheShard) moveToFrontLocked(i int32) {
+	if s.head == i {
+		return
+	}
+	s.detachLocked(i)
+	s.pushFrontLocked(i)
+}
+
+// clear drops every cached entry. Apply calls it after an epoch bump:
+// entries of older epochs can no longer match any lookup, so holding
+// them would only waste capacity until LRU churn evicts them. Shards are
+// cleared one lock at a time — there is no cross-shard atomicity and
+// none is needed, again because epoch keying (not clearing) is what
+// makes stale entries unservable. In-flight computations are left
+// untouched: a pre-swap flight that completes later publishes under its
+// old-epoch key, which no post-swap lookup can match.
 func (c *resultCache) clear() {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.order.Init()
-	clear(c.byKey)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		clear(s.byKey)
+		// Drop the slab's key/result references so the GC can reclaim
+		// retired results, then reuse the backing array.
+		s.entries = s.entries[:cap(s.entries)]
+		clear(s.entries)
+		s.entries = s.entries[:0]
+		s.head, s.tail, s.free = -1, -1, -1
+		s.mu.Unlock()
+	}
 }
 
-// len returns the number of cached entries.
+// len returns the number of cached entries across all shards.
 func (c *resultCache) len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.byKey)
+		s.mu.Unlock()
+	}
+	return n
 }

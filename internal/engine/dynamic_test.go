@@ -357,8 +357,9 @@ func TestConcurrentApplyAndBatchSearch(t *testing.T) {
 // immutable-replace fix: writers re-adding the same key while readers
 // get it must never let a reader observe a torn or rewritten entry.
 func TestResultCacheConcurrentReplace(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, 4)
 	key := []byte("k")
+	h := hashKey(key)
 	results := make([]*dmcs.Result, 8)
 	for i := range results {
 		results[i] = &dmcs.Result{Score: float64(i)}
@@ -369,7 +370,7 @@ func TestResultCacheConcurrentReplace(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
-				c.add(key, results[(w+i)%len(results)])
+				c.add(h, key, results[(w+i)%len(results)])
 			}
 		}(w)
 	}
@@ -378,7 +379,7 @@ func TestResultCacheConcurrentReplace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
-				if res, ok := c.get(key); ok {
+				if res, ok := c.get(h, key); ok {
 					// The entry must always be one of the published
 					// results, whole.
 					if res.Score < 0 || res.Score >= float64(len(results)) {
@@ -396,9 +397,9 @@ func TestResultCacheConcurrentReplace(t *testing.T) {
 // floor nearest-rank bug: with fewer than 20 samples the old formula
 // could never select the window maximum for P95.
 func TestStatsPercentileSmallWindowCeilRank(t *testing.T) {
-	var s statsCollector
+	s := newStatsCollector(1)
 	for i := 1; i <= 10; i++ {
-		s.recordSearch(time.Duration(i) * time.Millisecond)
+		s.recordSearch(0, time.Duration(i)*time.Millisecond, true)
 	}
 	st := s.snapshot(0)
 	if st.P50 != 5*time.Millisecond {
@@ -408,9 +409,9 @@ func TestStatsPercentileSmallWindowCeilRank(t *testing.T) {
 		t.Errorf("P95 = %v, want 10ms (the window max for n=10)", st.P95)
 	}
 
-	var s2 statsCollector
-	s2.recordSearch(2 * time.Millisecond)
-	s2.recordSearch(8 * time.Millisecond)
+	s2 := newStatsCollector(1)
+	s2.recordSearch(0, 2*time.Millisecond, true)
+	s2.recordSearch(0, 8*time.Millisecond, true)
 	st = s2.snapshot(0)
 	if st.P50 != 2*time.Millisecond || st.P95 != 8*time.Millisecond {
 		t.Errorf("n=2: P50/P95 = %v/%v, want 2ms/8ms", st.P50, st.P95)

@@ -4,8 +4,20 @@
 // adjacency, cached modularity aggregates, connected-component partition)
 // and every query afterwards is a pure read — a bounded worker pool fans
 // searches out across cores, a per-query context carries cancellation and
-// deadlines, an LRU cache answers repeated queries without recomputation,
-// and a stats collector tracks throughput and latency percentiles.
+// deadlines, a result cache answers repeated queries without
+// recomputation, and a stats collector tracks throughput and latency
+// percentiles.
+//
+// The serving path is built to scale across cores: no query-rate-
+// proportional work takes a globally contended lock. The result cache is
+// hash-sharded (per-shard mutex, array-backed intrusive LRU), the stats
+// counters are striped cache-line-padded atomics, per-query scratch comes
+// from a per-P sync.Pool, and identical concurrent misses collapse onto
+// one in-flight computation (singleflight) instead of peeling the same
+// community once per caller. A warm cache hit touches one shard mutex,
+// two atomic adds, and nothing else — no channels, no global locks, no
+// allocation. The Workers bound applies to computed searches (the
+// CPU-heavy part); cache hits are not throttled by it.
 //
 // The graph is shared but not frozen: Engine.Apply takes a Batch of edge
 // and node mutations, merges it into the current snapshot's packed CSR
@@ -21,12 +33,14 @@
 // deduplicated) on entry, and for a given normalized set and options the
 // engine returns exactly what the serial dmcs entry points return for
 // that slice against the same graph version, regardless of worker count,
-// batch composition, or cache state.
+// shard count, batch composition, cache state, or which caller's
+// computation a collapsed query joined.
 package engine
 
 import (
 	"context"
 	"runtime"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -42,11 +56,14 @@ const defaultCacheSize = 1024
 // Options configures an Engine. The zero value is a sensible server
 // setup: GOMAXPROCS workers, a 1024-entry result cache, no timeout.
 type Options struct {
-	// Workers bounds how many searches run concurrently across Search and
-	// SearchBatch calls combined. 0 means runtime.GOMAXPROCS(0).
+	// Workers bounds how many searches execute concurrently across Search
+	// and SearchBatch calls combined. The bound covers computed searches
+	// — actual peels; cache hits and singleflight joins are not throttled
+	// by it. 0 means runtime.GOMAXPROCS(0).
 	Workers int
-	// CacheSize is the LRU result-cache capacity in entries. 0 means the
-	// default (1024); negative disables caching entirely.
+	// CacheSize is the result-cache capacity in entries, spread across
+	// hash shards. 0 means the default (1024); negative disables caching
+	// (and with it singleflight collapsing) entirely.
 	CacheSize int
 	// DefaultTimeout is applied to queries whose own Options.Timeout is
 	// zero. 0 leaves such queries unbounded.
@@ -75,50 +92,47 @@ type BatchResult struct {
 
 // Engine answers DMCS queries against the current version of one graph,
 // mutable through Apply. It is safe for concurrent use and needs no
-// shutdown — it owns no background goroutines, only a concurrency bound
-// that Search/SearchBatch respect.
+// shutdown — it owns no long-lived background goroutines, only a
+// concurrency bound on computed searches (each miss spawns one short-
+// lived goroutine that dies with its computation).
 //
-// Steady-state serving is allocation-free: each admitted query checks out
-// a per-worker scratch bundle (a search arena plus the normalized-node
-// and cache-key buffers) from a free list sized to the worker pool, and a
-// cache hit touches nothing but those reusable buffers and the shared
-// *Result. Computed queries allocate only the escaping Result and the
-// cache entry that stores it.
+// Steady-state serving is allocation-free and contention-free: each
+// query checks out a scratch bundle (a search arena plus the
+// normalized-node and cache-key buffers) from a per-P pool, and a cache
+// hit touches only those reusable buffers, its key's cache shard, and
+// one stats stripe. Computed queries allocate only the escaping Result,
+// the cache entry that stores it, and their flight bookkeeping.
 type Engine struct {
 	snap           atomic.Pointer[Snapshot] // current version; swapped by Apply
 	applyMu        sync.Mutex               // serializes writers (Apply)
 	cache          *resultCache
-	stats          statsCollector
-	sem            chan struct{}       // worker-pool slots
-	scratch        chan *workerScratch // per-worker reusable query scratch
+	stats          *statsCollector
+	sem            chan struct{} // worker-pool slots, acquired per computed search
+	scratch        sync.Pool     // *workerScratch; per-P, so checkout does no channel ops
+	stripeCtr      atomic.Uint32 // round-robins stats stripes across scratch bundles
 	workers        int
 	defaultTimeout time.Duration
 }
 
-// workerScratch is the reusable per-query state one worker needs: the
-// dmcs search arena and the admission buffers. At most Workers bundles
-// exist at steady state (one per in-flight query); the free list hands
-// them out without allocation.
+// workerScratch is the reusable per-query state one serving goroutine
+// needs: the dmcs search arena, the admission buffers, and the stats
+// stripe this bundle reports to. Bundles live in a sync.Pool, so under
+// steady load each P keeps reusing its own bundle — and therefore its
+// own stats stripe, which is what keeps the striped counters
+// contention-free.
 type workerScratch struct {
-	arena *dmcs.Arena
-	nodes []graph.Node // normalized query nodes
-	key   []byte       // cache key
+	arena  *dmcs.Arena
+	nodes  []graph.Node // normalized query nodes
+	key    []byte       // cache key (+ flight-key suffix on the miss path)
+	stripe int          // stats stripe this bundle records on
 }
 
 func (e *Engine) getScratch() *workerScratch {
-	select {
-	case ws := <-e.scratch:
-		return ws
-	default:
-		return &workerScratch{arena: dmcs.NewArena()}
-	}
+	return e.scratch.Get().(*workerScratch)
 }
 
 func (e *Engine) putScratch(ws *workerScratch) {
-	select {
-	case e.scratch <- ws:
-	default: // pool full (transient oversubscription); let the GC take it
-	}
+	e.scratch.Put(ws)
 }
 
 // New packs a read-optimized snapshot of g and returns an Engine serving
@@ -133,12 +147,27 @@ func New(g *graph.Graph, opts Options) *Engine {
 	if cs == 0 {
 		cs = defaultCacheSize
 	}
+	// Shards and stripes scale with the hotter of the worker bound and
+	// the machine's parallelism: cache hits bypass the worker bound, so
+	// GOMAXPROCS goroutines can be on the hit path at once even when
+	// Workers is small.
+	par := max(w, runtime.GOMAXPROCS(0))
 	e := &Engine{
-		cache:          newResultCache(cs), // nil (disabled) when cs < 0
+		cache:          newResultCache(cs, par), // nil (disabled) when cs < 0
+		stats:          newStatsCollector(par),
 		sem:            make(chan struct{}, w),
-		scratch:        make(chan *workerScratch, w),
 		workers:        w,
 		defaultTimeout: opts.DefaultTimeout,
+	}
+	e.scratch.New = func() any {
+		return &workerScratch{
+			arena: dmcs.NewArena(),
+			// Mask in unsigned space: stripe counts are powers of two,
+			// and int(uint32) would go negative past 2^31 on 32-bit
+			// platforms, where a signed % turns into a panic-inducing
+			// negative index.
+			stripe: int((e.stripeCtr.Add(1) - 1) & uint32(e.stats.numStripes()-1)),
+		}
 	}
 	e.snap.Store(NewSnapshot(g))
 	return e
@@ -158,25 +187,24 @@ func (e *Engine) Workers() int { return e.workers }
 // Stats returns a point-in-time snapshot of the engine's counters.
 func (e *Engine) Stats() Stats { return e.stats.snapshot(e.cache.len()) }
 
-// Search answers one query, blocking until a worker slot is free. The
-// context cancels both the wait for a slot and the search itself; a
-// search cancelled mid-peel returns ctx.Err(), never a partial result.
-// Cached results are shared across callers and must not be modified.
+// Search answers one query. A cache hit returns immediately; a miss
+// either joins the key's in-flight computation or starts one, blocking
+// until a worker slot frees up. The context cancels this caller's wait
+// and — unless other callers are still waiting on the same computation —
+// the search itself; a search cancelled mid-peel returns ctx.Err(),
+// never a partial result. Cached results are shared across callers and
+// must not be modified.
 func (e *Engine) Search(ctx context.Context, q Query) (*dmcs.Result, error) {
 	// An already-cancelled context must fail deterministically — the
-	// slot/Done select below picks randomly when both are ready, and the
-	// cache-hit path never polls the context again.
+	// cache-hit path never polls the context, and the flight wait selects
+	// randomly when both channels are ready. The error is recorded on a
+	// rotating stripe (no scratch checkout — this path must not construct
+	// an arena — and no single hardcoded counter cache line for a flood
+	// of cancelled calls to pile onto).
 	if err := ctx.Err(); err != nil {
-		e.stats.recordError()
+		e.stats.recordError(int(e.stripeCtr.Add(1) & uint32(e.stats.numStripes()-1)))
 		return nil, err
 	}
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		e.stats.recordError()
-		return nil, ctx.Err()
-	}
-	defer func() { <-e.sem }()
 	return e.run(ctx, q)
 }
 
@@ -211,10 +239,10 @@ func (e *Engine) SearchBatch(ctx context.Context, qs []Query) []BatchResult {
 	return out
 }
 
-// run executes one admitted query: cache lookup, snapshot validation,
-// then the query-scoped search armed with the context, running on the
-// component's cached sub-CSR with the worker's arena. The whole path
-// reuses per-worker buffers; a cache hit allocates nothing.
+// run executes one admitted query: normalize, key, cache lookup, then —
+// on a miss — snapshot validation and the flight (or, with caching
+// disabled, an inline search). The whole hit path reuses pooled buffers
+// and performs no channel operation and no allocation.
 //
 // The snapshot pointer is loaded exactly once, so a query racing an
 // Apply runs consistently against one version end to end: its cache key
@@ -222,49 +250,110 @@ func (e *Engine) SearchBatch(ctx context.Context, qs []Query) []BatchResult {
 // version's arrays, and a result it inserts afterwards is keyed under
 // that epoch — visible only to queries of the same version, never to
 // queries admitted after the swap.
+// Scratch discipline: the bundle is returned to the pool as soon as its
+// last buffer use is behind us — in particular BEFORE blocking on a
+// flight, so the number of live bundles (and their grown arenas) stays
+// bounded by the engine's actual parallelism, not by how many callers
+// are parked waiting on slow computations.
 func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
 	snap := e.snap.Load()
 	ws := e.getScratch()
-	defer e.putScratch(ws)
 	ws.nodes = normalizeNodesInto(ws.nodes[:0], q.Nodes)
 	nodes := ws.nodes
-	ws.key = appendCacheKey(ws.key[:0], snap.epoch, nodes, q.Variant, q.Opts)
-	if res, ok := e.cache.get(ws.key); ok {
-		e.stats.recordHit()
+	opts := canonicalOptions(q.Opts)
+	if opts.Timeout == 0 {
+		opts.Timeout = e.defaultTimeout
+	}
+	if e.cache == nil {
+		res, err := e.searchInline(ctx, snap, q.Variant, opts, ws)
+		e.putScratch(ws)
+		return res, err
+	}
+	ws.key = appendCacheKey(ws.key[:0], snap.epoch, nodes, q.Variant, opts)
+	h := hashKey(ws.key)
+	if res, ok := e.cache.get(h, ws.key); ok {
+		e.stats.recordHit(ws.stripe)
+		e.putScratch(ws)
 		return res, nil
 	}
 	id, err := snap.componentIndex(nodes)
 	if err != nil {
-		e.stats.recordError()
+		e.stats.recordError(ws.stripe)
+		e.putScratch(ws)
 		return nil, err
 	}
-	opts := q.Opts
-	if opts.Timeout == 0 {
-		opts.Timeout = e.defaultTimeout
+	return e.searchShared(ctx, snap, id, q.Variant, opts, ws, h, q)
+}
+
+// searchInline is the cache-disabled path: validate, then peel on the
+// caller's goroutine with the caller's context — exactly the serial
+// semantics, bounded by the worker pool.
+func (e *Engine) searchInline(ctx context.Context, snap *Snapshot, v dmcs.Variant, opts dmcs.Options, ws *workerScratch) (*dmcs.Result, error) {
+	id, err := snap.componentIndex(ws.nodes)
+	if err != nil {
+		e.stats.recordError(ws.stripe)
+		return nil, err
 	}
+	return e.peelOwn(ctx, snap, id, v, opts, ws)
+}
+
+// peelOwn runs one unshared search on the caller's goroutine and clock:
+// take a worker slot, wire the caller's context into the search, peel
+// on the bundle's arena, and record the full stats sequence. It is the
+// single implementation of the semaphore/cancellation/stats protocol
+// shared by the cache-disabled path and the joiner's own-clock
+// fallback, so the two can never drift apart.
+func (e *Engine) peelOwn(ctx context.Context, snap *Snapshot, id int32, v dmcs.Variant, opts dmcs.Options, ws *workerScratch) (*dmcs.Result, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.stats.recordError(ws.stripe)
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
 	opts.Cancel = ctx.Done()
 	start := time.Now()
 	// The component's compact sub-CSR goes straight into the search:
 	// per-query work touches only component-sized packed arrays plus the
 	// arena's recycled scratch — never whole-graph-sized state and never
 	// the map-backed Graph.
-	res, err := dmcs.SearchSub(ws.arena, snap.SubCSR(id), nodes, snap.comps[id], q.Variant, opts)
+	res, err := dmcs.SearchSub(ws.arena, snap.SubCSR(id), ws.nodes, snap.comps[id], v, opts)
 	if err != nil {
-		e.stats.recordError()
+		e.stats.recordSearch(ws.stripe, time.Since(start), false)
+		e.stats.recordError(ws.stripe)
 		return nil, err
 	}
 	if ctx.Err() != nil {
 		// The search unwound early through Options.Cancel; its partial
 		// community depends on when the cancellation landed, so surface
-		// the context error instead.
-		e.stats.recordError()
+		// the context error instead. The interrupted peel still counts
+		// as computed work, but not toward the latency window.
+		e.stats.recordSearch(ws.stripe, time.Since(start), false)
+		e.stats.recordError(ws.stripe)
 		return nil, ctx.Err()
 	}
-	e.stats.recordSearch(time.Since(start))
-	if !res.TimedOut {
-		e.cache.add(ws.key, res)
-	}
+	e.stats.recordSearch(ws.stripe, time.Since(start), true)
+	e.stats.recordServed(ws.stripe, false)
 	return res, nil
+}
+
+// canonicalOptions maps result-equivalent option settings onto one
+// representative, so equivalent queries share a cache entry and a
+// flight. Chi only participates in scoring under
+// GeneralizedModularityDensity, so it is zeroed for the other
+// objectives; under GMD, Chi 0 is documented as "the comparator's
+// default of 1" and is canonicalized to 1. The canonical options are
+// also what the search runs with — by construction they produce
+// bit-identical results.
+func canonicalOptions(o dmcs.Options) dmcs.Options {
+	if o.Objective == dmcs.GeneralizedModularityDensity {
+		if o.Chi == 0 {
+			o.Chi = 1
+		}
+	} else {
+		o.Chi = 0
+	}
+	return o
 }
 
 // normalizeNodesInto appends a sorted, deduplicated copy of q to dst
@@ -290,8 +379,19 @@ func normalizeNodes(q []graph.Node) []graph.Node {
 	return normalizeNodesInto(nil, q)
 }
 
+// insertionSortMax is the query-set size up to which sortNodes uses
+// insertion sort. The paper's interactive protocol uses 1–16 query
+// nodes, where insertion sort on an almost-always-tiny slice beats the
+// general sort's overhead; programmatic callers can pass arbitrarily
+// large sets, which fall through to slices.Sort instead of degrading
+// quadratically.
+const insertionSortMax = 24
+
 func sortNodes(a []graph.Node) {
-	// insertion sort: query sets are tiny (paper protocol: 1–16 nodes)
+	if len(a) > insertionSortMax {
+		slices.Sort(a)
+		return
+	}
 	for i := 1; i < len(a); i++ {
 		for j := i; j > 0 && a[j] < a[j-1]; j-- {
 			a[j], a[j-1] = a[j-1], a[j]
@@ -307,7 +407,8 @@ func sortNodes(a []graph.Node) {
 // under N and can never answer a lookup for snapshot N+1, even when the
 // computing query finishes (and inserts) after the swap. Timeout is
 // deliberately excluded: only results that ran to completion are cached,
-// and those do not depend on the deadline.
+// and those do not depend on the deadline. Callers pass canonicalized
+// options (see canonicalOptions) so result-equivalent settings collide.
 func appendCacheKey(b []byte, epoch uint64, nodes []graph.Node, v dmcs.Variant, o dmcs.Options) []byte {
 	b = strconv.AppendUint(b, epoch, 10)
 	b = append(b, '|')

@@ -3,7 +3,10 @@ package engine
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"reflect"
+	"slices"
+	"strconv"
 	"testing"
 	"time"
 
@@ -142,23 +145,187 @@ func TestCacheHits(t *testing.T) {
 	}
 }
 
+// cachePut/cacheGet are test shorthands hashing the key themselves.
+func cachePut(c *resultCache, key string, r *dmcs.Result) {
+	c.add(hashKey([]byte(key)), []byte(key), r)
+}
+
+func cacheGet(c *resultCache, key string) (*dmcs.Result, bool) {
+	return c.get(hashKey([]byte(key)), []byte(key))
+}
+
 func TestCacheEviction(t *testing.T) {
-	c := newResultCache(2)
+	// One shard pins the global LRU order; multi-shard eviction is
+	// per-shard and covered by TestShardedCachePerShardEviction.
+	c := newResultCache(2, 1)
 	r := &dmcs.Result{}
-	c.add([]byte("a"), r)
-	c.add([]byte("b"), r)
-	if _, ok := c.get([]byte("a")); !ok {
+	cachePut(c, "a", r)
+	cachePut(c, "b", r)
+	if _, ok := cacheGet(c, "a"); !ok {
 		t.Fatal("a evicted too early")
 	}
-	c.add([]byte("c"), r) // evicts b (a was just touched)
-	if _, ok := c.get([]byte("b")); ok {
+	cachePut(c, "c", r) // evicts b (a was just touched)
+	if _, ok := cacheGet(c, "b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.get([]byte("a")); !ok {
+	if _, ok := cacheGet(c, "a"); !ok {
 		t.Error("a should have survived")
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestShardedCachePerShardEviction groups keys by the shard their hash
+// lands them in and verifies each shard runs an independent LRU of its
+// own capacity: filling one shard beyond capacity evicts that shard's
+// LRU key and nothing in any other shard.
+func TestShardedCachePerShardEviction(t *testing.T) {
+	c := newResultCache(8, 4) // 4 shards x 2 entries
+	if len(c.shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(c.shards))
+	}
+	// Bucket generated keys by shard until one shard has three keys (one
+	// more than its capacity) and a different shard has at least one.
+	byShard := make(map[*cacheShard][]string)
+	var full []string
+	var fullShard *cacheShard
+	var other string
+	for i := 0; full == nil || other == ""; i++ {
+		if i > 10000 {
+			t.Fatal("hash never distributed keys across shards")
+		}
+		k := key(i)
+		sh := c.shardFor(hashKey([]byte(k)))
+		byShard[sh] = append(byShard[sh], k)
+		if full == nil && len(byShard[sh]) == 3 {
+			full, fullShard = byShard[sh], sh
+		}
+		if full != nil && other == "" {
+			for osh, keys := range byShard {
+				if osh != fullShard {
+					other = keys[0]
+					break
+				}
+			}
+		}
+	}
+	r := &dmcs.Result{}
+	cachePut(c, other, r)
+	cachePut(c, full[0], r)
+	cachePut(c, full[1], r)
+	cachePut(c, full[2], r) // shard cap 2: evicts full[0], the shard's LRU
+	if _, ok := cacheGet(c, full[0]); ok {
+		t.Error("expected the overfull shard's LRU key to be evicted")
+	}
+	for _, k := range []string{full[1], full[2], other} {
+		if _, ok := cacheGet(c, k); !ok {
+			t.Errorf("key %q should have survived", k)
+		}
+	}
+	c.clear()
+	if c.len() != 0 {
+		t.Errorf("len after clear = %d, want 0", c.len())
+	}
+	if _, ok := cacheGet(c, full[1]); ok {
+		t.Error("cleared key still served")
+	}
+	// The slab must be reusable after clear.
+	cachePut(c, full[1], r)
+	if _, ok := cacheGet(c, full[1]); !ok {
+		t.Error("insert after clear failed")
+	}
+}
+
+func key(i int) string { return "k" + strconv.Itoa(i) }
+
+// TestShardedCacheCapacityClamp: the shard count never inflates the
+// configured capacity — a small cache on a many-core machine (shard
+// request > capacity) reduces its shard count instead of exceeding the
+// CacheSize contract.
+func TestShardedCacheCapacityClamp(t *testing.T) {
+	for _, capacity := range []int{1, 32, 33} {
+		c := newResultCache(capacity, 64)
+		if got := len(c.shards) * int(c.shards[0].cap); got > capacity {
+			t.Fatalf("capacity %d: shards hold %d total entries", capacity, got)
+		}
+		r := &dmcs.Result{}
+		for i := 0; i < 4*capacity+8; i++ {
+			cachePut(c, key(i), r)
+		}
+		if n := c.len(); n > capacity {
+			t.Fatalf("capacity %d: cache holds %d entries after churn", capacity, n)
+		}
+	}
+}
+
+// TestCacheKeyCanonicalization is the regression test for
+// result-irrelevant options splitting identical results across cache
+// entries: Chi is ignored unless the objective is
+// GeneralizedModularityDensity, and under GMD, Chi 0 and the documented
+// default of 1 are the same configuration.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	res := testGraph(t, 400)
+	e := New(res.G, Options{Workers: 2})
+	ctx := context.Background()
+	nodes := []graph.Node{0}
+
+	r1, err := e.Search(ctx, Query{Nodes: nodes, Opts: dmcs.Options{Chi: 7.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Search(ctx, Query{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("Chi must not split cache entries under the default objective")
+	}
+
+	gmd0, err := e.Search(ctx, Query{Nodes: nodes, Opts: dmcs.Options{Objective: dmcs.GeneralizedModularityDensity}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmd1, err := e.Search(ctx, Query{Nodes: nodes, Opts: dmcs.Options{Objective: dmcs.GeneralizedModularityDensity, Chi: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmd0 != gmd1 {
+		t.Error("GMD Chi=0 and Chi=1 are documented-equivalent and must share a cache entry")
+	}
+	gmd2, err := e.Search(ctx, Query{Nodes: nodes, Opts: dmcs.Options{Objective: dmcs.GeneralizedModularityDensity, Chi: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmd2 == gmd0 {
+		t.Error("GMD Chi=2 is a different configuration and must not hit Chi=1's entry")
+	}
+	st := e.Stats()
+	if st.CacheHits != 2 {
+		t.Errorf("CacheHits = %d, want 2 (the two canonicalized repeats)", st.CacheHits)
+	}
+	if st.Computed != 3 {
+		t.Errorf("Computed = %d, want 3 distinct configurations peeled", st.Computed)
+	}
+}
+
+// TestSortNodesLargeSets covers the slices.Sort fallback: normalization
+// of a large programmatic node set must stay correct (and fast) past the
+// insertion-sort threshold.
+func TestSortNodesLargeSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{insertionSortMax, insertionSortMax + 1, 1000} {
+		in := make([]graph.Node, n)
+		for i := range in {
+			in[i] = graph.Node(rng.Intn(n / 2)) // force duplicates
+		}
+		got := normalizeNodes(in)
+		want := append([]graph.Node(nil), in...)
+		slices.Sort(want)
+		want = slices.Compact(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: normalizeNodes mismatch", n)
+		}
 	}
 }
 

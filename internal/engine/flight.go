@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+)
+
+// flight is one in-flight computation that concurrent identical misses
+// collapse onto. The first miss (the leader) registers the flight in its
+// cache shard and spawns the computing goroutine; later misses on the
+// same (epoch, key, effective timeout) join it. Everyone — leader
+// included — waits on done, so a thundering herd of N identical misses
+// costs one peel instead of N.
+//
+// Cancellation is refcounted, which is what makes joining safe: a
+// waiter whose context fires leaves its wait immediately (returning its
+// own ctx.Err()) and only decrements waiters; the shared computation is
+// aborted — by closing cancel, which is wired into the search's
+// Options.Cancel — only when the last waiter has left. So a joiner's
+// cancellation never poisons the result other waiters are blocked on,
+// and a fully abandoned computation stops peeling instead of running to
+// completion for nobody.
+type flight struct {
+	done   chan struct{} // closed by the computing goroutine when res/err are set
+	cancel chan struct{} // closed by the last departing waiter to abort the peel
+	// waiters is guarded by the owning shard's mutex. It starts at 1
+	// (the leader) and is joinable while > 0; once it reaches 0 the
+	// flight is dead — late arrivals for the same key start a fresh one.
+	waiters int
+	res     *dmcs.Result
+	err     error
+}
+
+// appendFlightKey extends a cache key with the query's effective timeout.
+// The cache key deliberately excludes Timeout (only complete results are
+// cached, and those do not depend on the deadline), but a flight's
+// deadline shapes which partial it would produce, so queries only
+// collapse onto computations configured with the same timeout — and even
+// then, joiners refuse TimedOut outcomes (leader-clock skew) and fall
+// back to their own clock; see searchShared.
+func appendFlightKey(b []byte, timeout time.Duration) []byte {
+	b = append(b, '|', 't')
+	return strconv.AppendInt(b, int64(timeout), 10)
+}
+
+// searchShared is the miss path when caching is enabled: join the key's
+// in-flight computation if one is running, otherwise become the leader
+// of a new one. ws.key holds the cache key on entry; the component id
+// has already been validated against snap. searchShared takes ownership
+// of ws and returns it to the pool before blocking on the flight — a
+// parked waiter must not pin an arena-bearing bundle, or live bundles
+// would scale with concurrent callers instead of actual parallelism.
+//
+// Joiners accept only complete (or errored) flight outcomes. A flight
+// that ends TimedOut hit a deadline measured from the LEADER's start —
+// a joiner that arrived later may have most of its own budget left, so
+// handing it the leader's partial would shortchange it by the arrival
+// skew. Such a joiner falls back to one computation on its own clock
+// (exactly the serial semantics), which also caches its result if it
+// completes. The leader keeps its own TimedOut partial: that clock was
+// genuinely its own.
+//
+// Consequence worth knowing: for a hot key whose peel always exceeds
+// the configured timeout, collapsing degrades to one peel per caller —
+// each partial is arrival-time-dependent, so sharing any of them would
+// change answers, and the fallbacks deliberately do not collapse with
+// each other for the same reason. That is exactly the pre-singleflight
+// cost (every caller peels, bounded by the Workers semaphore), not a
+// new failure mode; singleflight's win applies to computations that
+// complete.
+func (e *Engine) searchShared(ctx context.Context, snap *Snapshot, id int32, v dmcs.Variant, opts dmcs.Options, ws *workerScratch, h uint64, q Query) (*dmcs.Result, error) {
+	baseLen := len(ws.key)
+	ws.key = appendFlightKey(ws.key, opts.Timeout)
+	stripe := ws.stripe
+	sh := e.cache.shardFor(h)
+	sh.mu.Lock()
+	// Re-check the cache under the shard lock: the flight we would have
+	// joined may have published between our lock-free miss and here, and
+	// publication removes the flight and inserts the entry atomically
+	// under this same lock. The probes below use the direct
+	// map[string(bytes)] idiom, so a joiner (or this re-check hit)
+	// allocates nothing — only the leader materializes keys.
+	if i, ok := sh.byKey[string(ws.key[:baseLen])]; ok {
+		sh.moveToFrontLocked(i)
+		res := sh.entries[i].res
+		sh.mu.Unlock()
+		e.stats.recordHit(stripe)
+		e.putScratch(ws)
+		return res, nil
+	}
+	if f, ok := sh.flights[string(ws.key)]; ok && f.waiters > 0 {
+		f.waiters++
+		sh.mu.Unlock()
+		e.putScratch(ws) // a parked waiter must not pin an arena
+		res, err := e.awaitFlight(ctx, sh, f)
+		switch {
+		case err != nil:
+			e.stats.recordError(stripe)
+			return nil, err
+		case res.TimedOut:
+			// Leader-clock deadline expiry: recompute on our own clock.
+			return e.searchOwnClock(ctx, snap, id, v, opts, q)
+		default:
+			e.stats.recordServed(stripe, true)
+			return res, nil
+		}
+	}
+	// Leader: materialize the flight key and the computing goroutine's
+	// node copy (the computation about to run allocates its Result
+	// anyway), then release the bundle before blocking.
+	f := &flight{done: make(chan struct{}), cancel: make(chan struct{}), waiters: 1}
+	if sh.flights == nil {
+		sh.flights = make(map[string]*flight)
+	}
+	fk := string(ws.key)
+	sh.flights[fk] = f
+	sh.mu.Unlock()
+	nodes := append([]graph.Node(nil), ws.nodes...)
+	e.putScratch(ws)
+	go e.computeFlight(f, sh, fk, baseLen, snap, id, nodes, v, opts)
+	res, err := e.awaitFlight(ctx, sh, f)
+	if err != nil {
+		e.stats.recordError(stripe)
+		return nil, err
+	}
+	e.stats.recordServed(stripe, false)
+	return res, nil
+}
+
+// awaitFlight blocks until the flight completes or the caller's context
+// fires — whichever comes first. The context cancels only this caller's
+// wait; the shared computation is aborted only if this caller was the
+// last waiter. Stats are the caller's concern: a joiner may discard a
+// timed-out outcome and recompute, so nothing is recorded here.
+func (e *Engine) awaitFlight(ctx context.Context, sh *cacheShard, f *flight) (*dmcs.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		sh.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		sh.mu.Unlock()
+		if last {
+			close(f.cancel)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// searchOwnClock is the joiner fallback when a shared computation timed
+// out on the leader's clock: one unshared peel with this caller's own
+// deadline, through the same peelOwn helper as the cache-disabled path,
+// published to the cache if it runs to completion. It deliberately does
+// not register a flight — the whole point is that this caller's clock
+// is not shareable. The fallback is rare (it requires a flight to hit
+// its deadline), so it checks out a fresh bundle and re-derives its
+// buffers rather than taxing every joiner with copies up front.
+func (e *Engine) searchOwnClock(ctx context.Context, snap *Snapshot, id int32, v dmcs.Variant, opts dmcs.Options, q Query) (*dmcs.Result, error) {
+	ws := e.getScratch()
+	ws.nodes = normalizeNodesInto(ws.nodes[:0], q.Nodes)
+	res, err := e.peelOwn(ctx, snap, id, v, opts, ws)
+	if err == nil && !res.TimedOut {
+		ws.key = appendCacheKey(ws.key[:0], snap.epoch, ws.nodes, v, opts)
+		e.cache.add(hashKey(ws.key), ws.key, res)
+	}
+	e.putScratch(ws)
+	return res, err
+}
+
+// computeFlight runs the flight's single peel: acquire a worker slot
+// (bailing out if every waiter leaves while queued), search with the
+// flight's refcounted cancel channel, then publish — removing the
+// flight and, for complete results, inserting the cache entry under one
+// shard lock, so no concurrent miss can slip between the two and start
+// a duplicate computation.
+func (e *Engine) computeFlight(f *flight, sh *cacheShard, fk string, baseLen int, snap *Snapshot, id int32, nodes []graph.Node, v dmcs.Variant, opts dmcs.Options) {
+	var res *dmcs.Result
+	var err error
+	select {
+	case e.sem <- struct{}{}:
+		ws := e.getScratch()
+		opts.Cancel = f.cancel
+		start := time.Now()
+		res, err = dmcs.SearchSub(ws.arena, snap.SubCSR(id), nodes, snap.comps[id], v, opts)
+		// An abandoned peel is one that unwound early because the last
+		// waiter left (a closed Cancel surfaces as TimedOut). It still
+		// counts as a computed search — the work happened — but its
+		// wall-clock is cancellation timing, not search cost, so it stays
+		// out of the latency window; and its partial community depends on
+		// when the cancellation landed, so it is never published. (A
+		// genuine Options.Timeout expiry with waiters still present keeps
+		// its TimedOut result: that is the documented deadline contract,
+		// and it is still never cached.)
+		abandoned := err == nil && res.TimedOut && isClosed(f.cancel)
+		e.stats.recordSearch(ws.stripe, time.Since(start), err == nil && !abandoned)
+		e.putScratch(ws)
+		<-e.sem
+		if abandoned {
+			res, err = nil, context.Canceled
+		}
+	case <-f.cancel:
+		// Abandoned before a worker slot freed up: nobody is waiting and
+		// no peel ran, so there is nothing worth computing or counting.
+		err = context.Canceled
+	}
+	sh.mu.Lock()
+	// Guard against having been superseded: if every waiter left and a
+	// late arrival started a replacement flight under the same key, the
+	// map now points at the replacement — leave it alone.
+	if sh.flights[fk] == f {
+		delete(sh.flights, fk)
+	}
+	if err == nil && !res.TimedOut {
+		sh.addLocked(fk[:baseLen], res)
+	}
+	sh.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// isClosed reports whether c has been closed, without blocking.
+func isClosed(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}

@@ -3,23 +3,44 @@ package engine
 import (
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // latencyWindow is how many recent per-query latencies the percentile
-// estimates are computed over. A fixed window keeps Stats() O(window) and
-// the engine's memory bounded regardless of how many queries it serves.
+// estimates are computed over, summed across stripes. A fixed window
+// keeps Stats() O(window) and the engine's memory bounded regardless of
+// how many queries it serves.
 const latencyWindow = 4096
 
-// Stats is a point-in-time snapshot of an Engine's counters.
+// minStripeRing floors the per-stripe latency ring so a workload whose
+// recordings concentrate on few stripes (e.g. a single-threaded client
+// on a many-core engine) still keeps a substantial window on the
+// stripes it does use.
+const minStripeRing = 256
+
+// Stats is a point-in-time snapshot of an Engine's counters. Totals are
+// exact, not sampled: each counter is a sum of per-stripe atomics, so
+// once the recording goroutines are quiescent the sums equal the number
+// of recorded events precisely.
 type Stats struct {
-	// Queries is the number of queries answered, including cache hits and
-	// queries that failed validation.
+	// Queries is the number of queries answered, including cache hits,
+	// collapsed queries, and queries that failed validation.
 	Queries uint64
 	// CacheHits is how many of those were answered from the result cache.
 	CacheHits uint64
+	// Collapsed is how many were answered by joining another query's
+	// in-flight computation (singleflight): identical concurrent misses
+	// share one peel instead of recomputing it per caller.
+	Collapsed uint64
 	// Errors counts queries that returned an error (invalid or cancelled).
 	Errors uint64
+	// Computed counts searches actually executed — peels run, as opposed
+	// to queries served — including peels that ended in an error or were
+	// aborted when their last waiter left. Under a thundering herd of
+	// identical misses, Queries grows with the herd while Computed grows
+	// by one.
+	Computed uint64
 	// CacheEntries is the current number of cached results.
 	CacheEntries int
 	// P50 and P95 are latency percentiles over a sliding window of the
@@ -28,57 +49,146 @@ type Stats struct {
 	P50, P95 time.Duration
 }
 
-// statsCollector accumulates counters and a ring buffer of recent search
-// latencies under one mutex. Per-query overhead is a short critical
-// section; percentile sorting happens only in snapshot().
+// statsCollector accumulates counters across cache-line-padded stripes.
+// The hot recorders (recordHit, recordServed) are single atomic adds on
+// a stripe chosen per worker-scratch bundle, so concurrent queries on
+// different workers never touch the same cache line — there is no stats
+// mutex on the serving path at all. Latencies go into small per-stripe
+// rings guarded by per-stripe mutexes; only computed searches (which
+// just spent microseconds-to-milliseconds peeling) pay that lock, and
+// stripes keep it uncontended.
+//
+// Each latency sample carries a global sequence number (one shared
+// atomic, paid only by computed searches), and snapshot() discards
+// samples more than latencyWindow recordings old. Without that, a
+// stripe that goes idle would hold its stale samples forever and keep
+// skewing the percentiles long after the workload shifted. The window
+// therefore never includes anything older than the most recent
+// latencyWindow recordings; how much of that window is retained depends
+// on how recordings spread over stripes — between latencyWindow (evenly
+// spread) and the per-stripe ring size (everything on one stripe, at
+// least minStripeRing).
 type statsCollector struct {
-	mu        sync.Mutex
-	queries   uint64
-	cacheHits uint64
-	errors    uint64
-	ring      [latencyWindow]time.Duration
-	ringLen   int // filled entries, ≤ latencyWindow
-	ringPos   int // next write position
+	seq     atomic.Uint64 // global latency-sample sequence
+	_       [120]byte
+	stripes []statStripe
 }
 
-func (s *statsCollector) recordHit() {
-	s.mu.Lock()
-	s.queries++
-	s.cacheHits++
-	s.mu.Unlock()
+// latSample is one latency recording: its duration and its position in
+// the global recording order.
+type latSample struct {
+	d   time.Duration
+	seq uint64
 }
 
-func (s *statsCollector) recordError() {
-	s.mu.Lock()
-	s.queries++
-	s.errors++
-	s.mu.Unlock()
+// statStripe is one stripe's counters and latency ring. The pad after
+// the atomics keeps two stripes' counters from sharing a cache line
+// (the slice backing array lays stripes out contiguously).
+type statStripe struct {
+	queries   atomic.Uint64
+	cacheHits atomic.Uint64
+	collapsed atomic.Uint64
+	errors    atomic.Uint64
+	computed  atomic.Uint64
+	_         [88]byte // pad the 40 counter bytes out to two cache lines
+
+	mu      sync.Mutex
+	ring    []latSample
+	ringLen int // filled entries, <= len(ring)
+	ringPos int // next write position
+	_       [64]byte
 }
 
-func (s *statsCollector) recordSearch(d time.Duration) {
-	s.mu.Lock()
-	s.queries++
-	s.ring[s.ringPos] = d
-	s.ringPos = (s.ringPos + 1) % latencyWindow
-	if s.ringLen < latencyWindow {
-		s.ringLen++
+// newStatsCollector builds a collector with nextPow2(stripes) stripes,
+// each owning an equal slice of the global latency window.
+func newStatsCollector(stripes int) *statsCollector {
+	n := nextPow2(max(1, stripes))
+	ringLen := latencyWindow / n
+	if ringLen < minStripeRing {
+		ringLen = minStripeRing
 	}
-	s.mu.Unlock()
+	s := &statsCollector{stripes: make([]statStripe, n)}
+	for i := range s.stripes {
+		s.stripes[i].ring = make([]latSample, ringLen)
+	}
+	return s
 }
 
-// snapshot copies the counters and computes nearest-rank percentiles over
-// the latency window.
+// numStripes returns the stripe count (a power of two).
+func (s *statsCollector) numStripes() int { return len(s.stripes) }
+
+// recordHit counts one query answered from the result cache.
+func (s *statsCollector) recordHit(stripe int) {
+	st := &s.stripes[stripe]
+	st.queries.Add(1)
+	st.cacheHits.Add(1)
+}
+
+// recordServed counts one query answered by a completed computation —
+// its own (joined=false) or one it collapsed onto (joined=true).
+func (s *statsCollector) recordServed(stripe int, joined bool) {
+	st := &s.stripes[stripe]
+	st.queries.Add(1)
+	if joined {
+		st.collapsed.Add(1)
+	}
+}
+
+// recordError counts one query that returned an error.
+func (s *statsCollector) recordError(stripe int) {
+	st := &s.stripes[stripe]
+	st.queries.Add(1)
+	st.errors.Add(1)
+}
+
+// recordSearch counts one executed peel and, when the peel ran to its
+// natural end (complete), records its latency in the stripe's ring.
+// Errored or abandoned peels still count toward Computed — the work was
+// done — but their wall-clock reflects when the failure landed, not
+// search cost, so they are kept out of the percentile window. Note this
+// tracks computations, not queries: the caller that triggered the peel
+// separately records itself via recordServed.
+func (s *statsCollector) recordSearch(stripe int, d time.Duration, complete bool) {
+	st := &s.stripes[stripe]
+	st.computed.Add(1)
+	if !complete {
+		return
+	}
+	seq := s.seq.Add(1)
+	st.mu.Lock()
+	st.ring[st.ringPos] = latSample{d: d, seq: seq}
+	st.ringPos = (st.ringPos + 1) % len(st.ring)
+	if st.ringLen < len(st.ring) {
+		st.ringLen++
+	}
+	st.mu.Unlock()
+}
+
+// snapshot sums the striped counters and computes nearest-rank
+// percentiles over the union of the per-stripe latency windows,
+// discarding samples older than the most recent latencyWindow
+// recordings (an idle stripe's leftovers must not haunt the tail).
 func (s *statsCollector) snapshot(cacheEntries int) Stats {
-	s.mu.Lock()
-	st := Stats{
-		Queries:      s.queries,
-		CacheHits:    s.cacheHits,
-		Errors:       s.errors,
-		CacheEntries: cacheEntries,
+	st := Stats{CacheEntries: cacheEntries}
+	var samples []latSample
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		st.Queries += sp.queries.Load()
+		st.CacheHits += sp.cacheHits.Load()
+		st.Collapsed += sp.collapsed.Load()
+		st.Errors += sp.errors.Load()
+		st.Computed += sp.computed.Load()
+		sp.mu.Lock()
+		samples = append(samples, sp.ring[:sp.ringLen]...)
+		sp.mu.Unlock()
 	}
-	lat := make([]time.Duration, s.ringLen)
-	copy(lat, s.ring[:s.ringLen])
-	s.mu.Unlock()
+	maxSeq := s.seq.Load()
+	lat := make([]time.Duration, 0, len(samples))
+	for _, smp := range samples {
+		if smp.seq+latencyWindow > maxSeq {
+			lat = append(lat, smp.d)
+		}
+	}
 	if len(lat) == 0 {
 		return st
 	}
