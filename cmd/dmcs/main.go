@@ -77,12 +77,16 @@ func main() {
 		if err != nil {
 			fatalf("open graph: %v", err)
 		}
-		defer f.Close()
 		in = f
 	}
 	g, err := graph.ParseEdgeList(in)
 	if err != nil {
 		fatalf("parse graph: %v", err)
+	}
+	if in != os.Stdin {
+		if err := in.Close(); err != nil {
+			fatalf("close graph: %v", err)
+		}
 	}
 
 	byLabel := make(map[string]graph.Node, g.NumNodes())
@@ -129,7 +133,6 @@ func runBatch(g *graph.Graph, byLabel map[string]graph.Node, path, algo string, 
 	if err != nil {
 		fatalf("open queries: %v", err)
 	}
-	defer f.Close()
 
 	type batchLine struct {
 		text string
@@ -160,6 +163,9 @@ func runBatch(g *graph.Graph, byLabel map[string]graph.Node, path, algo string, 
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("read queries: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close queries: %v", err)
 	}
 	if len(batch) == 0 {
 		fatalf("no queries in %s", path)
@@ -212,7 +218,6 @@ func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, algo string
 	if err != nil {
 		fatalf("open updates: %v", err)
 	}
-	defer f.Close()
 
 	eng := engine.New(g, engine.Options{Workers: parallel})
 	// Labels grow with the graph; new tokens in mutation lines intern as
@@ -342,6 +347,9 @@ func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, algo string
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("read updates: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close updates: %v", err)
 	}
 	applyPending()
 	st := eng.Stats()

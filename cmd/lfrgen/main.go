@@ -46,17 +46,23 @@ func main() {
 	if err != nil {
 		fatalf("create: %v", err)
 	}
-	defer ef.Close()
 	if err := graph.WriteEdgeList(ef, res.G); err != nil {
 		fatalf("write edges: %v", err)
+	}
+	// A deferred unchecked Close would swallow the write error that
+	// matters most: the one reporting that buffered data never hit disk.
+	if err := ef.Close(); err != nil {
+		fatalf("close %s.edges: %v", *out, err)
 	}
 	cf, err := os.Create(*out + ".comms")
 	if err != nil {
 		fatalf("create: %v", err)
 	}
-	defer cf.Close()
 	if err := graph.WriteCommunities(cf, res.G, res.Communities); err != nil {
 		fatalf("write communities: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		fatalf("close %s.comms: %v", *out, err)
 	}
 	fmt.Printf("wrote %s.edges (%d nodes, %d edges) and %s.comms (%d communities)\n",
 		*out, res.G.NumNodes(), res.G.NumEdges(), *out, len(res.Communities))

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotPath(t *testing.T)      { runAnalyzer(t, HotPath, "hotpath/a") }
+func TestSnapshotSafe(t *testing.T) { runAnalyzer(t, SnapshotSafe, "snapshotsafe/a") }
+func TestEpochKey(t *testing.T)     { runAnalyzer(t, EpochKey, "epochkey/a") }
+func TestArenaPair(t *testing.T)    { runAnalyzer(t, ArenaPair, "arenapair/a") }
+func TestFloatDet(t *testing.T)     { runAnalyzer(t, FloatDet, "floatdet/a") }
+func TestSliceShift(t *testing.T)   { runAnalyzer(t, SliceShift, "sliceshift/a") }
+
+// TestWaivers checks the //dmcs:allow machinery directly: malformed and
+// unknown-analyzer waivers are themselves findings and suppress nothing,
+// while well-formed analyzer-specific and blanket waivers suppress the
+// finding on their own line and the next.
+func TestWaivers(t *testing.T) {
+	prog, err := LoadFixtureDirs("testdata/src", "waiver/a")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := prog.Run(SliceShift)
+	if err != nil {
+		t.Fatalf("running sliceshift: %v", err)
+	}
+
+	type found struct {
+		analyzer string
+		line     int
+		message  string
+	}
+	var got []found
+	for _, d := range diags {
+		posn := prog.Fset.Position(d.Pos)
+		got = append(got, found{d.Analyzer, posn.Line, d.Message})
+	}
+
+	want := []struct {
+		analyzer string
+		line     int
+		substr   string
+	}{
+		{"dmcsvet", 8, "malformed //dmcs:allow"},
+		{"sliceshift", 11, "queue pop by re-slicing"},
+		{"dmcsvet", 16, `unknown analyzer "nosuchanalyzer"`},
+	}
+	for _, w := range want {
+		matched := false
+		for _, g := range got {
+			if g.analyzer == w.analyzer && g.line == w.line && strings.Contains(g.message, w.substr) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("missing diagnostic: %s at line %d containing %q (got %v)", w.analyzer, w.line, w.substr, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(got), len(want), got)
+	}
+}
+
+// TestAnalyzerRegistry pins the suite's composition: All() is the list
+// CI runs, and byName is how waivers name their targets.
+func TestAnalyzerRegistry(t *testing.T) {
+	names := []string{"hotpath", "snapshotsafe", "epochkey", "arenapair", "floatdet", "sliceshift"}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(names))
+	}
+	for i, n := range names {
+		if all[i].Name != n {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].Name, n)
+		}
+		if byName(n) != all[i] {
+			t.Errorf("byName(%q) did not return All()[%d]", n, i)
+		}
+		if all[i].Doc == "" {
+			t.Errorf("%s has no Doc", n)
+		}
+	}
+	if byName("nosuch") != nil {
+		t.Error("byName(nosuch) should be nil")
+	}
+}

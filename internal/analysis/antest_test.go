@@ -1,0 +1,116 @@
+package analysis
+
+// antest_test.go is the package's analysistest equivalent: fixtures
+// under testdata/src carry `// want "regexp"` comments on the lines
+// where an analyzer must report, and runAnalyzer checks the diagnostic
+// set against them exactly — every reported diagnostic must match a
+// want on its line, and every want must be matched by some diagnostic.
+// The same golang.org/x/tools/go/analysis/analysistest contract, built
+// on the package's own fixture loader.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runAnalyzer loads the fixture packages (paths under testdata/src) and
+// checks the analyzer's diagnostics against their want comments.
+func runAnalyzer(t *testing.T, a *Analyzer, pkgs ...string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src")
+	prog, err := LoadFixtureDirs(root, pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgs, err)
+	}
+	diags, err := prog.Run(a)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					posn := prog.Fset.Position(c.Pos())
+					ws, err := parseWants(c.Text)
+					if err != nil {
+						t.Fatalf("%s: %v", posn, err)
+					}
+					for _, re := range ws {
+						wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := prog.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", posn, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the regexps of a `// want "re" "re"...` comment.
+// Non-want comments return nil. Both interpreted and raw Go string
+// literals are accepted.
+func parseWants(text string) ([]*regexp.Regexp, error) {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		lit, err := quotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment at %q: %v", rest, err)
+		}
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", lit, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("compiling want pattern %q: %v", s, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[len(lit):])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}
+
+// quotedPrefix returns the Go string literal at the start of s.
+func quotedPrefix(s string) (string, error) {
+	return strconv.QuotedPrefix(s)
+}

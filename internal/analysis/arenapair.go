@@ -1,0 +1,584 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ArenaPair enforces checkout/release pairing for pooled scratch memory
+// (dmcs.Arena bundles, the engine's workerScratch): every checkout must
+// be released on every return path — and at explicit panics — and the
+// checked-out value must not escape by being returned or stored into a
+// field, because a recycled arena scribbles over whatever still aliases
+// it.
+//
+// Recognized checkouts:
+//
+//   - x := pool.Get() (optionally with a type assertion) where pool is
+//     a sync.Pool; the matching release is pool.Put(x) on the same pool
+//     expression;
+//   - x := f(...) where f is annotated //dmcs:acquire <releaser>; the
+//     matching release is a call to <releaser> passing x.
+//
+// Additionally, passing a held resource to a function annotated
+// //dmcs:owns <param> transfers ownership: it counts as the caller's
+// release, and the callee's parameter is checked as acquired-on-entry.
+// A `defer release(x)` satisfies every later exit, including panics.
+//
+// The analysis is a path-sensitive walk of the function's statement
+// tree (branches fork the held-set; a resource survives a branch join
+// if any surviving path still holds it). It is deliberately syntactic —
+// goto is not modeled, and a release threaded through a helper that is
+// not annotated //dmcs:owns is invisible; annotate the helper or waive
+// the finding.
+var ArenaPair = &Analyzer{
+	Name: "arenapair",
+	Doc:  "arena/pool checkouts must be released on all paths and must not escape",
+	Run:  runArenaPair,
+}
+
+// apResource is one live checkout on one walk path.
+type apResource struct {
+	name     string    // variable name, for messages
+	pos      token.Pos // acquire site
+	poolKey  string    // sync.Pool receiver expression, or ""
+	releaser string    // //dmcs:acquire releaser name, or ""
+	deferred bool      // a defer guarantees release on every later exit
+	owned    bool      // acquired-on-entry via //dmcs:owns
+}
+
+// apState is the held-set of one walk path. Maps are copied on branch
+// forks; apResource values are copied with them.
+type apState map[*types.Var]apResource
+
+func (st apState) clone() apState {
+	c := make(apState, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+func runArenaPair(pass *Pass) error {
+	for _, fd := range enclosingFuncs(pass.Pkg) {
+		w := &apWalker{pass: pass, info: pass.Pkg.Info}
+		if fd.obj != nil {
+			// The //dmcs:acquire wrapper itself hands the resource out
+			// by design; checking its body would flag the wrapper.
+			if fa := pass.Prog.FuncAnnotOf(fd.obj); fa != nil && fa.AcquireReleaser != "" {
+				continue
+			}
+		}
+		st := make(apState)
+		// //dmcs:owns parameters are acquired on entry.
+		if fd.obj != nil {
+			if fa := pass.Prog.FuncAnnotOf(fd.obj); fa != nil {
+				sig := fd.obj.Type().(*types.Signature)
+				for _, name := range fa.Owns {
+					if i := paramIndex(sig, name); i >= 0 {
+						p := sig.Params().At(i)
+						st[p] = apResource{name: name, pos: p.Pos(), owned: true}
+					}
+				}
+			}
+		}
+		if hasGoto(fd.decl.Body) {
+			continue // not modeled; nothing in the serving path uses goto
+		}
+		terminated := w.walkStmts(fd.decl.Body.List, st)
+		if !terminated {
+			w.reportHeld(st, fd.decl.Body.End(), "at function exit")
+		}
+	}
+	return nil
+}
+
+func hasGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+type apWalker struct {
+	pass *Pass
+	info *types.Info
+}
+
+func (w *apWalker) reportHeld(st apState, pos token.Pos, where string) {
+	for _, r := range st {
+		if !r.deferred {
+			w.pass.Reportf(pos, "checked-out %s is not released %s (checkout at %s)", r.name, where, w.pass.Fset().Position(r.pos))
+		}
+	}
+}
+
+// walkStmts walks a statement list on one path; it reports findings and
+// returns whether the path terminated (return/branch out).
+func (w *apWalker) walkStmts(list []ast.Stmt, st apState) bool {
+	for _, s := range list {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *apWalker) walkStmt(s ast.Stmt, st apState) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.releaseCallsIn(s, st)
+		w.checkEscape(s, st)
+		w.checkAcquire(s, st)
+	case *ast.ExprStmt:
+		w.releaseCallsIn(s, st)
+		w.checkPanic(s, st)
+		w.checkDiscardedCheckout(s, st)
+		w.walkFuncLits(s)
+	case *ast.DeferStmt:
+		w.handleDefer(s, st)
+	case *ast.ReturnStmt:
+		w.releaseCallsIn(s, st)
+		w.checkReturnEscape(s, st)
+		w.reportHeld(st, s.Pos(), "on this return path")
+		return true
+	case *ast.BranchStmt:
+		// break/continue leave the enclosing loop/switch; the resource
+		// can still be released after it. Treat as path-terminating
+		// without a held check.
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.releaseCallsIn(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := w.walkStmts(s.Body.List, thenSt)
+		var elseSt apState
+		elseTerm := false
+		if s.Else != nil {
+			elseSt = st.clone()
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		} else {
+			elseSt = st.clone()
+		}
+		return w.merge(st, thenSt, thenTerm, elseSt, elseTerm)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkBranches(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkLoopBody(s.Body, st)
+	case *ast.RangeStmt:
+		w.walkLoopBody(s.Body, st)
+	case *ast.GoStmt:
+		w.releaseCallsIn(s.Call, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		// No checkout/release semantics.
+	}
+	return false
+}
+
+// walkLoopBody walks a loop body on a cloned state. Resources acquired
+// inside the body must be released inside it (each iteration is its own
+// checkout); the outer held-set is left untouched — a loop may run zero
+// times, so a release inside it cannot count for the outer path.
+func (w *apWalker) walkLoopBody(body *ast.BlockStmt, outer apState) {
+	st := outer.clone()
+	pre := make(map[*types.Var]bool, len(st))
+	for k := range st {
+		pre[k] = true
+	}
+	if w.walkStmts(body.List, st) {
+		return
+	}
+	for v, r := range st {
+		if !pre[v] && !r.deferred {
+			w.pass.Reportf(body.End(), "checked-out %s acquired inside the loop is not released before the next iteration (checkout at %s)", r.name, w.pass.Fset().Position(r.pos))
+		}
+	}
+}
+
+// walkBranches handles switch/type-switch/select: each clause forks the
+// state; the post state holds a resource if any surviving clause does.
+func (w *apWalker) walkBranches(s ast.Stmt, st apState) bool {
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			clauses = append(clauses, c)
+		}
+		if !hasDefault {
+			clauses = append(clauses, nil) // fall-through path
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			clauses = append(clauses, c)
+		}
+		if !hasDefault {
+			clauses = append(clauses, nil)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			clauses = append(clauses, c)
+		}
+	}
+	type branchEnd struct {
+		st   apState
+		term bool
+	}
+	var ends []branchEnd
+	for _, c := range clauses {
+		bst := st.clone()
+		term := false
+		switch c := c.(type) {
+		case nil:
+			// implicit no-match path: state unchanged
+		case *ast.CaseClause:
+			term = w.walkStmts(c.Body, bst)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, bst)
+			}
+			term = w.walkStmts(c.Body, bst)
+		}
+		ends = append(ends, branchEnd{bst, term})
+	}
+	// Merge surviving clause states into st.
+	allTerm := len(ends) > 0
+	for k := range st {
+		delete(st, k)
+	}
+	for _, e := range ends {
+		if e.term {
+			continue
+		}
+		allTerm = false
+		for v, r := range e.st {
+			if held, ok := st[v]; !ok || (!held.deferred && r.deferred) {
+				// Prefer recording the non-deferred variant so a
+				// missing release on another path still reports.
+				if !ok || !r.deferred || held.deferred {
+					st[v] = r
+				}
+			}
+		}
+	}
+	return allTerm
+}
+
+// merge folds two if-branch end states back into st and reports whether
+// both branches terminated.
+func (w *apWalker) merge(st, aSt apState, aTerm bool, bSt apState, bTerm bool) bool {
+	for k := range st {
+		delete(st, k)
+	}
+	add := func(from apState) {
+		for v, r := range from {
+			if cur, ok := st[v]; !ok || (cur.deferred && !r.deferred) {
+				st[v] = r
+			}
+		}
+	}
+	if !aTerm {
+		add(aSt)
+	}
+	if !bTerm {
+		add(bSt)
+	}
+	return aTerm && bTerm
+}
+
+// checkAcquire records new checkouts from an assignment statement.
+func (w *apWalker) checkAcquire(s *ast.AssignStmt, st apState) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	rhs := unparen(s.Rhs[0])
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = unparen(ta.X)
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	res, ok := w.acquisition(call)
+	if !ok {
+		return
+	}
+	if len(s.Lhs) == 0 {
+		return
+	}
+	id, ok := unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		w.pass.Reportf(call.Pos(), "pool checkout result is discarded; the checked-out value can never be released")
+		return
+	}
+	obj := w.info.Defs[id]
+	if obj == nil {
+		obj = w.info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	res.name = id.Name
+	res.pos = call.Pos()
+	st[v] = res
+}
+
+// acquisition classifies a call as a checkout.
+func (w *apWalker) acquisition(call *ast.CallExpr) (apResource, bool) {
+	if callee := calleeOf(w.info, call); callee != nil {
+		if fa := w.pass.Prog.FuncAnnotOf(callee); fa != nil && fa.AcquireReleaser != "" {
+			return apResource{releaser: fa.AcquireReleaser}, true
+		}
+		if callee.Name() == "Get" {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if isNamed(w.info.TypeOf(sel.X), "sync", "Pool") {
+					return apResource{poolKey: types.ExprString(sel.X)}, true
+				}
+			}
+		}
+	}
+	return apResource{}, false
+}
+
+// releaseCallsIn scans a node for calls that release held resources:
+// pool.Put(x), <releaser>(..., x, ...), and ownership transfers into
+// //dmcs:owns parameters.
+func (w *apWalker) releaseCallsIn(n ast.Node, st apState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.applyRelease(call, st, false)
+		return true
+	})
+}
+
+// applyRelease removes resources the call releases. deferred marks the
+// release as defer-based (survives panics).
+func (w *apWalker) applyRelease(call *ast.CallExpr, st apState, deferred bool) {
+	callee := calleeOf(w.info, call)
+	argResource := func(arg ast.Expr) (*types.Var, bool) {
+		id, ok := unparen(arg).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		v, ok := w.info.Uses[id].(*types.Var)
+		if !ok {
+			return nil, false
+		}
+		_, held := st[v]
+		return v, held
+	}
+
+	// pool.Put(x) on the matching pool expression.
+	if callee != nil && callee.Name() == "Put" {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && isNamed(w.info.TypeOf(sel.X), "sync", "Pool") {
+			poolKey := types.ExprString(sel.X)
+			for _, arg := range call.Args {
+				if v, held := argResource(arg); held && st[v].poolKey == poolKey {
+					w.release(st, v, deferred)
+				}
+			}
+		}
+	}
+	if callee == nil {
+		return
+	}
+	// Named releaser from //dmcs:acquire, or release of an owned
+	// parameter via the same releaser the acquiring function names —
+	// owned resources accept any releaser-style call or pool Put above,
+	// so match by name for both.
+	name := callee.Name()
+	for _, arg := range call.Args {
+		v, held := argResource(arg)
+		if !held {
+			continue
+		}
+		r := st[v]
+		if (r.releaser != "" && name == r.releaser) || (r.owned && isReleaserName(name)) {
+			w.release(st, v, deferred)
+		}
+	}
+	// Ownership transfer: held resource passed as a //dmcs:owns param.
+	if fa := w.pass.Prog.FuncAnnotOf(callee); fa != nil && len(fa.Owns) > 0 {
+		sig := callee.Type().(*types.Signature)
+		for _, pname := range fa.Owns {
+			i := paramIndex(sig, pname)
+			if i < 0 || i >= len(call.Args) {
+				continue
+			}
+			if v, held := argResource(call.Args[i]); held {
+				w.release(st, v, deferred)
+			}
+		}
+	}
+}
+
+// isReleaserName is the loose match for releasing an owned parameter:
+// the conventional release vocabulary of this codebase.
+func isReleaserName(name string) bool {
+	switch name {
+	case "Put", "putScratch", "Release", "release", "put":
+		return true
+	}
+	return false
+}
+
+func (w *apWalker) release(st apState, v *types.Var, deferred bool) {
+	if deferred {
+		r := st[v]
+		r.deferred = true
+		st[v] = r
+		return
+	}
+	delete(st, v)
+}
+
+func (w *apWalker) handleDefer(s *ast.DeferStmt, st apState) {
+	// defer release(x) — or defer func() { release(x) }().
+	w.applyRelease(s.Call, st, true)
+	if fl, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				w.applyRelease(call, st, true)
+			}
+			return true
+		})
+	}
+}
+
+// checkEscape flags a held resource stored into a field or index whose
+// base is a different object — arena-backed memory must not outlive the
+// checkout.
+func (w *apWalker) checkEscape(s *ast.AssignStmt, st apState) {
+	if len(st) == 0 {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) && len(s.Rhs) != 1 {
+			break
+		}
+		rhs := s.Rhs[0]
+		if i < len(s.Rhs) {
+			rhs = s.Rhs[i]
+		}
+		base := unparen(lhs)
+		if _, isSel := base.(*ast.SelectorExpr); !isSel {
+			if _, isIdx := base.(*ast.IndexExpr); !isIdx {
+				continue
+			}
+		}
+		root := rootIdentOf(lhs)
+		for v, r := range st {
+			if root != nil && w.info.Uses[root] == v {
+				continue // mutating the resource's own fields is fine
+			}
+			if mentionsObject(w.info, rhs, v) {
+				w.pass.Reportf(s.Pos(), "checked-out %s (or memory derived from it) is stored into %s and escapes its checkout (checkout at %s)", r.name, types.ExprString(lhs), w.pass.Fset().Position(r.pos))
+			}
+		}
+	}
+}
+
+// checkReturnEscape flags returning a held (or just-released) resource.
+func (w *apWalker) checkReturnEscape(s *ast.ReturnStmt, st apState) {
+	for _, res := range s.Results {
+		e := unparen(res)
+		id := rootIdentOf(e)
+		if id == nil {
+			continue
+		}
+		// Only the resource itself or a selector chain on it — a call
+		// result computed FROM the resource is the normal way results
+		// leave a search.
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.SliceExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		if v, ok := w.info.Uses[id].(*types.Var); ok {
+			if r, held := st[v]; held {
+				w.pass.Reportf(res.Pos(), "checked-out %s is returned and escapes its checkout (checkout at %s)", r.name, w.pass.Fset().Position(r.pos))
+			}
+		}
+	}
+}
+
+// checkPanic reports resources held across an explicit panic without a
+// deferred release.
+func (w *apWalker) checkPanic(s *ast.ExprStmt, st apState) {
+	call, ok := unparen(s.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if builtinOf(w.info, call) != "panic" {
+		return
+	}
+	w.reportHeld(st, s.Pos(), "when panicking here (use defer)")
+}
+
+// checkDiscardedCheckout flags a bare pool checkout whose result is
+// dropped on the floor.
+func (w *apWalker) checkDiscardedCheckout(s *ast.ExprStmt, st apState) {
+	call, ok := unparen(s.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if _, isAcq := w.acquisition(call); isAcq {
+		w.pass.Reportf(call.Pos(), "pool checkout result is discarded; the checked-out value can never be released")
+	}
+}
+
+// walkFuncLits analyzes closures declared in expression statements as
+// independent scopes (their execution timing is unknown).
+func (w *apWalker) walkFuncLits(s *ast.ExprStmt) {
+	ast.Inspect(s.X, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			if !hasGoto(fl.Body) {
+				st := make(apState)
+				if !w.walkStmts(fl.Body.List, st) {
+					w.reportHeld(st, fl.Body.End(), "at closure exit")
+				}
+			}
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochKey enforces the engine's epoch-keying contract: every key that
+// reaches the result cache or the singleflight table must be derived
+// from the canonical epoch-prefixed key helper, never hand-rolled. The
+// epoch prefix is what makes a mutation unable to serve stale results —
+// a key built any other way silently re-opens that hole.
+//
+// Wiring is annotation-driven so the check survives refactors:
+//
+//   - the canonical helpers carry //dmcs:keymaker (engine:
+//     appendCacheKey, appendFlightKey);
+//   - sink functions carry //dmcs:keyed <param> naming the parameter
+//     that must be canonical (engine: resultCache.get/add,
+//     cacheShard.addLocked, computeFlight's fk);
+//   - map fields indexed directly carry //dmcs:keyed on the field
+//     (engine: cacheShard.byKey, cacheShard.flights).
+//
+// Within one function, an expression is "canonical" if it is a keymaker
+// call result, one of the function's own //dmcs:keyed parameters, or a
+// variable/field every one of whose in-function assignments is
+// canonical — propagated through slicing, string/[]byte conversion, and
+// plain assignment. Passing a non-canonical expression to a keyed sink
+// is a finding; so is calling a keyed function with an unverifiable
+// argument, which is resolved by annotating the calling function's own
+// parameter, pushing the obligation out to its callers.
+var EpochKey = &Analyzer{
+	Name: "epochkey",
+	Doc:  "cache/flight-table keys must come from the canonical epoch-prefixed key helper",
+	Run:  runEpochKey,
+}
+
+func runEpochKey(pass *Pass) error {
+	for _, fd := range enclosingFuncs(pass.Pkg) {
+		checkEpochKeyFunc(pass, fd)
+	}
+	return nil
+}
+
+func checkEpochKeyFunc(pass *Pass, fd funcDeclInfo) {
+	info := pass.Pkg.Info
+	prog := pass.Prog
+
+	// Blessed objects: variables (including struct-field vars used via
+	// this function's receiver/locals) whose in-function assignments all
+	// derive from a keymaker, plus the function's own keyed parameters.
+	blessed := make(map[types.Object]bool)
+	// tainted tracks objects with at least one non-canonical assignment:
+	// one hand-rolled write poisons the variable even if another
+	// assignment is canonical.
+	tainted := make(map[types.Object]bool)
+
+	if fd.obj != nil {
+		if fa := prog.FuncAnnotOf(fd.obj); fa != nil {
+			sig := fd.obj.Type().(*types.Signature)
+			for _, name := range fa.KeyedParams {
+				if i := paramIndex(sig, name); i >= 0 {
+					blessed[sig.Params().At(i)] = true
+				}
+			}
+		}
+	}
+
+	var canonical func(e ast.Expr) bool
+	canonical = func(e ast.Expr) bool {
+		switch e := unparen(e).(type) {
+		case *ast.CallExpr:
+			if callee := calleeOf(info, e); callee != nil {
+				if fa := prog.FuncAnnotOf(callee); fa != nil && fa.Keymaker {
+					return true
+				}
+			}
+			// string(k) / []byte(k) conversions preserve canonicality.
+			if isConversion(info, e) && len(e.Args) == 1 {
+				return canonical(e.Args[0])
+			}
+			return false
+		case *ast.SliceExpr:
+			return canonical(e.X)
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			return obj != nil && blessed[obj] && !tainted[obj]
+		case *ast.SelectorExpr:
+			if v := fieldVarOf(info, e); v != nil {
+				return blessed[v] && !tainted[v]
+			}
+			return false
+		default:
+			return false
+		}
+	}
+
+	assignTarget := func(e ast.Expr) types.Object {
+		switch e := unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Defs[e]; obj != nil {
+				return obj
+			}
+			return info.Uses[e]
+		case *ast.SelectorExpr:
+			if v := fieldVarOf(info, e); v != nil {
+				return v
+			}
+		}
+		return nil
+	}
+
+	// Fixpoint over assignments: unordered flow, so `k := appendKey(...)`
+	// followed by `use(k)` blesses k wherever it appears.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				obj := assignTarget(lhs)
+				if obj == nil {
+					continue
+				}
+				if canonical(as.Rhs[i]) {
+					if !blessed[obj] {
+						blessed[obj] = true
+						changed = true
+					}
+				} else if keyLike(info, lhs) && mentionsKeymaker(info, prog, as.Rhs[i]) {
+					// Mixed expression that still roots in a keymaker
+					// (e.g. append(canonicalKey, suffix...)) stays
+					// unblessed but is not treated as a taint either.
+					continue
+				}
+			}
+			return true
+		})
+	}
+	// Taint pass: any assignment of a non-canonical value to an object
+	// that also has canonical assignments.
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			obj := assignTarget(lhs)
+			if obj == nil || !blessed[obj] {
+				continue
+			}
+			if !canonical(as.Rhs[i]) && !mentionsKeymaker(info, prog, as.Rhs[i]) {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+
+	report := func(arg ast.Expr, what string) {
+		pass.Reportf(arg.Pos(), "%s key %s is not derived from the canonical epoch-prefixed key helper (//dmcs:keymaker)", what, types.ExprString(arg))
+	}
+
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeOf(info, n)
+			if callee == nil {
+				return true
+			}
+			fa := prog.FuncAnnotOf(callee)
+			if fa == nil || len(fa.KeyedParams) == 0 {
+				return true
+			}
+			sig := callee.Type().(*types.Signature)
+			for _, name := range fa.KeyedParams {
+				i := paramIndex(sig, name)
+				if i < 0 || i >= len(n.Args) {
+					continue
+				}
+				if !canonical(n.Args[i]) {
+					report(n.Args[i], "cache/flight")
+				}
+			}
+		case *ast.IndexExpr:
+			sel, ok := unparen(n.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldVarOf(info, sel)
+			if v == nil {
+				return true
+			}
+			if fa := prog.FieldAnnotOf(v); fa == nil || !fa.Keyed {
+				return true
+			}
+			if !canonical(n.Index) {
+				report(n.Index, "keyed-map")
+			}
+		}
+		return true
+	})
+}
+
+// keyLike reports whether the assignment target is a plausible key
+// buffer ([]byte or string typed).
+func keyLike(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if s, ok := t.Underlying().(*types.Slice); ok {
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// mentionsKeymaker reports whether the expression contains a call to a
+// //dmcs:keymaker function anywhere inside it.
+func mentionsKeymaker(info *types.Info, prog *Program, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if callee := calleeOf(info, call); callee != nil {
+			if fa := prog.FuncAnnotOf(callee); fa != nil && fa.Keymaker {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

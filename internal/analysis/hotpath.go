@@ -1,0 +1,393 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath enforces the zero-allocation contract on the serving hot path.
+// A function annotated //dmcs:hotpath — and, transitively, every module
+// function it statically calls — must not allocate or take an
+// unsharded lock: these are the paths the engine's cache-hit latency and
+// the peel kernels' throughput depend on, and the repository already
+// gates them with testing.AllocsPerRun in CI. The analyzer is the
+// static complement: it points at the exact expression that allocates
+// instead of a post-hoc allocation count.
+//
+// Flagged constructs inside a hot function:
+//
+//   - map and slice composite literals, &T{} heap literals, make, new;
+//   - append whose destination is not recycled capacity (allowed when
+//     the first argument is a parameter, a slice expression like
+//     buf[:0], or the self-append idiom x = append(x, ...));
+//   - fmt.* calls (interface boxing plus formatting state);
+//   - string<->[]byte conversions, except the m[string(b)] map-index
+//     idiom the compiler optimizes to zero allocations;
+//   - string concatenation;
+//   - value-to-interface boxing in calls, assignments, and returns
+//     (pointers are exempt: boxing a pointer does not allocate);
+//   - closures (FuncLit) and go statements;
+//   - dynamic calls (func values, interface methods) — unanalyzable,
+//     so unprovable;
+//   - Lock/RLock on a sync.Mutex/RWMutex unless the mutex is a struct
+//     field annotated //dmcs:striped (per-shard locks are bounded; a
+//     global lock serializes the serving path).
+//
+// Exceptions that are genuinely safe (grow-once prealloc helpers, a
+// defer closure on a cold error path) carry //dmcs:allow hotpath
+// waivers with a reason.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//dmcs:hotpath functions (and their static callees) must not allocate or take non-striped locks",
+	Run:  runHotPath,
+}
+
+// hotFuncs computes, once per Program, every function reachable from a
+// //dmcs:hotpath root through static calls to module functions, mapped
+// to the root that reaches it (for attribution in messages).
+func hotFuncs(prog *Program) map[*types.Func]*types.Func {
+	return prog.memoize("hotpath.reach", func() any {
+		hot := make(map[*types.Func]*types.Func)
+		var queue []*types.Func
+		for fn, fa := range prog.funcAnnots {
+			if fa.Hotpath {
+				hot[fn] = fn
+				queue = append(queue, fn)
+			}
+		}
+		// Deterministic BFS order so root attribution is stable when a
+		// function is reachable from several roots.
+		sortFuncsByPos(prog, queue)
+		for i := 0; i < len(queue); i++ {
+			fn := queue[i]
+			decl := prog.DeclOf(fn)
+			pkg := prog.PackageOf(fn)
+			if decl == nil || pkg == nil {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // the closure itself is flagged; its body is its own world
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(pkg.Info, call)
+				if callee == nil || prog.DeclOf(callee) == nil {
+					return true // dynamic or extra-module; handled at check time
+				}
+				if _, seen := hot[callee]; !seen {
+					hot[callee] = hot[fn]
+					queue = append(queue, callee)
+				}
+				return true
+			})
+		}
+		return hot
+	}).(map[*types.Func]*types.Func)
+}
+
+func sortFuncsByPos(prog *Program, fns []*types.Func) {
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && fns[j].Pos() < fns[j-1].Pos(); j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+}
+
+func runHotPath(pass *Pass) error {
+	hot := hotFuncs(pass.Prog)
+	if len(hot) == 0 {
+		return nil
+	}
+	for _, fd := range enclosingFuncs(pass.Pkg) {
+		if fd.obj == nil {
+			continue
+		}
+		if root, ok := hot[fd.obj]; ok {
+			checkHotBody(pass, fd, root)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fd funcDeclInfo, root *types.Func) {
+	info := pass.Pkg.Info
+
+	suffix := ""
+	if root != fd.obj {
+		suffix = " (on hot path via //dmcs:hotpath root " + root.Name() + ")"
+	}
+	report := func(pos token.Pos, msg string) {
+		pass.Reportf(pos, "%s%s", msg, suffix)
+	}
+
+	// Pre-pass 1: m[string(b)] map-index conversions are compiled
+	// without allocating; exempt them.
+	exemptConv := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(ix.X); t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if call, ok := unparen(ix.Index).(*ast.CallExpr); ok && isConversion(info, call) {
+			exemptConv[call] = true
+		}
+		return true
+	})
+
+	// Pre-pass 2: self-append recycle idiom x = append(x, ...).
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok || builtinOf(info, call) != "append" || len(call.Args) == 0 {
+				continue
+			}
+			if sameExprStructure(as.Lhs[i], call.Args[0]) {
+				selfAppend[call] = true
+			}
+		}
+		return true
+	})
+
+	sig := fd.obj.Type().(*types.Signature)
+	isParam := func(e ast.Expr) bool {
+		id := rootIdentOf(e)
+		if id == nil {
+			return false
+		}
+		obj := info.Uses[id]
+		for i := 0; i < sig.Params().Len(); i++ {
+			if obj == sig.Params().At(i) {
+				return true
+			}
+		}
+		if sig.Recv() != nil && obj == sig.Recv() {
+			return true
+		}
+		return false
+	}
+
+	boxes := func(dst types.Type, src ast.Expr) bool {
+		if dst == nil || !types.IsInterface(dst.Underlying()) {
+			return false
+		}
+		st := info.TypeOf(src)
+		if st == nil {
+			return false
+		}
+		if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			return false
+		}
+		if types.IsInterface(st.Underlying()) {
+			return false // already boxed
+		}
+		if _, ok := st.Underlying().(*types.Pointer); ok {
+			return false // pointer-in-interface needs no allocation
+		}
+		return true
+	}
+
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure allocates on the hot path")
+			return false
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement on the hot path spawns a goroutine")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&T{} literal allocates on the hot path")
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates on the hot path")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates on the hot path")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation allocates on the hot path")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if boxes(info.TypeOf(n.Lhs[i]), rhs) {
+						report(rhs.Pos(), "value-to-interface assignment boxes (allocates) on the hot path")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			res := sig.Results()
+			if len(n.Results) == res.Len() {
+				for i, r := range n.Results {
+					if boxes(res.At(i).Type(), r) {
+						report(r.Pos(), "value-to-interface return boxes (allocates) on the hot path")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, info, n, report, exemptConv, selfAppend, isParam, boxes)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, report func(token.Pos, string), exemptConv, selfAppend map[*ast.CallExpr]bool, isParam func(ast.Expr) bool, boxes func(types.Type, ast.Expr) bool) {
+	switch builtinOf(info, call) {
+	case "make":
+		report(call.Pos(), "make allocates on the hot path (preallocate in the builder or scratch arena)")
+		return
+	case "new":
+		report(call.Pos(), "new allocates on the hot path")
+		return
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		dst := unparen(call.Args[0])
+		if _, isSlice := dst.(*ast.SliceExpr); isSlice {
+			return // buf[:0] recycle
+		}
+		if selfAppend[call] || isParam(dst) {
+			return
+		}
+		report(call.Pos(), "append to a fresh slice may allocate on the hot path (recycle capacity: x = append(x[:0], ...))")
+		return
+	case "":
+		// not a builtin; fall through
+	default:
+		return // len/cap/copy/delete and friends don't allocate
+	}
+
+	if isConversion(info, call) {
+		if len(call.Args) == 1 && !exemptConv[call] {
+			dst, src := info.TypeOf(call), info.TypeOf(call.Args[0])
+			if stringByteConversion(dst, src) {
+				report(call.Pos(), "string<->[]byte conversion copies on the hot path (keep one representation; m[string(b)] lookups are exempt)")
+			}
+			if boxes(dst, call.Args[0]) {
+				report(call.Pos(), "conversion to interface boxes (allocates) on the hot path")
+			}
+		}
+		return
+	}
+
+	callee := calleeOf(info, call)
+	if callee == nil {
+		// An immediately-invoked func literal is statically known; the
+		// FuncLit itself is already flagged as a closure allocation.
+		if _, isLit := unparen(call.Fun).(*ast.FuncLit); !isLit {
+			report(call.Pos(), "dynamic call through a function value cannot be proven allocation-free on the hot path")
+		}
+		return
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt."+callee.Name()+" allocates (formatting state and boxed arguments) on the hot path")
+		return
+	}
+	csig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if recv := csig.Recv(); recv != nil {
+		if types.IsInterface(recv.Type().Underlying()) {
+			report(call.Pos(), "interface method call is dynamic dispatch and cannot be proven allocation-free on the hot path")
+			return
+		}
+		if callee.Name() == "Lock" || callee.Name() == "RLock" {
+			checkHotLock(pass, info, call, callee, report)
+		}
+	}
+	// Boxing at call arguments against the static callee signature.
+	params := csig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case csig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			if types.IsInterface(pt.Underlying()) {
+				report(arg.Pos(), "variadic interface argument allocates (arg slice plus boxing) on the hot path")
+				continue
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pt, arg) {
+			report(arg.Pos(), "value-to-interface argument boxes (allocates) on the hot path")
+		}
+	}
+}
+
+// checkHotLock flags Lock/RLock on sync mutexes that are not struct
+// fields annotated //dmcs:striped.
+func checkHotLock(pass *Pass, info *types.Info, call *ast.CallExpr, callee *types.Func, report func(token.Pos, string)) {
+	recvT := callee.Type().(*types.Signature).Recv().Type()
+	if !isNamed(recvT, "sync", "Mutex") && !isNamed(recvT, "sync", "RWMutex") {
+		return
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if mutexSel, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+		if v := fieldVarOf(info, mutexSel); v != nil {
+			if fa := pass.Prog.FieldAnnotOf(v); fa != nil && fa.Striped {
+				return
+			}
+			report(call.Pos(), "lock on mutex field "+v.Name()+" is not marked //dmcs:striped; a global lock serializes the hot path")
+			return
+		}
+	}
+	report(call.Pos(), callee.Name()+" on a mutex that is not a //dmcs:striped struct field; a global lock serializes the hot path")
+}
+
+// stringByteConversion reports a string<->[]byte (or []rune) copy.
+func stringByteConversion(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	return (isStringType(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a set of packages loaded together with one shared FileSet
+// and consistent type identities: module-internal imports resolve to the
+// loaded packages themselves, so a *types.Func seen at a call site in one
+// package is the same object as the one indexed from its defining
+// package. Only the standard library is imported through go/importer's
+// source importer.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	byPath      map[string]*Package
+	fileOwner   map[string]*Package // filename -> owning package
+	funcAnnots  map[*types.Func]*FuncAnnot
+	fieldAnnots map[*types.Var]*FieldAnnot
+	funcDecls   map[*types.Func]*ast.FuncDecl
+	declPkg     map[*types.Func]*Package
+	waivers     []allowWaiver
+	annotDiags  []Diagnostic
+
+	memoMu sync.Mutex
+	memo   map[string]any
+}
+
+// memoize caches a Program-wide computation under key, so an analyzer
+// that needs whole-program state (e.g. hotpath reachability) derives it
+// once however many per-package passes run.
+func (prog *Program) memoize(key string, f func() any) any {
+	prog.memoMu.Lock()
+	defer prog.memoMu.Unlock()
+	if prog.memo == nil {
+		prog.memo = make(map[string]any)
+	}
+	if v, ok := prog.memo[key]; ok {
+		return v
+	}
+	v := f()
+	prog.memo[key] = v
+	return v
+}
+
+// FuncAnnotOf returns fn's parsed //dmcs: directives, or nil.
+func (prog *Program) FuncAnnotOf(fn *types.Func) *FuncAnnot { return prog.funcAnnots[fn] }
+
+// FieldAnnotOf returns the field's parsed //dmcs: directives, or nil.
+func (prog *Program) FieldAnnotOf(v *types.Var) *FieldAnnot { return prog.fieldAnnots[v] }
+
+// DeclOf returns the body-bearing declaration of a module function, or
+// nil for functions outside the loaded set (standard library, interface
+// methods).
+func (prog *Program) DeclOf(fn *types.Func) *ast.FuncDecl { return prog.funcDecls[fn] }
+
+// PackageOf returns the package that declares fn, or nil.
+func (prog *Program) PackageOf(fn *types.Func) *Package { return prog.declPkg[fn] }
+
+// OwnerOf returns the loaded package owning the file at pos.
+func (prog *Program) OwnerOf(pos token.Pos) *Package {
+	return prog.fileOwner[prog.Fset.Position(pos).Filename]
+}
+
+// progImporter resolves imports against the packages loaded so far and
+// falls back to compiling the standard library from source. It is the
+// identity glue: two loaded packages that both import a third see the
+// same *types.Package for it.
+type progImporter struct {
+	prog *Program
+	std  types.Importer
+}
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	if p, ok := pi.prog.byPath[path]; ok {
+		return p.Types, nil
+	}
+	return pi.std.Import(path)
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+}
+
+// LoadPackages loads the module packages matched by patterns (plus their
+// in-module dependencies), rooted at dir, in dependency order. Test
+// files are not loaded: the analyzers enforce invariants of the serving
+// code, and the differential/stress tests are full of deliberately
+// nasty constructs.
+func LoadPackages(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Standard,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	prog := newProgram()
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		// -deps emits dependencies before dependents, so every in-module
+		// import of this package is already loaded.
+		if err := prog.addPackage(lp.ImportPath, lp.Dir, files); err != nil {
+			return nil, err
+		}
+	}
+	if len(prog.Packages) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	return prog, nil
+}
+
+// LoadFixtureDirs loads analyzer test fixture packages: each path names
+// a directory under root (the conventional testdata/src), and imports
+// between fixture packages resolve within root before falling back to
+// the standard library.
+func LoadFixtureDirs(root string, paths ...string) (*Program, error) {
+	prog := newProgram()
+	for _, p := range paths {
+		if err := prog.loadFixture(root, p, make(map[string]bool)); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (prog *Program) loadFixture(root, path string, loading map[string]bool) error {
+	if _, ok := prog.byPath[path]; ok {
+		return nil
+	}
+	if loading[path] {
+		return fmt.Errorf("import cycle through fixture %q", path)
+	}
+	loading[path] = true
+	defer delete(loading, path)
+	dir := filepath.Join(root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("fixture %q: no Go files in %s", path, dir)
+	}
+	// Load fixture-internal imports first so addPackage's import step
+	// finds them in prog.byPath.
+	imports, err := scanImports(files)
+	if err != nil {
+		return err
+	}
+	for _, imp := range imports {
+		if _, statErr := os.Stat(filepath.Join(root, filepath.FromSlash(imp))); statErr == nil {
+			if err := prog.loadFixture(root, imp, loading); err != nil {
+				return err
+			}
+		}
+	}
+	return prog.addPackage(path, dir, files)
+}
+
+// scanImports returns the union of import paths across files.
+func scanImports(files []string) ([]string, error) {
+	fset := token.NewFileSet()
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range af.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func newProgram() *Program {
+	prog := &Program{
+		Fset:        token.NewFileSet(),
+		byPath:      make(map[string]*Package),
+		fileOwner:   make(map[string]*Package),
+		funcAnnots:  make(map[*types.Func]*FuncAnnot),
+		fieldAnnots: make(map[*types.Var]*FieldAnnot),
+		funcDecls:   make(map[*types.Func]*ast.FuncDecl),
+		declPkg:     make(map[*types.Func]*Package),
+	}
+	return prog
+}
+
+// stdImporter is shared across Programs: the source importer re-type-
+// checks standard-library packages from source, which is the expensive
+// part of loading, and its internal cache makes the second Program
+// (each analyzer test loads its own fixtures) nearly free.
+var (
+	stdImporterMu   sync.Mutex
+	stdImporterInst types.Importer
+	stdImporterFset = token.NewFileSet()
+)
+
+func stdImporter() types.Importer {
+	stdImporterMu.Lock()
+	defer stdImporterMu.Unlock()
+	if stdImporterInst == nil {
+		stdImporterInst = importer.ForCompiler(stdImporterFset, "source", nil)
+	}
+	return stdImporterInst
+}
+
+// addPackage parses, type-checks, and indexes one package.
+func (prog *Program) addPackage(path, dir string, filenames []string) error {
+	var files []*ast.File
+	for _, fn := range filenames {
+		af, err := parser.ParseFile(prog.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse %s: %v", fn, err)
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: &progImporter{prog: prog, std: stdImporter()},
+	}
+	tpkg, err := conf.Check(path, prog.Fset, files, info)
+	if err != nil {
+		return fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	prog.Packages = append(prog.Packages, pkg)
+	prog.byPath[path] = pkg
+	for i, af := range files {
+		prog.fileOwner[filenames[i]] = pkg
+		prog.indexFile(pkg, af)
+	}
+	return nil
+}
+
+// indexFile records the file's annotations, waivers, and function
+// declarations in the Program-wide indexes.
+func (prog *Program) indexFile(pkg *Package, af *ast.File) {
+	report := func(pos token.Pos, format string, args ...any) {
+		prog.annotDiags = append(prog.annotDiags, Diagnostic{
+			Pos:      pos,
+			Analyzer: "dmcsvet",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	// Waivers can appear in any comment group, including trailing
+	// same-line comments.
+	for _, g := range af.Comments {
+		for _, c := range g.List {
+			directive, rest, ok := splitDirective(c.Text)
+			if !ok || directive != "allow" {
+				continue
+			}
+			posn := prog.Fset.Position(c.Pos())
+			w := allowWaiver{pos: c.Pos(), file: posn.Filename, line: posn.Line}
+			parts := strings.Fields(rest)
+			if len(parts) > 0 {
+				w.analyzer = parts[0]
+			}
+			if len(parts) > 1 {
+				w.reason = strings.Join(parts[1:], " ")
+			}
+			prog.waivers = append(prog.waivers, w)
+		}
+	}
+	ast.Inspect(af, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			obj, _ := pkg.Info.Defs[n.Name].(*types.Func)
+			if obj == nil {
+				return true
+			}
+			if n.Body != nil {
+				prog.funcDecls[obj] = n
+				prog.declPkg[obj] = pkg
+			}
+			if fa := parseFuncAnnot(n.Doc, report); fa != nil {
+				prog.funcAnnots[obj] = fa
+			}
+		case *ast.StructType:
+			for _, f := range n.Fields.List {
+				fa := parseFieldAnnot(f.Doc, f.Comment)
+				if fa == nil {
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						prog.fieldAnnots[v] = fa
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SliceShift flags the PR-1 bug class: popping a BFS/work queue by
+// re-slicing it from the front inside a loop.
+//
+//	for len(q) > 0 {
+//		u := q[0]
+//		q = q[1:]        // finding
+//		q = append(q, w) // appends now write into a shifted window
+//	}
+//
+// Re-slicing advances the slice header past the backing array's start,
+// so a later append can reuse capacity that still aliases elements a
+// concurrent reader (or the same loop's earlier reference) considers
+// live — the exact shape behind the seven identical BFS bugs PR 1 fixed
+// by switching to index-based queue heads. The analyzer flags any
+// `x = x[k:]` with a nonzero low bound on a slice-typed x inside a for
+// or range statement; strings are exempt (front-trimming a string in a
+// parser loop is idiomatic and value-semantic).
+var SliceShift = &Analyzer{
+	Name: "sliceshift",
+	Doc:  "flag q = q[1:] queue-pop re-slicing inside loops (use an index head)",
+	Run:  runSliceShift,
+}
+
+func runSliceShift(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		var loopDepth int
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+				// Walk children manually so the depth unwinds afterwards.
+				ast.Inspect(loopBody(n), walk)
+				if init := loopInit(n); init != nil {
+					ast.Inspect(init, walk)
+				}
+				loopDepth--
+				return false
+			case *ast.AssignStmt:
+				if loopDepth == 0 {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					checkSliceShift(pass, lhs, n.Rhs[i])
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// loopBody returns the body of a for or range statement.
+func loopBody(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// loopInit returns the init/condition region of a for statement, where a
+// pop can also hide (`for q = q[1:]; len(q) > 0; ...`).
+func loopInit(n ast.Node) ast.Node {
+	if f, ok := n.(*ast.ForStmt); ok && f.Init != nil {
+		return f.Init
+	}
+	return nil
+}
+
+func checkSliceShift(pass *Pass, lhs, rhs ast.Expr) {
+	se, ok := unparen(rhs).(*ast.SliceExpr)
+	if !ok || se.Low == nil || se.Slice3 {
+		return
+	}
+	// x = x[k:] with the same x on both sides.
+	if !sameExprStructure(lhs, se.X) {
+		return
+	}
+	// Nonzero low bound: a literal 0 low is a no-op, not a pop.
+	if lit, ok := unparen(se.Low).(*ast.BasicLit); ok && lit.Value == "0" {
+		return
+	}
+	t := pass.TypeOf(se.X)
+	if t == nil {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		return
+	}
+	if !isSliceType(t) {
+		return
+	}
+	pass.Reportf(rhs.Pos(), "queue pop by re-slicing (%s) inside a loop shifts the backing window under later appends; use an index head instead", types.ExprString(rhs))
+}

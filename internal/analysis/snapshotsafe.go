@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotSafe enforces the engine's publish-then-freeze snapshot
+// contract. A type is "published" when some struct field or variable in
+// the program holds it inside a sync/atomic.Pointer — after an
+// atomic.Pointer[T].Store, every *T reachable from a Load must be
+// immutable, because readers drain on old versions with no lock held.
+//
+// Two rules:
+//
+//  1. No field of a published type may be written. Writes are allowed
+//     only in builder functions (names starting with new/New that
+//     return the type, or any function annotated //dmcs:builder), and
+//     in sync.Once.Do closures targeting fields annotated
+//     //dmcs:lazyinit (the snapshot's lazily built per-component
+//     sub-CSR cache is the canonical example: Once makes the write
+//     safe, the annotation makes it auditable).
+//
+//  2. No struct field may have type *T for a published T. Holding a
+//     snapshot pointer in a field caches it across an Apply boundary —
+//     the exact staleness the atomic pointer exists to prevent.
+//     Snapshot pointers live in locals (one query = one Load) or inside
+//     the atomic.Pointer itself.
+var SnapshotSafe = &Analyzer{
+	Name: "snapshotsafe",
+	Doc:  "no writes to published snapshot fields; no snapshot pointers cached in struct fields",
+	Run:  runSnapshotSafe,
+}
+
+// publishedTypes computes, once per Program, the set of named types that
+// appear as a type argument of sync/atomic.Pointer anywhere in the
+// loaded packages.
+func publishedTypes(prog *Program) map[*types.TypeName]bool {
+	return prog.memoize("snapshotsafe.published", func() any {
+		set := make(map[*types.TypeName]bool)
+		for _, pkg := range prog.Packages {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					e, ok := n.(ast.Expr)
+					if !ok {
+						return true
+					}
+					t := pkg.Info.TypeOf(e)
+					if t == nil {
+						return true
+					}
+					n2 := namedOf(t)
+					if n2 == nil || n2.TypeArgs() == nil || n2.TypeArgs().Len() != 1 {
+						return true
+					}
+					obj := n2.Obj()
+					if obj.Name() != "Pointer" || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+						return true
+					}
+					if arg := namedOf(n2.TypeArgs().At(0)); arg != nil {
+						set[arg.Obj()] = true
+					}
+					return true
+				})
+			}
+		}
+		return set
+	}).(map[*types.TypeName]bool)
+}
+
+func runSnapshotSafe(pass *Pass) error {
+	published := publishedTypes(pass.Prog)
+	if len(published) == 0 {
+		return nil
+	}
+	info := pass.Pkg.Info
+
+	isPublished := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		n := namedOf(t)
+		return n != nil && published[n.Obj()]
+	}
+
+	// Rule 2: struct fields of published pointer type.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				t := info.TypeOf(field.Type)
+				if t == nil {
+					continue
+				}
+				if _, ok := t.(*types.Pointer); !ok {
+					continue
+				}
+				if isPublished(t) {
+					pass.Reportf(field.Pos(), "struct field caches a *%s across Apply boundaries; load it from the atomic.Pointer per use instead", namedOf(t).Obj().Name())
+				}
+			}
+			return true
+		})
+	}
+
+	// Rule 1: field writes outside builders/lazyinit.
+	for _, fd := range enclosingFuncs(pass.Pkg) {
+		if isSnapshotBuilder(pass, fd, isPublished) {
+			continue
+		}
+		checkSnapshotWrites(pass, fd, isPublished)
+	}
+	return nil
+}
+
+// isSnapshotBuilder reports whether the function is allowed to write
+// published-type fields: annotated //dmcs:builder, or named new*/New*
+// and returning the published type.
+func isSnapshotBuilder(pass *Pass, fd funcDeclInfo, isPublished func(types.Type) bool) bool {
+	if fd.obj == nil {
+		return false
+	}
+	if fa := pass.Prog.FuncAnnotOf(fd.obj); fa != nil && fa.Builder {
+		return true
+	}
+	name := fd.obj.Name()
+	if len(name) < 3 || (name[:3] != "new" && name[:3] != "New") {
+		return false
+	}
+	sig := fd.obj.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isPublished(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkSnapshotWrites(pass *Pass, fd funcDeclInfo, isPublished func(types.Type) bool) {
+	info := pass.Pkg.Info
+
+	// onceLazyRegions are the spans of sync.Once.Do closure bodies;
+	// writes to //dmcs:lazyinit fields inside them are allowed.
+	type span struct{ lo, hi int }
+	var onceRegions []span
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Do" {
+			return true
+		}
+		if !isNamed(info.TypeOf(sel.X), "sync", "Once") {
+			return true
+		}
+		if len(call.Args) == 1 {
+			if fl, ok := unparen(call.Args[0]).(*ast.FuncLit); ok {
+				onceRegions = append(onceRegions, span{int(fl.Body.Pos()), int(fl.Body.End())})
+			}
+		}
+		return true
+	})
+	inOnce := func(pos int) bool {
+		for _, r := range onceRegions {
+			if pos >= r.lo && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	check := func(lhs ast.Expr) {
+		// Peel indexes/stars down to the field selector being written:
+		// s.subs[id] = x writes field subs of s.
+		e := unparen(lhs)
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = unparen(x.X)
+				continue
+			case *ast.StarExpr:
+				e = unparen(x.X)
+				continue
+			}
+			break
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		recv := info.TypeOf(sel.X)
+		if !isPublished(recv) {
+			return
+		}
+		field := fieldVarOf(info, sel)
+		if field != nil {
+			if fa := pass.Prog.FieldAnnotOf(field); fa != nil && fa.LazyInit && inOnce(int(lhs.Pos())) {
+				return
+			}
+		}
+		tn := namedOf(recv).Obj()
+		pass.Reportf(lhs.Pos(), "write to %s field %s after publish; %s is stored in an atomic.Pointer and must be immutable once published (build a new version instead)", tn.Name(), sel.Sel.Name, tn.Name())
+	}
+
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(n.X)
+		}
+		return true
+	})
+}

@@ -1,0 +1,114 @@
+package a
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+var pool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+type engine struct {
+	pool sync.Pool
+	held *scratch
+}
+
+//dmcs:acquire putScratch
+func getScratch() *scratch {
+	return pool.Get().(*scratch)
+}
+
+func putScratch(s *scratch) { pool.Put(s) }
+
+func use(*scratch) {}
+
+func deferOK() {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	use(s)
+}
+
+func everyPathOK(cond bool) {
+	s := getScratch()
+	if cond {
+		putScratch(s)
+		return
+	}
+	use(s)
+	putScratch(s)
+}
+
+func missingOnPath(cond bool) {
+	s := getScratch()
+	if cond {
+		return // want `checked-out s is not released on this return path`
+	}
+	putScratch(s)
+}
+
+func leaks() {
+	s := getScratch()
+	use(s)
+} // want `checked-out s is not released at function exit`
+
+func escapes(e *engine) {
+	s := getScratch()
+	e.held = s // want `escapes its checkout`
+	putScratch(s)
+}
+
+func returned() *scratch {
+	s := getScratch()
+	return s // want `is returned and escapes` `not released on this return path`
+}
+
+//dmcs:owns s
+func consume(s *scratch) {
+	use(s)
+	putScratch(s)
+}
+
+func transfer() {
+	s := getScratch()
+	consume(s) // ownership handed to //dmcs:owns callee: fine
+}
+
+func discard() {
+	pool.Get() // want `pool checkout result is discarded`
+}
+
+func panics(cond bool) {
+	s := getScratch()
+	if cond {
+		panic("boom") // want `not released when panicking here`
+	}
+	putScratch(s)
+}
+
+func fieldPool(e *engine) {
+	s := e.pool.Get().(*scratch)
+	use(s)
+	e.pool.Put(s)
+}
+
+func inLoop(n int) {
+	for i := 0; i < n; i++ {
+		s := getScratch()
+		use(s)
+	} // want `acquired inside the loop is not released before the next iteration`
+}
+
+func loopOK(n int) {
+	for i := 0; i < n; i++ {
+		s := getScratch()
+		use(s)
+		putScratch(s)
+	}
+}
+
+func waived() {
+	s := getScratch()
+	use(s)
+	//dmcs:allow arenapair fixture: released by a registered finalizer
+}
+
+// The closing brace of waived carries the would-be finding; it sits on
+// the line after the //dmcs:allow comment and is suppressed (L+1 rule).

@@ -1,0 +1,44 @@
+package a
+
+type shard struct {
+	//dmcs:keyed
+	byKey map[string]int
+}
+
+//dmcs:keymaker
+func appendKey(b []byte, epoch uint64) []byte {
+	return append(b, byte(epoch))
+}
+
+//dmcs:keyed key
+func insert(key []byte, v int) { _ = key; _ = v }
+
+func good(epoch uint64, sh *shard) int {
+	var buf []byte
+	buf = appendKey(buf[:0], epoch)
+	insert(buf, 1)               // canonical: derived by the keymaker
+	insert(buf[:1], 1)           // slicing preserves canonicality
+	return sh.byKey[string(buf)] // conversion preserves canonicality
+}
+
+//dmcs:keyed key
+func forward(key []byte) {
+	insert(key, 2) // a keyed parameter is canonical by contract
+}
+
+func bad(sh *shard) int {
+	key := []byte("handrolled")
+	insert(key, 1)         // want `cache/flight key key is not derived`
+	return sh.byKey["raw"] // want `keyed-map key "raw" is not derived`
+}
+
+func tainted(epoch uint64) {
+	k := appendKey(nil, epoch)
+	k = []byte("oops") // reassignment from a non-keymaker source taints k
+	insert(k, 1)       // want `cache/flight key k is not derived`
+}
+
+func waived(sh *shard) int {
+	//dmcs:allow epochkey fixture: test-only probe key
+	return sh.byKey["probe"]
+}

@@ -1,0 +1,44 @@
+package a
+
+func sums(m map[int]float64) float64 {
+	var total float64
+	for _, w := range m {
+		total += w // want `float accumulation into total`
+	}
+
+	var longhand float64
+	for _, w := range m {
+		longhand = longhand + w // want `float accumulation into longhand`
+	}
+
+	out := make(map[int]float64, len(m))
+	for k, w := range m {
+		out[k] += w // one slot per key: order-independent, never flagged
+	}
+
+	var n int
+	for range m {
+		n++ // integer accumulation is exact: never flagged
+	}
+
+	for _, w := range m {
+		local := 0.0
+		local += w // loop-local accumulator resets per iteration: fine
+		_ = local
+	}
+
+	xs := []float64{1, 2, 3}
+	var ordered float64
+	for _, w := range xs {
+		ordered += w // slice iteration order is fixed: fine
+	}
+
+	var waivedSum float64
+	for _, w := range m {
+		//dmcs:allow floatdet fixture: consumer tolerates any summation order
+		waivedSum += w
+	}
+
+	_ = n
+	return total + longhand + ordered + waivedSum + out[0]
+}

@@ -1,0 +1,95 @@
+package a
+
+import (
+	"fmt"
+	"sync"
+)
+
+type shard struct {
+	//dmcs:striped
+	mu sync.Mutex
+	n  int
+}
+
+type server struct {
+	global sync.Mutex
+	shards []shard
+	buf    []int
+}
+
+//dmcs:hotpath
+func (s *server) hot(x int) int {
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	sl := []int{1} // want `slice literal allocates`
+	_ = sl
+	p := &shard{} // want `&T\{\} literal allocates`
+	_ = p
+	b := make([]byte, 8) // want `make allocates`
+	_ = b
+	fmt.Println(x)           // want `fmt\.Println allocates`
+	s.buf = append(s.buf, x) // self-append recycle idiom: fine
+	var q []int
+	grown := append(q, x) // want `append to a fresh slice`
+	_ = grown
+	helper(s)
+	s.shards[0].mu.Lock() // striped shard lock: fine
+	s.shards[0].mu.Unlock()
+	s.global.Lock() // want `mutex field global is not marked //dmcs:striped`
+	s.global.Unlock()
+	var f func()
+	f = func() {} // want `closure allocates`
+	f()           // want `dynamic call through a function value`
+	go helper(s)  // want `go statement`
+	return s.hit(x)
+}
+
+// hit is reached from hot, but allocates nothing: no findings.
+func (s *server) hit(x int) int { return x + s.shards[0].n }
+
+// helper is transitively hot; findings carry the root attribution.
+func helper(s *server) {
+	_ = make([]int, 4) // want `make allocates .*via //dmcs:hotpath root hot`
+}
+
+// cold is unreachable from any //dmcs:hotpath root: allocate freely.
+func cold() []int { return make([]int, 1) }
+
+func sink(v interface{})      { _ = v }
+func sinks(vs ...interface{}) { _ = vs }
+
+type anyHolder struct{ v interface{} }
+
+//dmcs:hotpath
+func boxing(h *anyHolder, n int, p *shard) {
+	h.v = n // want `value-to-interface assignment boxes`
+	h.v = p // pointers don't box: fine
+	sink(n) // want `value-to-interface argument boxes`
+	sink(p)
+	sinks(n) // want `variadic interface argument allocates`
+}
+
+//dmcs:hotpath
+func conv(m map[string]int, b []byte) int {
+	s := string(b) // want `string<->\[\]byte conversion copies`
+	_ = s
+	return m[string(b)] // map-index lookup conversion is exempt
+}
+
+//dmcs:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+type iface interface{ M() }
+
+//dmcs:hotpath
+func dyn(i iface) {
+	i.M() // want `interface method call is dynamic dispatch`
+}
+
+//dmcs:hotpath
+func waived() {
+	//dmcs:allow hotpath fixture: one-time allocation by design
+	_ = make([]int, 1)
+}

@@ -1,0 +1,42 @@
+package a
+
+func pops() {
+	q := []int{1, 2, 3}
+	for len(q) > 0 {
+		_ = q[0]
+		q = q[1:] // want `queue pop by re-slicing`
+	}
+
+	r := []int{1, 2, 3}
+	for range r {
+		r = r[2:] // want `queue pop by re-slicing`
+	}
+
+	s := []int{1, 2, 3}
+	for head := 0; head < len(s); head++ {
+		_ = s[head] // index head: the fix, never flagged
+	}
+
+	t := "abc"
+	for len(t) > 0 {
+		t = t[1:] // strings are value-semantic: exempt
+	}
+
+	u := []int{1, 2}
+	for range u {
+		u = u[0:] // zero low bound is a no-op, not a pop
+	}
+
+	v := []int{1, 2}
+	v = v[1:] // outside any loop: fine
+	_ = v
+	_ = u
+}
+
+func waived() {
+	q := []int{1, 2, 3}
+	for len(q) > 0 {
+		//dmcs:allow sliceshift fixture: exercising the waiver path
+		q = q[1:]
+	}
+}

@@ -1,0 +1,57 @@
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Snap struct {
+	epoch uint64
+	//dmcs:lazyinit
+	lazy []int
+	once sync.Once
+	data map[string]int
+}
+
+type Holder struct {
+	cur atomic.Pointer[Snap]
+}
+
+type BadCache struct {
+	snap *Snap // want `struct field caches a \*Snap across Apply boundaries`
+}
+
+func NewSnap(n int) *Snap {
+	s := &Snap{}
+	s.epoch = uint64(n) // new* builder assembles before publish: fine
+	return s
+}
+
+//dmcs:builder
+func assemble(s *Snap) {
+	s.data = map[string]int{} // annotated builder: fine
+}
+
+func (h *Holder) mutate() {
+	s := h.cur.Load()
+	s.epoch++       // want `write to Snap field epoch after publish`
+	s.data["k"] = 1 // want `write to Snap field data after publish`
+}
+
+func (h *Holder) lazyOK() {
+	s := h.cur.Load()
+	s.once.Do(func() {
+		s.lazy = []int{1} // //dmcs:lazyinit under sync.Once: fine
+	})
+}
+
+func (h *Holder) lazyOutsideOnce() {
+	s := h.cur.Load()
+	s.lazy = nil // want `write to Snap field lazy after publish`
+}
+
+func (h *Holder) waived() {
+	s := h.cur.Load()
+	//dmcs:allow snapshotsafe fixture: exercising the waiver path
+	s.epoch = 0
+}

@@ -1,0 +1,34 @@
+package a
+
+// Exercises the waiver machinery itself; checked by TestWaivers with
+// explicit assertions rather than want comments (a want comment cannot
+// share a line with the //dmcs:allow comment it describes).
+
+func malformed() {
+	//dmcs:allow sliceshift
+	q := []int{1, 2}
+	for len(q) > 0 {
+		q = q[1:] // NOT suppressed: the waiver above is malformed (no reason)
+	}
+}
+
+func unknown() {
+	//dmcs:allow nosuchanalyzer because reasons
+	_ = 0
+}
+
+func suppressed() {
+	q := []int{1, 2}
+	for len(q) > 0 {
+		//dmcs:allow sliceshift index heads are overkill in this fixture
+		q = q[1:]
+	}
+}
+
+func allAnalyzers() {
+	q := []int{1, 2}
+	for len(q) > 0 {
+		//dmcs:allow all blanket waiver covers every analyzer
+		q = q[1:]
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// unparen strips parentheses. (ast.Unparen is Go 1.22+; the module
+// targets go 1.21.)
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeOf resolves a call expression to the *types.Func it statically
+// invokes, unwrapping parentheses. It returns nil for calls through
+// function values, builtins, and type conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.IndexExpr: // generic instantiation: f[T](...)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			if f, ok := info.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// builtinOf returns the builtin a call invokes ("make", "append", ...)
+// or "".
+func builtinOf(info *types.Info, call *ast.CallExpr) string {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// isConversion reports whether the call is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// rootIdentOf peels selectors, indexes, stars, parens, and slice
+// expressions down to the base identifier of an lvalue-ish expression,
+// or nil.
+func rootIdentOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsObject reports whether expr contains an identifier resolving
+// to obj.
+func mentionsObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fieldVarOf resolves a selector expression to the struct-field variable
+// it selects, or nil.
+func fieldVarOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	// Package-qualified or unqualified uses.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// namedOf unwraps a pointer to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (or its pointee) is the named type
+// pkgpath.name.
+func isNamed(t types.Type, pkgpath, name string) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgpath
+}
+
+// enclosingFuncs returns every function declaration of the package's
+// files, paired with its defining object.
+func enclosingFuncs(pkg *Package) []funcDeclInfo {
+	var out []funcDeclInfo
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			out = append(out, funcDeclInfo{decl: fd, obj: obj})
+		}
+	}
+	return out
+}
+
+type funcDeclInfo struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+// paramIndex returns the position of the named parameter in sig, or -1.
+func paramIndex(sig *types.Signature, name string) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// isSliceType reports whether t's underlying type is a slice.
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameExprStructure reports whether two expressions are structurally
+// identical identifier/selector/index chains — the cheap aliasing test
+// used to pair q = q[1:] and pool.Get/pool.Put.
+func sameExprStructure(a, b ast.Expr) bool {
+	switch a := unparen(a).(type) {
+	case *ast.Ident:
+		b, ok := unparen(b).(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExprStructure(a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := unparen(b).(*ast.IndexExpr)
+		return ok && sameExprStructure(a.X, b.X) && sameExprStructure(a.Index, b.Index)
+	case *ast.StarExpr:
+		b, ok := unparen(b).(*ast.StarExpr)
+		return ok && sameExprStructure(a.X, b.X)
+	default:
+		return false
+	}
+}

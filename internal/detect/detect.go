@@ -305,8 +305,10 @@ func Louvain(g *graph.Graph) []int {
 		kdeg := make([]float64, nn) // node degree
 		for u := 0; u < nn; u++ {
 			comm[u] = u
-			for _, w := range adj[u] {
-				kdeg[u] += w
+			// Sorted neighbor sweep keeps the float degree sums (and
+			// with them the whole Louvain trajectory) run-to-run stable.
+			for _, v := range sortedNbrs(adj[u]) {
+				kdeg[u] += adj[u][v]
 			}
 			kdeg[u] += 2 * self[u]
 			ktot[u] = kdeg[u]
@@ -315,16 +317,19 @@ func Louvain(g *graph.Graph) []int {
 		for moved := true; moved; {
 			moved = false
 			for u := 0; u < nn; u++ {
-				// weights to neighbor communities
+				// weights to neighbor communities, accumulated in
+				// sorted neighbor order for deterministic float sums
 				wc := map[int]float64{}
-				for v, w := range adj[u] {
-					wc[comm[v]] += w
+				for _, v := range sortedNbrs(adj[u]) {
+					wc[comm[v]] += adj[u][v]
 				}
 				cur := comm[u]
 				ktot[cur] -= kdeg[u]
+				// sorted argmax: map-order iteration would break ties
+				// differently run to run
 				bestC, bestGain := cur, 0.0
-				for c, w := range wc {
-					gain := w - ktot[c]*kdeg[u]/m2
+				for _, c := range sortedNbrs(wc) {
+					gain := wc[c] - ktot[c]*kdeg[u]/m2
 					if gain > bestGain+1e-12 {
 						bestGain, bestC = gain, c
 					}
@@ -369,7 +374,8 @@ func Louvain(g *graph.Graph) []int {
 		for u := 0; u < nn; u++ {
 			cu := renum[comm[u]]
 			nself[cu] += self[u]
-			for v, w := range adj[u] {
+			for _, v := range sortedNbrs(adj[u]) {
+				w := adj[u][v]
 				cv := renum[comm[v]]
 				if cu == cv {
 					if u < v {
@@ -504,4 +510,15 @@ func connectedSet(g *graph.Graph, s map[graph.Node]bool, src graph.Node) bool {
 		}
 	}
 	return len(seen) == len(s)
+}
+
+// sortedNbrs returns m's keys in ascending order, so float sums over the
+// weighted adjacency maps visit entries deterministically.
+func sortedNbrs(m map[int]float64) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
 }

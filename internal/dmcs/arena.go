@@ -96,6 +96,7 @@ func growNodeSlice(s []graph.Node, n int) []graph.Node {
 
 func growInt32Slice(s []int32, n int) []int32 {
 	if cap(s) < n {
+		//dmcs:allow hotpath grow-once arena resize: amortized to zero per query after warmup
 		return make([]int32, n)
 	}
 	return s[:n]

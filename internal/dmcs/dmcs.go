@@ -50,6 +50,11 @@
 // historical map-backed implementation used, so communities AND scores
 // are bit-identical (see TestDifferentialLegacyVsCSR and
 // TestArenaReuseMatchesFresh, which re-proves it on poisoned arenas).
+//
+// The hot-path and arena contracts in this package are machine-checked:
+// the peel kernels carry //dmcs:hotpath annotations and internal/analysis
+// (run as cmd/dmcsvet in CI) proves them allocation-free; see
+// CONTRIBUTING.md, "Invariants the linter enforces".
 package dmcs
 
 import (

@@ -147,6 +147,8 @@ func peelLayer(s *peelState, cand []graph.Node, useTheta bool) {
 // pushed and the stale one is skipped on pop (Lemma 5 makes these the
 // only updates needed). Layer membership is a generation-tagged arena
 // slice — the inLayer map of the historical implementation.
+//
+//dmcs:hotpath
 func peelLayerTheta(s *peelState, cand []graph.Node) {
 	a := s.a
 	k := s.sub.NumNodes()
@@ -190,8 +192,11 @@ func peelLayerTheta(s *peelState, cand []graph.Node) {
 // peelLayerLambda removes the layer in Λ order; Λ depends on d_S, which
 // every removal changes, so the whole candidate set is rescanned per
 // iteration.
+//
+//dmcs:hotpath
 func peelLayerLambda(s *peelState, cand []graph.Node) {
 	remaining := append(s.a.remaining[:0], cand...)
+	//dmcs:allow hotpath one defer closure per layer call, outside the per-removal loop; it returns the arena buffer on every exit path
 	defer func() { s.a.remaining = remaining[:0] }()
 	for len(remaining) > 0 {
 		if s.expired() {

@@ -49,13 +49,16 @@ type resultCache struct {
 // neighbouring shards' hot fields off one cache line when the shard
 // slab is iterated by independent cores.
 type cacheShard struct {
-	mu      sync.Mutex
+	//dmcs:striped
+	mu sync.Mutex
+	//dmcs:keyed
 	byKey   map[string]int32
 	entries []cacheEntry // slab; prev/next/free links are slab indices
 	head    int32        // most recently used; -1 when empty
 	tail    int32        // least recently used; -1 when empty
 	free    int32        // free-list head threaded through next; -1 when none
 	cap     int32        // max entries this shard holds
+	//dmcs:keyed
 	flights map[string]*flight
 	_       [64]byte
 }
@@ -130,6 +133,9 @@ func (c *resultCache) shardFor(h uint64) *cacheShard {
 // the map lookup uses Go's string([]byte)-index optimization, so a cache
 // hit performs no allocation and no channel operation — just one shard
 // mutex.
+//
+//dmcs:hotpath
+//dmcs:keyed key
 func (c *resultCache) get(h uint64, key []byte) (*dmcs.Result, bool) {
 	if c == nil {
 		return nil, false
@@ -151,6 +157,8 @@ func (c *resultCache) get(h uint64, key []byte) (*dmcs.Result, bool) {
 
 // add stores res under a copy of key, evicting the shard's least
 // recently used entry when the shard is full.
+//
+//dmcs:keyed key
 func (c *resultCache) add(h uint64, key []byte, res *dmcs.Result) {
 	if c == nil {
 		return
@@ -163,6 +171,8 @@ func (c *resultCache) add(h uint64, key []byte, res *dmcs.Result) {
 
 // addLocked inserts or replaces key's entry. Only this path materializes
 // key strings; flight publication passes an already-built string.
+//
+//dmcs:keyed key
 func (s *cacheShard) addLocked(key string, res *dmcs.Result) {
 	if i, ok := s.byKey[key]; ok {
 		s.entries[i].res = res

@@ -127,6 +127,10 @@ type workerScratch struct {
 	stripe int          // stats stripe this bundle records on
 }
 
+// getScratch checks a worker bundle out of the pool; every path must
+// hand it back via putScratch (or transfer it to searchShared).
+//
+//dmcs:acquire putScratch
 func (e *Engine) getScratch() *workerScratch {
 	return e.scratch.Get().(*workerScratch)
 }
@@ -409,6 +413,8 @@ func sortNodes(a []graph.Node) {
 // deliberately excluded: only results that ran to completion are cached,
 // and those do not depend on the deadline. Callers pass canonicalized
 // options (see canonicalOptions) so result-equivalent settings collide.
+//
+//dmcs:keymaker
 func appendCacheKey(b []byte, epoch uint64, nodes []graph.Node, v dmcs.Variant, o dmcs.Options) []byte {
 	b = strconv.AppendUint(b, epoch, 10)
 	b = append(b, '|')

@@ -42,6 +42,8 @@ type flight struct {
 // collapse onto computations configured with the same timeout — and even
 // then, joiners refuse TimedOut outcomes (leader-clock skew) and fall
 // back to their own clock; see searchShared.
+//
+//dmcs:keymaker
 func appendFlightKey(b []byte, timeout time.Duration) []byte {
 	b = append(b, '|', 't')
 	return strconv.AppendInt(b, int64(timeout), 10)
@@ -72,6 +74,8 @@ func appendFlightKey(b []byte, timeout time.Duration) []byte {
 // cost (every caller peels, bounded by the Workers semaphore), not a
 // new failure mode; singleflight's win applies to computations that
 // complete.
+//
+//dmcs:owns ws
 func (e *Engine) searchShared(ctx context.Context, snap *Snapshot, id int32, v dmcs.Variant, opts dmcs.Options, ws *workerScratch, h uint64, q Query) (*dmcs.Result, error) {
 	baseLen := len(ws.key)
 	ws.key = appendFlightKey(ws.key, opts.Timeout)
@@ -178,6 +182,8 @@ func (e *Engine) searchOwnClock(ctx context.Context, snap *Snapshot, id int32, v
 // flight and, for complete results, inserting the cache entry under one
 // shard lock, so no concurrent miss can slip between the two and start
 // a duplicate computation.
+//
+//dmcs:keyed fk
 func (e *Engine) computeFlight(f *flight, sh *cacheShard, fk string, baseLen int, snap *Snapshot, id int32, nodes []graph.Node, v dmcs.Variant, opts dmcs.Options) {
 	var res *dmcs.Result
 	var err error

@@ -41,8 +41,9 @@ type Snapshot struct {
 	comps  [][]graph.Node // component id -> sorted member list
 	epoch  uint64         // graph version; 0 at construction, +1 per Apply
 
-	subOnce []sync.Once     // per-component lazy sub-CSR construction
-	subs    []*graph.SubCSR // component id -> compact sub-CSR
+	subOnce []sync.Once // per-component lazy sub-CSR construction
+	//dmcs:lazyinit
+	subs []*graph.SubCSR // component id -> compact sub-CSR
 }
 
 // NewSnapshot builds the read-optimized snapshot of g at epoch 0. The

@@ -92,6 +92,7 @@ type statStripe struct {
 	computed  atomic.Uint64
 	_         [88]byte // pad the 40 counter bytes out to two cache lines
 
+	//dmcs:striped
 	mu      sync.Mutex
 	ring    []latSample
 	ringLen int // filled entries, <= len(ring)
@@ -118,6 +119,8 @@ func newStatsCollector(stripes int) *statsCollector {
 func (s *statsCollector) numStripes() int { return len(s.stripes) }
 
 // recordHit counts one query answered from the result cache.
+//
+//dmcs:hotpath
 func (s *statsCollector) recordHit(stripe int) {
 	st := &s.stripes[stripe]
 	st.queries.Add(1)
@@ -126,6 +129,8 @@ func (s *statsCollector) recordHit(stripe int) {
 
 // recordServed counts one query answered by a completed computation —
 // its own (joined=false) or one it collapsed onto (joined=true).
+//
+//dmcs:hotpath
 func (s *statsCollector) recordServed(stripe int, joined bool) {
 	st := &s.stripes[stripe]
 	st.queries.Add(1)
@@ -148,6 +153,8 @@ func (s *statsCollector) recordError(stripe int) {
 // search cost, so they are kept out of the percentile window. Note this
 // tracks computations, not queries: the caller that triggered the peel
 // separately records itself via recordServed.
+//
+//dmcs:hotpath
 func (s *statsCollector) recordSearch(stripe int, d time.Duration, complete bool) {
 	st := &s.stripes[stripe]
 	st.computed.Add(1)

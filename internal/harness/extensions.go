@@ -100,7 +100,9 @@ func (c Config) ExtOptimalityGap(trials int) error {
 		if err != nil {
 			continue
 		}
-		for variant, a := range results {
+		// Fixed variant order: gap sums must not depend on map order.
+		for _, variant := range []core.Variant{core.VariantFPA, core.VariantNCA} {
+			a := results[variant]
 			r, err := core.Search(g, q, variant, core.Options{})
 			if err != nil {
 				continue

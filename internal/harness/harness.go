@@ -295,7 +295,9 @@ func (t *table) row(cells ...interface{}) {
 	t.rows++
 }
 
-func (t *table) flush() { t.w.Flush() }
+// flush drains the tabwriter; a report-stream write error has no
+// recovery beyond the fact that later writes will fail too.
+func (t *table) flush() { _ = t.w.Flush() }
 
 // fmtAgg renders an aggregate cell, or NA when nothing succeeded.
 func fmtAgg(a Aggregate, metric string) string {

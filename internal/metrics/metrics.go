@@ -12,6 +12,7 @@ package metrics
 
 import (
 	"math"
+	"slices"
 
 	"dmcs/internal/graph"
 )
@@ -107,17 +108,19 @@ func PartitionNMI(a, b []int) float64 {
 		joint[[2]int{a[i], b[i]}]++
 	}
 	fn := float64(n)
+	// Entropy/MI sums run over sorted keys: map order would perturb the
+	// low bits run to run.
 	var ha, hb, mi float64
-	for _, c := range ca {
-		p := float64(c) / fn
+	for _, k := range sortedIntKeys(ca) {
+		p := float64(ca[k]) / fn
 		ha -= p * math.Log(p)
 	}
-	for _, c := range cb {
-		p := float64(c) / fn
+	for _, k := range sortedIntKeys(cb) {
+		p := float64(cb[k]) / fn
 		hb -= p * math.Log(p)
 	}
-	for k, c := range joint {
-		pxy := float64(c) / fn
+	for _, k := range sortedPairKeys(joint) {
+		pxy := float64(joint[k]) / fn
 		px := float64(ca[k[0]]) / fn
 		py := float64(cb[k[1]]) / fn
 		mi += pxy * math.Log(pxy/(px*py))
@@ -143,15 +146,16 @@ func PartitionARI(a, b []int) float64 {
 	for i := range a {
 		joint[[2]int{a[i], b[i]}]++
 	}
+	// Sorted sweeps for run-to-run bit-stable sums (see PartitionNMI).
 	var sumJoint, sumA, sumB float64
-	for _, c := range joint {
-		sumJoint += choose2(c)
+	for _, k := range sortedPairKeys(joint) {
+		sumJoint += choose2(joint[k])
 	}
-	for _, c := range ca {
-		sumA += choose2(c)
+	for _, k := range sortedIntKeys(ca) {
+		sumA += choose2(ca[k])
 	}
-	for _, c := range cb {
-		sumB += choose2(c)
+	for _, k := range sortedIntKeys(cb) {
+		sumB += choose2(cb[k])
 	}
 	total := choose2(n)
 	if total == 0 {
@@ -245,3 +249,33 @@ func countLabels(a []int) map[int]int {
 }
 
 func choose2(c int) float64 { return float64(c) * float64(c-1) / 2 }
+
+func sortedIntKeys(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+func sortedPairKeys(m map[[2]int]int) [][2]int {
+	ks := make([][2]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.SortFunc(ks, func(a, b [2]int) int {
+		switch {
+		case a[0] != b[0] && a[0] < b[0]:
+			return -1
+		case a[0] != b[0]:
+			return 1
+		case a[1] < b[1]:
+			return -1
+		case a[1] > b[1]:
+			return 1
+		}
+		return 0
+	})
+	return ks
+}

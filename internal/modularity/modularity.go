@@ -12,6 +12,7 @@ package modularity
 
 import (
 	"math"
+	"slices"
 
 	"dmcs/internal/graph"
 )
@@ -122,8 +123,15 @@ func DensityWeighted(g *graph.Graph, c []graph.Node) float64 {
 	if wg == 0 {
 		return 0
 	}
-	var wc, dc float64
+	// Sorted sweep: summing in map order would make the low bits of the
+	// score differ run to run.
+	nodes := make([]graph.Node, 0, len(in))
 	for u := range in {
+		nodes = append(nodes, u)
+	}
+	slices.Sort(nodes)
+	var wc, dc float64
+	for _, u := range nodes {
 		dc += g.WeightedDegree(u)
 		for _, v := range g.Neighbors(u) {
 			if in[v] && u < v {
