@@ -3,12 +3,13 @@
 // file, so the performance trajectory of the hot paths is checked in
 // next to the code (BENCH_2.json is the CSR-migration baseline,
 // BENCH_3.json the query-scoped SubCSR/arena baseline, BENCH_4.json the
-// dynamic-update suite, BENCH_5.json adds the parallel serving suite:
-// b.RunParallel cache-hit/mixed/herd benchmarks swept across -cpu).
+// dynamic-update suite, BENCH_5.json the parallel serving suite,
+// BENCH_6.json adds the intra-query parallelism suite: whale-component
+// peels and skewed fused batches swept across -cpu).
 //
 // Usage:
 //
-//	go run ./cmd/bench                       # serving + update suite -> BENCH_5.json
+//	go run ./cmd/bench                       # serving + update + whale suite -> BENCH_6.json
 //	go run ./cmd/bench -cpu 1,2,4,8          # same, swept across GOMAXPROCS
 //	go run ./cmd/bench -bench . -pkgs ./...  # everything (slow)
 //
@@ -30,6 +31,14 @@
 // every GOMAXPROCS) exits non-zero when a benchmark allocates more than
 // N allocs/op. CI uses it to fail when steady-state engine query
 // serving — serial or parallel — starts allocating.
+//
+// -ratiogate enforces pairwise time budgets: "-ratiogate A<=1.25xB"
+// (comma separated) exits non-zero when benchmark A's ns/op exceeds
+// 1.25 times benchmark B's at any GOMAXPROCS both were swept across —
+// the A-8 entry is compared against B-8, the suffixless entry against
+// the suffixless entry. CI uses it to fail when the parallel whale peel
+// falls behind its serial twin at -cpu 1 (where Parallelism resolves to
+// the serial kernels and only dispatch overhead separates the pair).
 package main
 
 import (
@@ -79,13 +88,14 @@ func fail(format string, args ...interface{}) {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_5.json", "output JSON path")
+		out       = flag.String("out", "BENCH_6.json", "output JSON path")
 		benchtime = flag.String("benchtime", "200ms", "go test -benchtime value (pinned for comparability)")
-		bench     = flag.String("bench", "Weighted|SmallQueries|EngineApply|UnderChurn|EngineParallel|HotKeyHerd", "go test -bench regex")
+		bench     = flag.String("bench", "Weighted|SmallQueries|EngineApply|UnderChurn|EngineParallel|HotKeyHerd|Whale|SkewedBatch", "go test -bench regex")
 		pkgs      = flag.String("pkgs", "./internal/dmcs,./internal/engine", "comma-separated package patterns")
 		cpu       = flag.String("cpu", "", "go test -cpu list (e.g. 1,2,4,8); empty runs at GOMAXPROCS only")
 		baseline  = flag.String("baseline", "", "prior report JSON to merge as the before numbers")
 		gate      = flag.String("gate", "", "comma-separated Name=MaxAllocs budgets enforced on allocs/op")
+		ratiogate = flag.String("ratiogate", "", "comma-separated A<=1.25xB pairwise ns/op budgets, matched per GOMAXPROCS suffix")
 	)
 	flag.Parse()
 
@@ -194,8 +204,8 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.NsPerOp))
 
+	violations := 0
 	if *gate != "" {
-		violations := 0
 		for _, g := range strings.Split(*gate, ",") {
 			name, limitStr, ok := strings.Cut(strings.TrimSpace(g), "=")
 			if !ok {
@@ -224,8 +234,64 @@ func main() {
 				violations++
 			}
 		}
-		if violations > 0 {
-			os.Exit(1)
+	}
+
+	if *ratiogate != "" {
+		for _, g := range strings.Split(*ratiogate, ",") {
+			entry := strings.TrimSpace(g)
+			left, rest, ok := strings.Cut(entry, "<=")
+			if !ok {
+				fail("bad -ratiogate entry %q (want A<=1.25xB)", entry)
+			}
+			factorStr, right, ok := strings.Cut(rest, "x")
+			if !ok {
+				fail("bad -ratiogate entry %q (want A<=1.25xB)", entry)
+			}
+			factor, err := strconv.ParseFloat(factorStr, 64)
+			if err != nil || factor <= 0 {
+				fail("bad -ratiogate factor %q in %q", factorStr, entry)
+			}
+			a := nsBySuffix(rep.NsPerOp, strings.TrimSpace(left))
+			b := nsBySuffix(rep.NsPerOp, strings.TrimSpace(right))
+			compared := 0
+			for suffix, ansOp := range a {
+				bnsOp, ok := b[suffix]
+				if !ok {
+					continue
+				}
+				compared++
+				if ansOp > factor*bnsOp {
+					fmt.Fprintf(os.Stderr, "bench: RATIO GATE FAILED %s%s: %.0f ns/op > %.2f x %.0f ns/op\n",
+						strings.TrimSpace(left), suffix, ansOp, factor, bnsOp)
+					violations++
+				} else {
+					fmt.Printf("ratio gate ok: %s%s %.0f ns/op <= %.2f x %.0f ns/op\n",
+						strings.TrimSpace(left), suffix, ansOp, factor, bnsOp)
+				}
+			}
+			if compared == 0 {
+				fmt.Fprintf(os.Stderr, "bench: RATIO GATE FAILED %s: no GOMAXPROCS suffix has results for both sides\n", entry)
+				violations++
+			}
 		}
 	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+// nsBySuffix collects every recorded result whose suffix-stripped,
+// package-qualified name matches name, keyed by its -N GOMAXPROCS
+// suffix ("" at GOMAXPROCS=1) — the ratio gate compares like against
+// like across a -cpu sweep.
+func nsBySuffix(nsPerOp map[string]float64, name string) map[string]float64 {
+	out := map[string]float64{}
+	for full, ns := range nsPerOp {
+		suffix := procSuffix.FindString(full)
+		bare := strings.TrimSuffix(full, suffix)
+		if bare == name || strings.HasSuffix(bare, "."+name) {
+			out[suffix] = ns
+		}
+	}
+	return out
 }

@@ -80,7 +80,7 @@ func runFPA(a *Arena, sub *graph.SubCSR, q, comp []graph.Node, opts Options, use
 	}
 	k := sub.NumNodes()
 	s := newPeelState(a, sub, a.g.ViewAll(0, sub), comp, nil, opts)
-	dist := s.v.MultiSourceBFSInto(protected, a.g.Dist(0, k), a.g.Queue(k))
+	dist := bfsInto(a, s.v, protected, k, s.par)
 	maxD := groupLayersInto(a, k, dist)
 	for d := maxD; d >= 1; d-- {
 		if s.expired() {
@@ -124,7 +124,14 @@ func groupLayersInto(a *Arena, k int, dist []int32) int {
 		nodes[off[d]+fill[d]] = graph.Node(u)
 		fill[d]++
 	}
-	a.layerOff, a.layerNodes = off, nodes
+	// Hand every grown buffer back to the arena — layerFill included.
+	// Losing it (the pre-PR-7 bug) allocated a fresh cursor slice per
+	// query, and that steady drip of garbage forced constant GC cycles
+	// whose victim-cache flushes emptied the arena pool itself: each
+	// flush made some future query rebuild full component-sized scratch,
+	// and the added GC-worker wakeups scaled with GOMAXPROCS — the
+	// BENCH_5 inverse scaling of BenchmarkSmallQueriesFPAPruning.
+	a.layerOff, a.layerNodes, a.layerFill = off, nodes, fill
 	return int(maxD)
 }
 
@@ -148,7 +155,13 @@ func peelLayer(s *peelState, cand []graph.Node, useTheta bool) {
 // only updates needed). Layer membership is a generation-tagged arena
 // slice — the inLayer map of the historical implementation.
 //
-//dmcs:hotpath
+// The initial heap fill is the one parallelizable piece: each
+// candidate's Θ entry depends only on the pre-drain subgraph, so on
+// large layers workers score fixed chunks into fixed slice positions
+// (fillThetaChunk) and the heap built from the filled slice is
+// identical to the serial append loop's. The drain itself is a
+// sequential dependence chain — every pop depends on the pushes of the
+// previous removal — and stays serial (drainTheta, the hotpath kernel).
 func peelLayerTheta(s *peelState, cand []graph.Node) {
 	a := s.a
 	k := s.sub.NumNodes()
@@ -165,11 +178,28 @@ func peelLayerTheta(s *peelState, cand []graph.Node) {
 		mark[u] = gen
 	}
 	h := &a.pq
-	h.items = h.items[:0]
-	for _, u := range cand {
-		h.items = append(h.items, thetaOf(s, u))
+	if par := s.par; par > 1 && len(cand) >= parallelMinLayer {
+		h.items = growThetaItems(h.items, len(cand))
+		items := h.items
+		graph.ParRange(par, len(cand), func(_, lo, hi int) {
+			fillThetaChunk(s, cand, items, lo, hi)
+		})
+	} else {
+		h.items = h.items[:0]
+		for _, u := range cand {
+			h.items = append(h.items, thetaOf(s, u))
+		}
 	}
 	h.init()
+	drainTheta(s, mark, gen)
+}
+
+// drainTheta pops the Θ heap to empty, removing live candidates and
+// lazily re-scoring their still-queued neighbors.
+//
+//dmcs:hotpath
+func drainTheta(s *peelState, mark []int32, gen int32) {
+	h := &s.a.pq
 	for len(h.items) > 0 {
 		if s.expired() {
 			break
@@ -227,8 +257,9 @@ func peelLayerLambda(s *peelState, cand []graph.Node) {
 // implementation carried.
 func fpaWithPruning(a *Arena, sub *graph.SubCSR, protected, comp []graph.Node, opts Options, useTheta bool) (*Result, error) {
 	k := sub.NumNodes()
+	par := effectiveParallelism(opts.Parallelism, k)
 	vAll := a.g.ViewAll(0, sub)
-	dist := vAll.MultiSourceBFSInto(protected, a.g.Dist(0, k), a.g.Queue(k))
+	dist := bfsInto(a, vAll, protected, k, par)
 	maxD := groupLayersInto(a, k, dist)
 	wG := sub.TotalWeight()
 
@@ -250,9 +281,19 @@ func fpaWithPruning(a *Arena, sub *graph.SubCSR, protected, comp []graph.Node, o
 			timedOut = true
 			break
 		}
-		for _, u := range a.layer(d) {
-			vAll.Remove(u)
-			phase1++
+		// Each round removes one whole outermost layer. Large layers go
+		// through the round-synchronous parallel kernel, which leaves the
+		// view bit-identical to the serial ascending-id loop below (the
+		// layer buckets come out of groupLayersInto id-sorted).
+		layer := a.layer(d)
+		if par > 1 && len(layer) >= parallelMinLayer {
+			removeLayerRound(a, vAll, layer, dist, int32(d), par)
+			phase1 += len(layer)
+		} else {
+			for _, u := range layer {
+				vAll.Remove(u)
+				phase1++
+			}
 		}
 		if sc := scoreView(vAll, wG, opts); sc >= bestScore {
 			bestScore, bestJ = sc, d-1

@@ -1,0 +1,160 @@
+package dmcs
+
+import (
+	"math"
+	"runtime"
+
+	"dmcs/internal/graph"
+)
+
+// Intra-query parallelism (Options.Parallelism) dispatch. The peel's
+// parallelizable phases — BFS layering, fpaWithPruning's whole-layer
+// removal rounds, the Θ-heap fill, and NCA's candidate argmax — fan out
+// across a bounded gang of workers (graph.ParRange) when the component
+// is large enough to pay for the coordination; everything below the
+// thresholds runs the untouched serial kernels. The parallel kernels
+// are exact, not merely deterministic: within every removal round nodes
+// are processed in ascending local id — the serial order — per-node
+// float sums keep their packed-adjacency term order, and cross-worker
+// merges either replay serially in that fixed order (aggregates) or
+// combine under a total order (argmax), so results are bit-identical to
+// Parallelism == 1 (TestParallelPeelBitIdentical pins this under -race).
+//
+// What stays serial, deliberately: the Θ-heap drain (a sequential
+// dependence chain — each pop depends on the pushes of the previous
+// removal), NCA's articulation DFS, and peelLayerLambda's rescan loop.
+// On FPA+pruning those residues are small; on NCA the DFS dominates, so
+// its speedup is bounded (documented in the README).
+
+// Parallelism thresholds. Vars, not consts, so the differential tests
+// can lower them and exercise the parallel kernels on test-sized graphs;
+// production code treats them as constants.
+var (
+	// parallelMinNodes is the component size below which a search
+	// ignores Options.Parallelism entirely: gang coordination costs more
+	// than the whole peel on small components (the overwhelmingly common
+	// case — this keeps the engine's small-query serving exactly as
+	// allocation- and overhead-free as before).
+	parallelMinNodes = 1 << 13
+	// parallelMinLayer is the per-layer candidate count below which a
+	// layer's Θ fill / removal round stays serial even when the search
+	// as a whole is parallel.
+	parallelMinLayer = 1 << 9
+)
+
+// effectiveParallelism resolves Options.Parallelism for an n-node
+// component: <=1 (or a small component) means serial; larger values are
+// capped at GOMAXPROCS, since extra gang members beyond runnable Ps only
+// add scheduling latency to every round barrier.
+func effectiveParallelism(requested, n int) int {
+	if requested <= 1 || n < parallelMinNodes {
+		return 1
+	}
+	if mx := runtime.GOMAXPROCS(0); requested > mx {
+		requested = mx
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
+// bfsInto runs the multi-source BFS layering over v, parallel when the
+// search is (the parallel BFS writes bit-identical distances; only
+// internal frontier order differs, and nothing reads it).
+func bfsInto(a *Arena, v *graph.CSRView, sources []graph.Node, k, par int) []int32 {
+	if par > 1 {
+		return v.MultiSourceBFSParInto(sources, a.g.Dist(0, k), a.g.Queue(k), par, a.g.ParNext(par))
+	}
+	return v.MultiSourceBFSInto(sources, a.g.Dist(0, k), a.g.Queue(k))
+}
+
+// fillThetaChunk scores cand[lo:hi) into items[lo:hi) — the parallel
+// Θ-heap fill writes each candidate's entry to its fixed position, so
+// the filled slice (and therefore the heap built from it) is identical
+// to the serial append loop. Reads only immutable per-round state: the
+// view's alive flags and the packed weights.
+//
+//dmcs:hotpath
+func fillThetaChunk(s *peelState, cand []graph.Node, items []thetaItem, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		items[i] = thetaOf(s, cand[i])
+	}
+}
+
+// removeLayerRound removes one whole BFS layer from v in a
+// round-synchronous parallel step bit-identical to the serial ascending-
+// id removal loop (see graph.CSRView.RemoveLayerRound for the exactness
+// argument). Scratch comes from the arena: the fused-k buffer doubles as
+// the per-node removal-time degree store.
+func removeLayerRound(a *Arena, v *graph.CSRView, layer []graph.Node, dist []int32, d int32, par int) {
+	v.RemoveLayerRound(layer, dist, d, par, a.g.KSum(len(layer)), a.g.ParCounts(par))
+}
+
+// ncaScanChunk scans candidate local ids [lo, hi) and returns the best
+// removable candidate under the serial scan's total order: higher pick
+// score first, then farther from the query, then smaller id. Because
+// that is a total order on candidates, per-chunk maxima merged under the
+// same comparator (ncaBetter) reproduce the serial full-scan winner
+// exactly, independent of chunk boundaries.
+func ncaScanChunk(s *peelState, art []bool, isQuery []bool, kArr []float64, dist []int32, dS float64, weighted bool, pick pickFunc, lo, hi int) (graph.Node, float64) {
+	var best graph.Node = -1
+	bestScore := math.Inf(-1)
+	for ui := lo; ui < hi; ui++ {
+		u := graph.Node(ui)
+		if !s.v.Alive(u) || art[u] || isQuery[u] {
+			continue
+		}
+		kv := float64(s.v.DegreeIn(u))
+		if weighted {
+			kv = kArr[u]
+		}
+		sc := pick(s.wG, dS, kv, s.dOf(u))
+		switch {
+		case sc > bestScore:
+			bestScore, best = sc, u
+		case sc == bestScore && best >= 0:
+			if dist[u] > dist[best] || (dist[u] == dist[best] && u < best) {
+				best = u
+			}
+		}
+	}
+	return best, bestScore
+}
+
+// ncaBetter reports whether candidate (u, su) beats (b, sb) under the
+// scan's total order; b < 0 means "no candidate yet".
+func ncaBetter(u graph.Node, su float64, b graph.Node, sb float64, dist []int32) bool {
+	if b < 0 {
+		return u >= 0
+	}
+	if u < 0 || su != sb {
+		return su > sb
+	}
+	return dist[u] > dist[b] || (dist[u] == dist[b] && u < b)
+}
+
+// ncaScanPar fans the candidate scan out over par workers and merges the
+// chunk winners in fixed chunk order under the same total order the
+// serial scan uses.
+func ncaScanPar(s *peelState, art []bool, isQuery []bool, kArr []float64, dist []int32, dS float64, weighted bool, pick pickFunc, n, par int) (graph.Node, float64) {
+	a := s.a
+	nodeBuf := growNodeSlice(a.parNode, par)
+	scoreBuf := growFloat64Slice(a.parScore, par)
+	for w := 0; w < par; w++ {
+		nodeBuf[w] = -1
+		scoreBuf[w] = math.Inf(-1)
+	}
+	a.parNode, a.parScore = nodeBuf, scoreBuf
+	graph.ParRange(par, n, func(chunk, lo, hi int) {
+		nodeBuf[chunk], scoreBuf[chunk] = ncaScanChunk(s, art, isQuery, kArr, dist, dS, weighted, pick, lo, hi)
+	})
+	var best graph.Node = -1
+	bestScore := math.Inf(-1)
+	for w := 0; w < par; w++ {
+		if ncaBetter(nodeBuf[w], scoreBuf[w], best, bestScore, dist) {
+			best, bestScore = nodeBuf[w], scoreBuf[w]
+		}
+	}
+	return best, bestScore
+}

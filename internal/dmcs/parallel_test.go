@@ -1,0 +1,192 @@
+package dmcs
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"dmcs/internal/graph"
+)
+
+// forceParallel lowers every parallelism threshold so the parallel
+// kernels engage on test-sized graphs, raises GOMAXPROCS so
+// effectiveParallelism doesn't clamp everything back to serial on
+// single-core CI hosts, and restores all of it on cleanup.
+func forceParallel(t testing.TB) {
+	t.Helper()
+	oldNodes, oldLayer, oldFrontier := parallelMinNodes, parallelMinLayer, graph.ParMinFrontier
+	oldProcs := runtime.GOMAXPROCS(8)
+	parallelMinNodes, parallelMinLayer, graph.ParMinFrontier = 8, 2, 2
+	t.Cleanup(func() {
+		parallelMinNodes, parallelMinLayer, graph.ParMinFrontier = oldNodes, oldLayer, oldFrontier
+		runtime.GOMAXPROCS(oldProcs)
+	})
+}
+
+// TestParallelPeelBitIdentical is the tentpole's proof obligation: for
+// every variant × weighted/unweighted × pruning × worker count, a search
+// with Options.Parallelism > 1 must return exactly what the serial
+// search returns — same community, bit-identical score, same iteration
+// count, same removal order. Run under -race this doubles as the data-
+// race check on the round-synchronous kernels.
+func TestParallelPeelBitIdentical(t *testing.T) {
+	forceParallel(t)
+	variants := []Variant{VariantFPA, VariantNCA, VariantNCADR, VariantFPADMG}
+	for _, weighted := range []bool{false, true} {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(200 + seed))
+			n := 120 + rng.Intn(120)
+			g := diffRandomGraph(rng, n, 0.04, weighted)
+			csr := graph.NewCSR(g)
+			for qs := 1; qs <= 2; qs++ {
+				q := make([]graph.Node, 0, qs)
+				for _, u := range rng.Perm(n)[:qs] {
+					q = append(q, graph.Node(u))
+				}
+				for _, v := range variants {
+					for _, pruning := range []bool{false, true} {
+						if pruning && (v == VariantNCA || v == VariantNCADR) {
+							continue // pruning is FPA-family only
+						}
+						serial, serr := SearchCSR(csr, q, v, Options{LayerPruning: pruning, TrackOrder: true})
+						for _, par := range []int{2, 3, 8} {
+							got, gerr := SearchCSR(csr, q, v, Options{LayerPruning: pruning, TrackOrder: true, Parallelism: par})
+							if (serr != nil) != (gerr != nil) {
+								t.Fatalf("%v pruning=%v par=%d weighted=%v seed=%d: err mismatch %v vs %v", v, pruning, par, weighted, seed, serr, gerr)
+							}
+							if serr != nil {
+								continue
+							}
+							assertSameResult(t, serial, got, "%v pruning=%v par=%d weighted=%v seed=%d q=%v", v, pruning, par, weighted, seed, q)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func assertSameResult(t *testing.T, want, got *Result, format string, args ...any) {
+	t.Helper()
+	if math.Float64bits(want.Score) != math.Float64bits(got.Score) {
+		t.Errorf(format+": score %v (%x) vs serial %v (%x)", append(args, got.Score, math.Float64bits(got.Score), want.Score, math.Float64bits(want.Score))...)
+	}
+	if want.Iterations != got.Iterations {
+		t.Errorf(format+": iterations %d vs serial %d", append(args, got.Iterations, want.Iterations)...)
+	}
+	if want.TimedOut != got.TimedOut {
+		t.Errorf(format+": timedOut %v vs serial %v", append(args, got.TimedOut, want.TimedOut)...)
+	}
+	if len(want.Community) != len(got.Community) {
+		t.Fatalf(format+": community size %d vs serial %d", append(args, len(got.Community), len(want.Community))...)
+	}
+	for i := range want.Community {
+		if want.Community[i] != got.Community[i] {
+			t.Fatalf(format+": community[%d] = %d vs serial %d", append(args, i, got.Community[i], want.Community[i])...)
+		}
+	}
+	if len(want.RemovalOrder) != len(got.RemovalOrder) {
+		t.Fatalf(format+": removal order length %d vs serial %d", append(args, len(got.RemovalOrder), len(want.RemovalOrder))...)
+	}
+	for i := range want.RemovalOrder {
+		if want.RemovalOrder[i] != got.RemovalOrder[i] {
+			t.Fatalf(format+": removalOrder[%d] = %d vs serial %d", append(args, i, got.RemovalOrder[i], want.RemovalOrder[i])...)
+		}
+	}
+}
+
+// TestParallelPeelPoisonedArena re-proves the arena-reuse contract for
+// the parallel kernels: a parallel search on a poisoned warm arena must
+// match a serial search on a fresh arena, or some parallel buffer (the
+// per-worker frontiers, the argmax slots, the kEff store) is being read
+// before it is rewritten.
+func TestParallelPeelPoisonedArena(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(77))
+	n := 160
+	g := diffRandomGraph(rng, n, 0.05, true)
+	csr := graph.NewCSR(g)
+	q := []graph.Node{graph.Node(rng.Intn(n))}
+	for _, v := range []Variant{VariantFPA, VariantNCA} {
+		for _, pruning := range []bool{false, true} {
+			if pruning && v == VariantNCA {
+				continue
+			}
+			opts := Options{LayerPruning: pruning, TrackOrder: true, Parallelism: 4}
+			want, err := SearchCSR(csr, q, v, Options{LayerPruning: pruning, TrackOrder: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := NewArena()
+			comp, err := queryComponentArena(a, csr, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the arena with one parallel search, poison it, search again.
+			if _, err := searchExtract(a, csr, q, comp, v, opts); err != nil {
+				t.Fatal(err)
+			}
+			a.Poison()
+			comp, err = queryComponentArena(a, csr, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := searchExtract(a, csr, q, comp, v, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, want, got, "poisoned arena %v pruning=%v", v, pruning)
+		}
+	}
+}
+
+// TestParallelThresholdFallback pins the dispatch contract: Parallelism
+// on a component below parallelMinNodes must resolve to a fully serial
+// peel (par == 1), so small queries never pay gang overhead.
+func TestParallelThresholdFallback(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	if got := effectiveParallelism(8, parallelMinNodes-1); got != 1 {
+		t.Fatalf("below-threshold component resolved to %d workers, want 1", got)
+	}
+	if got := effectiveParallelism(0, parallelMinNodes*2); got != 1 {
+		t.Fatalf("Parallelism 0 resolved to %d workers, want 1", got)
+	}
+	if got := effectiveParallelism(4, parallelMinNodes*2); got != 4 {
+		t.Fatalf("in-range request resolved to %d workers, want 4", got)
+	}
+	if got := effectiveParallelism(64, parallelMinNodes*2); got != 8 {
+		t.Fatalf("oversized request resolved to %d workers, want GOMAXPROCS=8", got)
+	}
+}
+
+// TestWarmArenaAllocs pins the satellite fix for the BENCH_5 inverse
+// scaling: groupLayersInto must hand its grown layer-cursor buffer back
+// to the arena. A warm arena's pruning search performs exactly two heap
+// allocations — the Result and its Community slice; a third one is the
+// leaked-buffer regression.
+func TestWarmArenaAllocs(t *testing.T) {
+	g := smallQueryGraph(4, 80)
+	csr := graph.NewCSR(g)
+	a := NewArena()
+	q := []graph.Node{3}
+	comp, err := queryComponentArena(a, csr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp = append([]graph.Node(nil), comp...) // stable storage across epochs
+	for i := 0; i < 3; i++ {                  // warm every buffer
+		if _, err := searchExtract(a, csr, q, comp, VariantFPA, Options{LayerPruning: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := searchExtract(a, csr, q, comp, VariantFPA, Options{LayerPruning: true}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("warm-arena pruning search allocates %.1f times per run, want <= 2 (Result + Community)", allocs)
+	}
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+)
+
+// TestFusedBatchMatchesPerQuerySerial is the fused-path half of the
+// differential obligation: a skewed, duplicate-heavy, mixed-variant
+// batch through the fused SearchBatch must return exactly what issuing
+// each query alone through serial dmcs returns.
+func TestFusedBatchMatchesPerQuerySerial(t *testing.T) {
+	res := testGraph(t, 500)
+	rng := rand.New(rand.NewSource(9))
+	var qs []Query
+	// Skew: many queries on one node's component, duplicates included.
+	hot := graph.Node(rng.Intn(res.G.NumNodes()))
+	for i := 0; i < 24; i++ {
+		qs = append(qs, Query{Nodes: []graph.Node{hot}})
+	}
+	for i := 0; i < 16; i++ {
+		u := graph.Node(rng.Intn(res.G.NumNodes()))
+		v := dmcs.VariantFPA
+		var opts dmcs.Options
+		switch i % 4 {
+		case 1:
+			v = dmcs.VariantNCA
+		case 2:
+			opts.LayerPruning = true
+		case 3:
+			v = dmcs.VariantFPADMG
+			opts.Objective = dmcs.ClassicModularity
+		}
+		qs = append(qs, Query{Nodes: []graph.Node{u}, Variant: v, Opts: opts})
+	}
+	qs = append(qs, Query{}) // empty query: must error, not derail the batch
+
+	e := New(res.G, Options{Workers: 4})
+	got := e.SearchBatch(context.Background(), qs)
+	for i, q := range qs {
+		want, wantErr := dmcs.Search(res.G, normalizeNodes(q.Nodes), q.Variant, q.Opts)
+		if (got[i].Err == nil) != (wantErr == nil) {
+			t.Fatalf("query %d: err=%v, serial err=%v", i, got[i].Err, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if got[i].Result.Score != want.Score ||
+			got[i].Result.Iterations != want.Iterations ||
+			!reflect.DeepEqual(got[i].Result.Community, want.Community) {
+			t.Fatalf("query %d (%v %v): fused result differs from serial", i, q.Nodes, q.Variant)
+		}
+	}
+}
+
+// TestFusedBatchDedupStats pins the fused path's accounting: B identical
+// misses in one batch cost one peel — one Fused/Computed count, B-1
+// Collapsed — and a pre-seeded cache answers the whole batch as hits.
+func TestFusedBatchDedupStats(t *testing.T) {
+	res := testGraph(t, 300)
+	e := New(res.G, Options{Workers: 4})
+	ctx := context.Background()
+
+	const b = 8
+	qs := make([]Query, b)
+	for i := range qs {
+		qs[i] = Query{Nodes: []graph.Node{7}}
+	}
+	out := e.SearchBatch(ctx, qs)
+	for i := range out {
+		if out[i].Err != nil {
+			t.Fatalf("query %d: %v", i, out[i].Err)
+		}
+		if out[i].Result != out[0].Result {
+			t.Fatalf("query %d: duplicates should share the leader's result pointer", i)
+		}
+	}
+	st := e.Stats()
+	if st.Queries != b || st.Fused != 1 || st.Computed != 1 || st.Collapsed != b-1 || st.CacheHits != 0 {
+		t.Fatalf("after dup batch: queries=%d fused=%d computed=%d collapsed=%d hits=%d, want %d/1/1/%d/0",
+			st.Queries, st.Fused, st.Computed, st.Collapsed, st.CacheHits, b, b-1)
+	}
+
+	// Same batch again: every query is a cache hit, nothing recomputes.
+	e.SearchBatch(ctx, qs)
+	st = e.Stats()
+	if st.CacheHits != b || st.Fused != 1 || st.Computed != 1 {
+		t.Fatalf("after cached batch: hits=%d fused=%d computed=%d, want %d/1/1", st.CacheHits, st.Fused, st.Computed, b)
+	}
+}
+
+// TestFusedBatchErrorQueries checks invalid queries fail individually
+// with the right error while the rest of the batch completes.
+func TestFusedBatchErrorQueries(t *testing.T) {
+	res := testGraph(t, 300)
+	e := New(res.G, Options{Workers: 2})
+	qs := []Query{
+		{Nodes: []graph.Node{1}},
+		{},
+		{Nodes: []graph.Node{graph.Node(res.G.NumNodes() + 5)}},
+		{Nodes: []graph.Node{2}},
+	}
+	out := e.SearchBatch(context.Background(), qs)
+	if out[0].Err != nil || out[3].Err != nil {
+		t.Fatalf("valid queries errored: %v, %v", out[0].Err, out[3].Err)
+	}
+	if !errors.Is(out[1].Err, dmcs.ErrEmptyQuery) {
+		t.Fatalf("empty query err = %v, want ErrEmptyQuery", out[1].Err)
+	}
+	if !errors.Is(out[2].Err, ErrNodeOutOfRange) {
+		t.Fatalf("out-of-range query err = %v, want ErrNodeOutOfRange", out[2].Err)
+	}
+	if st := e.Stats(); st.Errors != 2 {
+		t.Fatalf("errors = %d, want 2", st.Errors)
+	}
+}
+
+// TestFusedBatchCancelledContext: a context cancelled before the call
+// fails every query with ctx.Err() instead of hanging or panicking.
+func TestFusedBatchCancelledContext(t *testing.T) {
+	res := testGraph(t, 300)
+	e := New(res.G, Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := e.SearchBatch(ctx, []Query{{Nodes: []graph.Node{1}}, {Nodes: []graph.Node{2}}})
+	for i := range out {
+		if !errors.Is(out[i].Err, context.Canceled) {
+			t.Fatalf("query %d: err = %v, want context.Canceled", i, out[i].Err)
+		}
+	}
+}
+
+// TestBatchFanoutWhenCacheDisabled: with the cache off there are no keys
+// to dedup under, so SearchBatch takes the per-query fan-out and still
+// matches serial results; the Fused counter stays zero.
+func TestBatchFanoutWhenCacheDisabled(t *testing.T) {
+	res := testGraph(t, 300)
+	e := New(res.G, Options{Workers: 4, CacheSize: -1})
+	qs := []Query{{Nodes: []graph.Node{3}}, {Nodes: []graph.Node{3}}, {Nodes: []graph.Node{11}}}
+	out := e.SearchBatch(context.Background(), qs)
+	for i, q := range qs {
+		want, err := dmcs.Search(res.G, normalizeNodes(q.Nodes), q.Variant, q.Opts)
+		if err != nil || out[i].Err != nil {
+			t.Fatalf("query %d: %v / %v", i, err, out[i].Err)
+		}
+		if !reflect.DeepEqual(out[i].Result.Community, want.Community) {
+			t.Fatalf("query %d: fanout result differs from serial", i)
+		}
+	}
+	if st := e.Stats(); st.Fused != 0 {
+		t.Fatalf("fused = %d on the cache-disabled path, want 0", st.Fused)
+	}
+}
+
+// TestFusedBatchEmpty: the degenerate empty batch returns an empty slice
+// without touching stats.
+func TestFusedBatchEmpty(t *testing.T) {
+	res := testGraph(t, 300)
+	e := New(res.G, Options{Workers: 2})
+	if out := e.SearchBatch(context.Background(), nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+	if st := e.Stats(); st.Queries != 0 {
+		t.Fatalf("empty batch recorded %d queries", st.Queries)
+	}
+}

@@ -34,7 +34,21 @@
 // engine returns exactly what the serial dmcs entry points return for
 // that slice against the same graph version, regardless of worker count,
 // shard count, batch composition, cache state, or which caller's
-// computation a collapsed query joined.
+// computation a collapsed query joined. That guarantee extends to
+// Options.Parallelism: a query requesting an intra-query parallel peel
+// (engaged only on components of ~8k+ nodes) gets a bit-identical result
+// to the serial peel, which is why Parallelism is deliberately absent
+// from the cache key — a serial caller may be served a parallel
+// caller's cached community and vice versa.
+//
+// SearchBatch fuses batches instead of fanning them out: all queries of
+// one call are admitted, keyed, and answered against a single snapshot
+// (batch-level consistency even when Apply lands mid-batch), identical
+// queries collapse onto one peel before any work starts, and the misses
+// are grouped by connected component so the worker gang drains each
+// component's queries back-to-back against its shared sub-CSR. See
+// batch.go for the full design notes; Stats.Fused counts queries
+// computed through this path.
 package engine
 
 import (
@@ -210,37 +224,6 @@ func (e *Engine) Search(ctx context.Context, q Query) (*dmcs.Result, error) {
 		return nil, err
 	}
 	return e.run(ctx, q)
-}
-
-// SearchBatch answers qs with up to Workers queries in flight at once and
-// returns per-query results in input order. The concurrency bound is
-// engine-wide: overlapping SearchBatch and Search calls share the same
-// pool. A cancelled context fails the remaining queries with ctx.Err()
-// but never discards results already computed.
-func (e *Engine) SearchBatch(ctx context.Context, qs []Query) []BatchResult {
-	out := make([]BatchResult, len(qs))
-	workers := e.workers
-	if workers > len(qs) {
-		workers = len(qs)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(qs) {
-					return
-				}
-				res, err := e.Search(ctx, qs[i])
-				out[i] = BatchResult{Result: res, Err: err}
-			}
-		}()
-	}
-	wg.Wait()
-	return out
 }
 
 // run executes one admitted query: normalize, key, cache lookup, then —

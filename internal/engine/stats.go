@@ -41,6 +41,13 @@ type Stats struct {
 	// identical misses, Queries grows with the herd while Computed grows
 	// by one.
 	Computed uint64
+	// Fused counts queries computed through SearchBatch's fused path —
+	// admitted, deduplicated, and peeled as part of a component-grouped
+	// batch against one snapshot — as opposed to solo Search computations
+	// (which show up in Computed only). Batch duplicates served off a
+	// fused leader's peel count toward Collapsed, like singleflight
+	// joins.
+	Fused uint64
 	// CacheEntries is the current number of cached results.
 	CacheEntries int
 	// P50 and P95 are latency percentiles over a sliding window of the
@@ -90,7 +97,8 @@ type statStripe struct {
 	collapsed atomic.Uint64
 	errors    atomic.Uint64
 	computed  atomic.Uint64
-	_         [88]byte // pad the 40 counter bytes out to two cache lines
+	fused     atomic.Uint64
+	_         [80]byte // pad the 48 counter bytes out to two cache lines
 
 	//dmcs:striped
 	mu      sync.Mutex
@@ -139,6 +147,13 @@ func (s *statsCollector) recordServed(stripe int, joined bool) {
 	}
 }
 
+// recordFused counts one query computed through the fused batch path.
+//
+//dmcs:hotpath
+func (s *statsCollector) recordFused(stripe int) {
+	s.stripes[stripe].fused.Add(1)
+}
+
 // recordError counts one query that returned an error.
 func (s *statsCollector) recordError(stripe int) {
 	st := &s.stripes[stripe]
@@ -185,6 +200,7 @@ func (s *statsCollector) snapshot(cacheEntries int) Stats {
 		st.Collapsed += sp.collapsed.Load()
 		st.Errors += sp.errors.Load()
 		st.Computed += sp.computed.Load()
+		st.Fused += sp.fused.Load()
 		sp.mu.Lock()
 		samples = append(samples, sp.ring[:sp.ringLen]...)
 		sp.mu.Unlock()
