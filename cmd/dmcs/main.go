@@ -64,6 +64,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-run time limit for slow algorithms")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "batch mode: concurrent search workers")
 		verbose    = flag.Bool("v", false, "print the community membership")
+		fullStats  = flag.Bool("stats", false, "batch/stream modes: print the full engine counter set (incl. timed-out/rejected/shed/stale-served) at the end")
 	)
 	flag.Parse()
 	if *graphPath == "" || (*queryStr == "" && *queryFile == "" && *updateFile == "") {
@@ -94,6 +95,7 @@ func main() {
 		byLabel[g.Label(graph.Node(u))] = graph.Node(u)
 	}
 
+	showFullStats = *fullStats
 	if *updateFile != "" {
 		runUpdates(g, byLabel, *updateFile, *algo, *parallel, *timeout, *verbose)
 		return
@@ -203,6 +205,23 @@ func runBatch(g *graph.Graph, byLabel map[string]graph.Node, path, algo string, 
 	fmt.Printf("engine: served=%d cache-hits=%d collapsed=%d computed=%d errors=%d p50=%s p95=%s\n",
 		st.Queries, st.CacheHits, st.Collapsed, st.Computed, st.Errors,
 		st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
+	printFullStats(st)
+}
+
+// showFullStats gates the -stats counter dump appended after the batch
+// and stream summaries.
+var showFullStats bool
+
+// printFullStats dumps the complete engine counter set, including the
+// serving-tier robustness counters (deadline expiries, pre-work
+// rejections, overload sheds, degraded-mode stale answers).
+func printFullStats(st engine.Stats) {
+	if !showFullStats {
+		return
+	}
+	fmt.Printf("engine: fused=%d timed-out=%d rejected=%d shed=%d stale-served=%d cache-entries=%d p99=%s\n",
+		st.Fused, st.TimedOut, st.Rejected, st.Shed, st.StaleServed, st.CacheEntries,
+		st.P99.Round(time.Microsecond))
 }
 
 // runUpdates processes an update-stream file: mutations are staged into a
@@ -356,6 +375,7 @@ func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, algo string
 	fmt.Printf("\nstream done: epoch=%d served=%d cache-hits=%d collapsed=%d computed=%d errors=%d p50=%s p95=%s\n",
 		eng.Epoch(), st.Queries, st.CacheHits, st.Collapsed, st.Computed, st.Errors,
 		st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
+	printFullStats(st)
 }
 
 // parseQuery resolves a separated list of node labels, exiting on unknown

@@ -1,0 +1,131 @@
+// Command dmcsd serves DMCS community search over HTTP with overload
+// protection: cost-aware admission control, client deadline budgets,
+// and graceful degradation to epoch-stale cached answers when the
+// engine saturates (see internal/server for the full policy).
+//
+// Usage:
+//
+//	dmcsd -graph graph.txt [-addr :7473] [-workers 8] [-slo 50ms]
+//
+// Endpoints:
+//
+//	POST /query   {"nodes":[0,7], "variant":"FPA", "timeout_ms":100}
+//	POST /apply   update-stream lines: add/setw/del/node with numeric ids
+//	GET  /stats   engine counters + admission state (JSON)
+//	GET  /healthz liveness + overload state
+//
+// Query responses carry "stale": true when answered from a superseded
+// graph epoch under overload (disable per request with "no_stale":
+// true). Refused requests get JSON errors with a machine-readable code
+// and, where retrying helps, a Retry-After header.
+//
+// SIGINT/SIGTERM starts a graceful drain: new requests are refused with
+// 503 while in-flight ones finish (bounded by -drain-timeout), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dmcs/internal/engine"
+	"dmcs/internal/graph"
+	"dmcs/internal/server"
+)
+
+func main() {
+	var (
+		graphPath    = flag.String("graph", "", "edge-list file (required; '-' for stdin)")
+		addr         = flag.String("addr", ":7473", "listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent computed searches in the engine")
+		cacheSize    = flag.Int("cache", 0, "result cache entries (0 = engine default)")
+		staleKeep    = flag.Int("stale-retention", 8, "epochs of superseded results kept for degraded-mode serving (0 disables)")
+		slo          = flag.Duration("slo", 50*time.Millisecond, "p99 latency target feeding the overload controller (0 = queue-depth signal only)")
+		maxInflight  = flag.Int("max-inflight", 0, "admitted-query bound (0 = 8×GOMAXPROCS)")
+		expNodes     = flag.Int("expensive-nodes", 0, "component size classifying a query as expensive (0 = 8192)")
+		cheapRate    = flag.Float64("cheap-rate", 0, "cheap-class admission tokens/sec (0 = default)")
+		expRate      = flag.Float64("expensive-rate", 0, "expensive-class admission tokens/sec (0 = default)")
+		defTimeout   = flag.Duration("default-timeout", 2*time.Second, "deadline budget for requests without timeout_ms")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "cap on client-requested budgets")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if *graphPath != "-" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fatalf("open graph: %v", err)
+		}
+		in = f
+	}
+	g, err := graph.ParseEdgeList(in)
+	if err != nil {
+		fatalf("parse graph: %v", err)
+	}
+	if in != os.Stdin {
+		if err := in.Close(); err != nil {
+			fatalf("close graph: %v", err)
+		}
+	}
+
+	eng := engine.New(g, engine.Options{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		StaleRetention: *staleKeep,
+	})
+	srv := server.New(eng, server.Config{
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxInflight:    *maxInflight,
+		ExpensiveNodes: *expNodes,
+		CheapRate:      *cheapRate,
+		ExpensiveRate:  *expRate,
+		StaleMaxBehind: *staleKeep,
+		Overload:       server.OverloadConfig{SLO: *slo},
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	fmt.Printf("dmcsd: serving %d nodes / %d edges on %s (workers=%d stale-retention=%d slo=%s)\n",
+		g.NumNodes(), g.NumEdges(), *addr, eng.Workers(), *staleKeep, *slo)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fatalf("serve: %v", err)
+	case s := <-sig:
+		fmt.Printf("dmcsd: %s — draining (up to %s)\n", s, *drainTimeout)
+	}
+
+	// Drain: refuse new work immediately, let in-flight requests finish,
+	// then stop the listener and the overload sampler.
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dmcsd: drain incomplete: %v\n", err)
+	}
+	srv.Close()
+	st := eng.Stats()
+	fmt.Printf("dmcsd: drained. served=%d cache-hits=%d stale-served=%d shed=%d rejected=%d timed-out=%d errors=%d\n",
+		st.Queries, st.CacheHits, st.StaleServed, st.Shed, st.Rejected, st.TimedOut, st.Errors)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dmcsd: "+format+"\n", args...)
+	os.Exit(1)
+}

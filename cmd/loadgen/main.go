@@ -1,0 +1,596 @@
+// Command loadgen drives a dmcsd serving tier with a query+update mix
+// and reports against an SLO. It has two phases:
+//
+//  1. Calibration: a short closed-loop run (one in-flight probe per
+//     engine worker, live update stream) measures the uncontended
+//     latency profile of the real mix — service times without queue
+//     wait — and the sustainable throughput (capacity).
+//  2. Overload: an open-loop run offers -overload × capacity of the
+//     same whale-skewed mix. Open-loop means requests fire on the
+//     clock whether or not earlier ones returned — the arrival process
+//     does not politely slow down for a struggling server, which is
+//     exactly the regime admission control exists for.
+//
+// The report (written to -out as JSON, summarized on stdout) gives
+// p50/p95/p99 of admitted (HTTP 200, complete) answers plus
+// shed/stale/timeout rates, and the SLO verdict: under overload the
+// tier must keep admitted p99 within -p99-factor × the uncontended p99
+// while shedding the excess explicitly (429s or stale answers — never
+// hangs, never crashes). Exit status 0 means the verdict held, 1 not,
+// 2 bad usage.
+//
+// With -addr it speaks HTTP to a running dmcsd. Without, it spins up
+// the serving tier in-process around a synthetic many-community +
+// whale fixture and dispatches requests straight into the handler
+// stack (no sockets), so the measured ceiling is the server's
+// admission and peel machinery rather than client socket throughput:
+//
+//	loadgen -duration 10s -out BENCH_7.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dmcs/internal/engine"
+	"dmcs/internal/graph"
+	"dmcs/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "target dmcsd base URL (empty = in-process server, direct dispatch)")
+		comms     = flag.Int("comms", 256, "in-process fixture: number of small communities")
+		commSize  = flag.Int("comm-size", 64, "in-process fixture: nodes per small community")
+		whaleSize = flag.Int("whale-size", 16384, "in-process fixture: whale component size")
+		workers   = flag.Int("workers", 0, "in-process engine workers (0 = GOMAXPROCS)")
+		slo       = flag.Duration("slo", 0, "in-process server p99 target (0 = auto: the measured uncontended p99)")
+		duration  = flag.Duration("duration", 10*time.Second, "overload phase length")
+		calib     = flag.Duration("calibrate", 2*time.Second, "calibration phase length")
+		overload  = flag.Float64("overload", 4, "offered load as a multiple of measured capacity")
+		whaleFrac = flag.Float64("whale-frac", 0.2, "fraction of offered queries aimed at the whale component")
+		updEvery  = flag.Duration("update-every", 50*time.Millisecond, "interval between mutation batches (0 disables)")
+		conns     = flag.Int("conns", 512, "max outstanding open-loop requests")
+		p99Factor = flag.Float64("p99-factor", 2, "SLO verdict: admitted p99 must stay within this × the uncontended baseline p99")
+		out       = flag.String("out", "", "write the JSON report here ('' = stdout only)")
+	)
+	flag.Parse()
+
+	mix := queryMix{
+		nSmall:    *comms,
+		commSize:  *commSize,
+		whaleBase: *comms * *commSize,
+		whalePct:  int(*whaleFrac * 100),
+	}
+
+	// In-process mode builds the engine once and wraps it in two server
+	// configurations: a wide-open one for calibration (admission effectively
+	// disabled, so the probe measures the ENGINE's capacity, not a token
+	// bucket's opinion of it), then the real tier with buckets and SLO tuned
+	// from what calibration measured — the same self-tuning a deployment
+	// would do from a staging run.
+	var eng *engine.Engine
+	var call caller
+	var tieredClose func()
+	if *addr == "" {
+		g := fixtureGraph(*comms, *commSize, *whaleSize)
+		eng = engine.New(g, engine.Options{Workers: *workers, StaleRetention: 8})
+		calSrv := server.New(eng, server.Config{
+			SampleInterval: -1, // no overload sampler: calibration stays healthy
+			CheapRate:      1e12, CheapBurst: 1e12,
+			ExpensiveRate: 1e12, ExpensiveBurst: 1e12,
+		})
+		call = &directCaller{h: calSrv}
+		tieredClose = calSrv.Close
+		fmt.Printf("loadgen: in-process serving tier (%d nodes, %d edges, whale=%d, workers=%d)\n",
+			g.NumNodes(), g.NumEdges(), *whaleSize, eng.Workers())
+	} else {
+		call = &httpCaller{
+			base: strings.TrimRight(*addr, "/"),
+			client: &http.Client{
+				Timeout:   10 * time.Second,
+				Transport: &http.Transport{MaxIdleConnsPerHost: *conns},
+			},
+		}
+		tieredClose = func() {}
+		fmt.Printf("loadgen: targeting %s (fixture flags must describe its graph; its own admission config applies to both phases)\n", *addr)
+	}
+
+	// Overload-phase client concurrency. In-process mode runs requesters
+	// on the same cores as the engine: hundreds of outstanding goroutines
+	// turn measured latency into Go scheduler queueing, not serving-tier
+	// behavior. Enough outstanding to keep admission saturated is enough;
+	// offered load beyond that is honestly counted as dropped.
+	outstanding := *conns
+	calWorkers := 4
+	if *addr == "" {
+		if limit := 4 * eng.Workers(); outstanding > limit {
+			outstanding = limit
+		}
+		// One in-flight probe per engine worker: no admitted query ever
+		// queues, so the baseline p99 is the pure service-time tail of the
+		// mix — whale peels and post-epoch cold cache included, queue wait
+		// excluded. That is the "uncontended" reference the overload
+		// verdict compares against.
+		calWorkers = eng.Workers()
+	}
+
+	// ---- Phase 1: calibration (closed loop, same mix, updates live) ----
+	fmt.Printf("loadgen: calibrating for %s...\n", *calib)
+	calRes := runLoad(call, mix, loadOpts{
+		duration: *calib, closedWorkers: calWorkers, updEvery: *updEvery,
+	})
+	if calRes.admitted == 0 {
+		fatalf("calibration admitted zero queries — server unreachable or shedding at idle")
+	}
+	capacityQPS := float64(calRes.admitted) / calib.Seconds()
+	baselineP99 := percentile(calRes.latencies, 99)
+	fmt.Printf("loadgen: capacity ≈ %.0f q/s, uncontended baseline p50=%s p99=%s\n",
+		capacityQPS, percentile(calRes.latencies, 50), baselineP99)
+
+	if *addr == "" {
+		// Swap in the tuned tier: cheap bucket sized to measured capacity,
+		// overload SLO anchored at the uncontended p99 so the controller
+		// degrades the moment contention starts stretching the tail.
+		tieredClose()
+		sloTarget := *slo
+		if sloTarget == 0 {
+			sloTarget = baselineP99
+		}
+		// The inflight bound is the queue-wait bound: every admitted query
+		// can wait behind at most MaxInflight-1 peels. One slot per engine
+		// worker means an admitted query NEVER waits — its latency is pure
+		// service time, so the admitted tail tracks the uncontended
+		// baseline instead of a multiple of it, and everything the engine
+		// can't start right now is shed explicitly rather than queued
+		// invisibly. The expensive bucket is sized to
+		// exactly one whale's admission cost (component size / 256) with a
+		// refill of one whale per second: a whale convoy — the worst-case
+		// queue, two multi-ms peels back to back — is structurally
+		// impossible. The sampler runs fast so degradation engages within
+		// a few peels of the tail stretching.
+		whaleCost := float64(*whaleSize) / 256
+		if whaleCost < 1 {
+			whaleCost = 1
+		}
+		srv := server.New(eng, server.Config{
+			CheapRate:      capacityQPS,
+			CheapBurst:     2 * capacityQPS,
+			ExpensiveRate:  whaleCost,
+			ExpensiveBurst: whaleCost,
+			MaxInflight:    eng.Workers(),
+			SampleInterval: 20 * time.Millisecond,
+			Overload:       server.OverloadConfig{SLO: sloTarget},
+		})
+		call = &directCaller{h: srv}
+		tieredClose = func() {
+			srv.StartDrain()
+			srv.Close()
+		}
+		fmt.Printf("loadgen: tuned tier: cheap-rate=%.0f/s slo=%s\n", capacityQPS, sloTarget)
+	}
+	defer tieredClose()
+
+	// ---- Phase 2: overload (open loop, same mix) ----
+	offered := capacityQPS * *overload
+	fmt.Printf("loadgen: offering %.0f q/s (%.1f× capacity, %d%% whales) for %s\n",
+		offered, *overload, mix.whalePct, *duration)
+	res := runLoad(call, mix, loadOpts{
+		duration: *duration, openQPS: offered, maxOutstanding: outstanding, updEvery: *updEvery,
+	})
+
+	// ---- Report ----
+	admittedP99 := percentile(res.latencies, 99)
+	budget := time.Duration(float64(baselineP99) * *p99Factor)
+	rep := report{
+		Bench:          "serving-slo-overload",
+		CapacityQPS:    round2(capacityQPS),
+		BaselineP50US:  percentile(calRes.latencies, 50).Microseconds(),
+		BaselineP99US:  baselineP99.Microseconds(),
+		OfferedQPS:     round2(offered),
+		OverloadFactor: *overload,
+		WhaleFrac:      *whaleFrac,
+		DurationS:      duration.Seconds(),
+		Offered:        res.offered,
+		Admitted:       res.admitted,
+		Stale:          res.stale,
+		Shed:           res.shed,
+		Timeout:        res.timeout,
+		Errored:        res.errored,
+		Dropped:        res.dropped,
+		ShedRate:       rate(res.shed, res.offered),
+		StaleRate:      rate(res.stale, res.admitted),
+		TimeoutRate:    rate(res.timeout, res.offered),
+		AdmittedP50US:  percentile(res.latencies, 50).Microseconds(),
+		AdmittedP95US:  percentile(res.latencies, 95).Microseconds(),
+		AdmittedP99US:  admittedP99.Microseconds(),
+		P99Factor:      *p99Factor,
+		SLOHeld:        res.admitted > 0 && admittedP99 <= budget && res.shed+res.stale > 0,
+	}
+	if stats := fetchStats(call); stats != nil {
+		rep.ServerStats = stats
+	}
+
+	fmt.Printf("loadgen: offered=%d admitted=%d (stale=%d) shed=%d timeout=%d errored=%d dropped=%d\n",
+		res.offered, res.admitted, res.stale, res.shed, res.timeout, res.errored, res.dropped)
+	fmt.Printf("loadgen: admitted p50=%s p95=%s p99=%s (budget %s = %.1f× baseline p99)\n",
+		percentile(res.latencies, 50), percentile(res.latencies, 95), admittedP99, budget, *p99Factor)
+	verdict := "HELD"
+	if !rep.SLOHeld {
+		verdict = "VIOLATED"
+	}
+	fmt.Printf("loadgen: SLO %s\n", verdict)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal report: %v", err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("loadgen: report written to %s\n", *out)
+	} else {
+		fmt.Println(string(blob))
+	}
+	if !rep.SLOHeld {
+		os.Exit(1)
+	}
+}
+
+type report struct {
+	Bench          string  `json:"bench"`
+	CapacityQPS    float64 `json:"capacity_qps"`
+	BaselineP50US  int64   `json:"baseline_p50_us"`
+	BaselineP99US  int64   `json:"baseline_p99_us"`
+	OfferedQPS     float64 `json:"offered_qps"`
+	OverloadFactor float64 `json:"overload_factor"`
+	WhaleFrac      float64 `json:"whale_frac"`
+	DurationS      float64 `json:"duration_s"`
+	Offered        int64   `json:"offered"`
+	Admitted       int64   `json:"admitted"`
+	Stale          int64   `json:"stale"`
+	Shed           int64   `json:"shed"`
+	Timeout        int64   `json:"timeout"`
+	Errored        int64   `json:"errored"`
+	Dropped        int64   `json:"dropped"`
+	ShedRate       float64 `json:"shed_rate"`
+	StaleRate      float64 `json:"stale_rate"`
+	TimeoutRate    float64 `json:"timeout_rate"`
+	AdmittedP50US  int64   `json:"admitted_p50_us"`
+	AdmittedP95US  int64   `json:"admitted_p95_us"`
+	AdmittedP99US  int64   `json:"admitted_p99_us"`
+	P99Factor      float64 `json:"p99_factor"`
+	SLOHeld        bool    `json:"slo_held"`
+	ServerStats    any     `json:"server_stats,omitempty"`
+}
+
+// caller abstracts the transport: real HTTP against a remote dmcsd, or
+// direct in-process dispatch into the handler stack.
+type caller interface {
+	do(path, body string) (status int, resp []byte, err error)
+}
+
+type httpCaller struct {
+	base   string
+	client *http.Client
+}
+
+func (c *httpCaller) do(path, body string) (int, []byte, error) {
+	var resp *http.Response
+	var err error
+	if body == "" {
+		resp, err = c.client.Get(c.base + path)
+	} else {
+		ct := "application/json"
+		if path == "/apply" {
+			ct = "text/plain"
+		}
+		resp, err = c.client.Post(c.base+path, ct, strings.NewReader(body))
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+type directCaller struct{ h http.Handler }
+
+func (c *directCaller) do(path, body string) (status int, raw []byte, err error) {
+	// A dropped-response injection aborts the "connection" by panicking
+	// with http.ErrAbortHandler; model it as a transport error.
+	defer func() {
+		if r := recover(); r != nil {
+			status, raw, err = 0, nil, fmt.Errorf("connection aborted: %v", r)
+		}
+	}()
+	method := http.MethodPost
+	if body == "" {
+		method = http.MethodGet
+	}
+	r := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	c.h.ServeHTTP(w, r)
+	return w.Code, w.Body.Bytes(), nil
+}
+
+// queryMix deterministically generates the request stream: whale
+// queries (rotating over 16 whale entry nodes) interleaved at whalePct
+// per hundred, cheap queries rotating over every node of every small
+// community (far more distinct query sets than the result cache holds,
+// so the cheap stream keeps computing instead of degenerating into
+// pure cache hits).
+type queryMix struct {
+	nSmall    int
+	commSize  int
+	whaleBase int
+	whalePct  int
+}
+
+func (m queryMix) body(i int64) string {
+	if m.whalePct > 0 && i%100 < int64(m.whalePct) {
+		return fmt.Sprintf(`{"nodes":[%d],"timeout_ms":1000}`, int64(m.whaleBase)+i%16)
+	}
+	comm := i % int64(m.nSmall)
+	off := (i / int64(m.nSmall)) % int64(m.commSize)
+	return fmt.Sprintf(`{"nodes":[%d],"timeout_ms":1000}`, comm*int64(m.commSize)+off)
+}
+
+type runResult struct {
+	offered, admitted, stale, shed, timeout, errored, dropped int64
+	latencies                                                 []time.Duration
+}
+
+func (r *runResult) record(lat time.Duration, o outcome) {
+	switch o {
+	case outAdmitted:
+		r.admitted++
+		r.latencies = append(r.latencies, lat)
+	case outStale:
+		r.admitted++
+		r.stale++
+		r.latencies = append(r.latencies, lat)
+	case outShed:
+		r.shed++
+	case outTimeout:
+		r.timeout++
+	default:
+		r.errored++
+	}
+}
+
+type loadOpts struct {
+	duration       time.Duration
+	closedWorkers  int     // > 0: closed loop with this many workers
+	openQPS        float64 // > 0: open loop at this offered rate
+	maxOutstanding int
+	updEvery       time.Duration
+}
+
+// runLoad drives one phase. Closed loop: each worker keeps exactly one
+// request in flight. Open loop: a 1ms pacer fires batches on the clock
+// regardless of completions, bounded only by maxOutstanding in flight
+// (arrivals beyond that count as dropped — the client ran out of
+// sockets; a functioning admission tier keeps this near zero because
+// refusals return fast).
+func runLoad(call caller, mix queryMix, o loadOpts) *runResult {
+	res := &runResult{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	stopUpd := make(chan struct{})
+	var updWG sync.WaitGroup
+	if o.updEvery > 0 {
+		updWG.Add(1)
+		go func() {
+			defer updWG.Done()
+			mutateLoop(call, mix, o.updEvery, stopUpd)
+		}()
+	}
+
+	if o.closedWorkers > 0 {
+		stop := time.Now().Add(o.duration)
+		var seq int64
+		for w := 0; w < o.closedWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					mu.Lock()
+					seq++
+					i := seq
+					res.offered++
+					mu.Unlock()
+					lat, oc := oneQuery(call, mix.body(i))
+					mu.Lock()
+					res.record(lat, oc)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		sem := make(chan struct{}, o.maxOutstanding)
+		// 1ms pacing batches: high offered rates cannot ride a per-request
+		// ticker.
+		tick := time.NewTicker(time.Millisecond)
+		deadline := time.Now().Add(o.duration)
+		perTick := o.openQPS / 1000
+		var carry float64
+		var i int64
+		for now := range tick.C {
+			if now.After(deadline) {
+				break
+			}
+			carry += perTick
+			n := int(carry)
+			carry -= float64(n)
+			for k := 0; k < n; k++ {
+				i++
+				body := mix.body(i)
+				res.offered++
+				select {
+				case sem <- struct{}{}:
+				default:
+					res.dropped++
+					continue
+				}
+				wg.Add(1)
+				go func(body string) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					lat, oc := oneQuery(call, body)
+					mu.Lock()
+					res.record(lat, oc)
+					mu.Unlock()
+				}(body)
+			}
+		}
+		tick.Stop()
+		wg.Wait()
+	}
+	close(stopUpd)
+	updWG.Wait()
+	return res
+}
+
+// mutateLoop toggles a chord set inside community 0 — a live update
+// stream riding along with the query load, forcing epoch churn.
+func mutateLoop(call caller, mix queryMix, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		var sb bytes.Buffer
+		op := "add"
+		if i%2 == 1 {
+			op = "del"
+		}
+		for k := 0; k < 4; k++ {
+			fmt.Fprintf(&sb, "%s %d %d\n", op, k, (k+mix.commSize/2)%mix.commSize)
+		}
+		_, _, _ = call.do("/apply", sb.String())
+	}
+}
+
+type outcome int
+
+const (
+	outAdmitted outcome = iota
+	outStale
+	outShed
+	outTimeout
+	outErrored
+)
+
+func oneQuery(call caller, body string) (time.Duration, outcome) {
+	start := time.Now()
+	status, raw, err := call.do("/query", body)
+	lat := time.Since(start)
+	if err != nil {
+		return 0, outErrored
+	}
+	switch status {
+	case http.StatusOK:
+		var qr struct {
+			Stale    bool `json:"stale"`
+			TimedOut bool `json:"timed_out"`
+		}
+		if json.Unmarshal(raw, &qr) != nil {
+			return 0, outErrored
+		}
+		switch {
+		case qr.TimedOut:
+			return lat, outTimeout
+		case qr.Stale:
+			return lat, outStale
+		default:
+			return lat, outAdmitted
+		}
+	case http.StatusTooManyRequests:
+		return lat, outShed
+	case http.StatusGatewayTimeout, http.StatusUnprocessableEntity:
+		return lat, outTimeout
+	default:
+		return lat, outErrored
+	}
+}
+
+func fetchStats(call caller) any {
+	status, raw, err := call.do("/stats", "")
+	if err != nil || status != http.StatusOK {
+		return nil
+	}
+	var v any
+	if json.Unmarshal(raw, &v) != nil {
+		return nil
+	}
+	return v
+}
+
+// fixtureGraph is the in-process serving fixture: comms ring+chord
+// communities of commSize nodes plus one whale ring of whaleSize nodes.
+func fixtureGraph(comms, commSize, whaleSize int) *graph.Graph {
+	b := graph.NewBuilder(comms*commSize + whaleSize)
+	for c := 0; c < comms; c++ {
+		base := c * commSize
+		for i := 0; i < commSize; i++ {
+			u := graph.Node(base + i)
+			b.AddEdge(u, graph.Node(base+(i+1)%commSize))
+			b.AddEdge(u, graph.Node(base+(i+7)%commSize))
+		}
+	}
+	wbase := comms * commSize
+	for i := 0; i < whaleSize; i++ {
+		u := graph.Node(wbase + i)
+		b.AddEdge(u, graph.Node(wbase+(i+1)%whaleSize))
+		b.AddEdge(u, graph.Node(wbase+(i+13)%whaleSize))
+	}
+	return b.Build()
+}
+
+func percentile(lat []time.Duration, p int) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return s[idx]
+}
+
+func rate(n, of int64) float64 {
+	if of == 0 {
+		return 0
+	}
+	return round2(float64(n) / float64(of))
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

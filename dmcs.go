@@ -255,7 +255,19 @@ var (
 	// ErrNodeOutOfRange is returned by the Engine for query nodes outside
 	// the graph.
 	ErrNodeOutOfRange = engine.ErrNodeOutOfRange
+	// ErrQueueTimeout is returned by the Engine when a query's timeout
+	// budget expired while it was still queued for a worker slot: the
+	// search never started, so there is no partial result and nothing is
+	// cached — distinct from a peel-timeout, which returns a best-so-far
+	// community with Result.TimedOut set.
+	ErrQueueTimeout = engine.ErrQueueTimeout
 )
+
+// EnginePanicError is returned by the Engine for a query whose search
+// panicked: the panic is recovered at the engine boundary (per-query
+// isolation) so a poisoned query costs one failed response, never the
+// process.
+type EnginePanicError = engine.PanicError
 
 // NewBuilder creates a Builder for a graph with n nodes (AddEdge may grow
 // the node count implicitly).

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"dmcs/internal/faultinject"
 	"dmcs/internal/graph"
 )
 
@@ -98,6 +99,14 @@ type ApplyStats struct {
 func (e *Engine) Apply(b Batch) ApplyStats {
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
+	// The slow-Apply injection point: chaos profiles inject latency here
+	// to stall mutation while queries keep draining on the old snapshot
+	// (writers hold applyMu, so the stall also backs up later Applies —
+	// exactly the failure being modeled). Error directives are
+	// meaningless for Apply — it has no error return — and deliberately
+	// dropped; an injected panic propagates to the caller with applyMu
+	// released by the defer above.
+	_ = faultinject.Fire(faultinject.EngineApply)
 	cur := e.snap.Load()
 	if len(b.ops) == 0 {
 		return ApplyStats{Epoch: cur.epoch, Components: len(cur.comps)}
@@ -116,7 +125,13 @@ func (e *Engine) Apply(b Batch) ApplyStats {
 	// after the swap anyway; clearing frees their memory instead of
 	// waiting for LRU churn). Clearing after the Store would race with
 	// fast post-swap queries and wipe their freshly cached, valid results.
-	e.cache.clear()
+	// With StaleRetention > 0 the eager clear is skipped: superseded
+	// epochs' entries stay resident for LookupStale's degraded-mode
+	// reads, bounded by the LRU, and remain unreachable on the normal
+	// path regardless.
+	if e.staleRetention <= 0 {
+		e.cache.clear()
+	}
 	e.snap.Store(next)
 	return ApplyStats{
 		Epoch:          next.epoch,

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dmcs/internal/dmcs"
+	"dmcs/internal/faultinject"
 	"dmcs/internal/graph"
 )
 
@@ -158,3 +159,44 @@ func BenchmarkEngineSmallQueriesCacheHit(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkCacheHitInject is BenchmarkEngineSmallQueriesCacheHit with
+// the fault-injection registry in a controlled state: the cache-hit
+// path passes the faultinject.EngineSearch point on every query, and
+// the registry's zero-cost-when-disabled contract says neither the
+// disarmed state nor an armed-elsewhere state may add an allocation (CI
+// gates both at 0 allocs/op and their ns/op ratio; see ci.yml).
+func benchmarkCacheHitInject(b *testing.B, arm bool) {
+	faultinject.Reset()
+	if arm {
+		// Arm a DIFFERENT point: the hit path now pays the armed-registry
+		// slow branch (one extra pointer load) but injects nothing.
+		faultinject.Set(faultinject.ServerRespond, faultinject.Injection{Drop: true})
+		b.Cleanup(faultinject.Reset)
+	}
+	e := New(smallQueryEngineGraph(benchComponents, benchCompSize), Options{Workers: 1})
+	ctx := context.Background()
+	nodes := make([]graph.Node, 1)
+	for c := 0; c < benchComponents; c++ {
+		nodes[0] = graph.Node(c * benchCompSize)
+		if _, err := e.Search(ctx, Query{Nodes: nodes}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[0] = graph.Node((i % benchComponents) * benchCompSize)
+		if _, err := e.Search(ctx, Query{Nodes: nodes}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCacheHitInjectOff is the production state: registry
+// fully disarmed.
+func BenchmarkEngineCacheHitInjectOff(b *testing.B) { benchmarkCacheHitInject(b, false) }
+
+// BenchmarkEngineCacheHitInjectArmed is the chaos-elsewhere state: an
+// injection armed on an unrelated point while this path serves hits.
+func BenchmarkEngineCacheHitInjectArmed(b *testing.B) { benchmarkCacheHitInject(b, true) }

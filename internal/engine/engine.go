@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"dmcs/internal/dmcs"
+	"dmcs/internal/faultinject"
 	"dmcs/internal/graph"
 )
 
@@ -82,6 +83,15 @@ type Options struct {
 	// DefaultTimeout is applied to queries whose own Options.Timeout is
 	// zero. 0 leaves such queries unbounded.
 	DefaultTimeout time.Duration
+	// StaleRetention, when > 0, disables Apply's eager result-cache
+	// clear so entries computed against superseded epochs stay resident
+	// (bounded by the LRU as usual) and remain reachable through
+	// LookupStale for degraded-mode serving; the value bounds how many
+	// epochs back LookupStale callers may usefully probe. Epoch-prefixed
+	// keys keep old entries unservable on the normal query path either
+	// way — retention changes memory behavior and the stale-read API,
+	// never a fresh query's answer. 0 (the default) clears eagerly.
+	StaleRetention int
 }
 
 // Query is one community-search request.
@@ -126,6 +136,7 @@ type Engine struct {
 	stripeCtr      atomic.Uint32 // round-robins stats stripes across scratch bundles
 	workers        int
 	defaultTimeout time.Duration
+	staleRetention int
 }
 
 // workerScratch is the reusable per-query state one serving goroutine
@@ -176,6 +187,7 @@ func New(g *graph.Graph, opts Options) *Engine {
 		sem:            make(chan struct{}, w),
 		workers:        w,
 		defaultTimeout: opts.DefaultTimeout,
+		staleRetention: opts.StaleRetention,
 	}
 	e.scratch.New = func() any {
 		return &workerScratch{
@@ -213,6 +225,15 @@ func (e *Engine) Stats() Stats { return e.stats.snapshot(e.cache.len()) }
 // never a partial result. Cached results are shared across callers and
 // must not be modified.
 func (e *Engine) Search(ctx context.Context, q Query) (*dmcs.Result, error) {
+	// The faultinject.EngineSearch point sits before everything — ON the
+	// cache-hit path, deliberately: its disarmed cost (one atomic load,
+	// zero allocations) is what the registry's zero-cost contract gates,
+	// and when armed it lets chaos suites fail or stall queries before
+	// admission.
+	if err := faultinject.Fire(faultinject.EngineSearch); err != nil {
+		e.stats.recordError(int(e.stripeCtr.Add(1) & uint32(e.stats.numStripes()-1)))
+		return nil, err
+	}
 	// An already-cancelled context must fail deterministically — the
 	// cache-hit path never polls the context, and the flight wait selects
 	// randomly when both channels are ready. The error is recorded on a
@@ -291,20 +312,31 @@ func (e *Engine) searchInline(ctx context.Context, snap *Snapshot, v dmcs.Varian
 // shared by the cache-disabled path and the joiner's own-clock
 // fallback, so the two can never drift apart.
 func (e *Engine) peelOwn(ctx context.Context, snap *Snapshot, id int32, v dmcs.Variant, opts dmcs.Options, ws *workerScratch) (*dmcs.Result, error) {
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
+	// The slot wait runs under the query's own deadline budget: a budget
+	// that expires while QUEUED fails with ErrQueueTimeout — no peel ran,
+	// so there is no partial and nothing cacheable — and a contended wait
+	// that succeeds hands the peel only the REMAINING budget, so queue
+	// wait plus peel never exceed the configured Timeout.
+	remaining, aerr := e.acquireSlot(opts.Timeout, ctx.Done())
+	if aerr != nil {
+		if aerr == errSlotCancelled {
+			aerr = ctx.Err()
+		} else {
+			e.stats.recordTimedOut(ws.stripe)
+		}
 		e.stats.recordError(ws.stripe)
-		return nil, ctx.Err()
+		return nil, aerr
 	}
+	opts.Timeout = remaining
 	defer func() { <-e.sem }()
 	opts.Cancel = ctx.Done()
 	start := time.Now()
 	// The component's compact sub-CSR goes straight into the search:
 	// per-query work touches only component-sized packed arrays plus the
 	// arena's recycled scratch — never whole-graph-sized state and never
-	// the map-backed Graph.
-	res, err := dmcs.SearchSub(ws.arena, snap.SubCSR(id), ws.nodes, snap.comps[id], v, opts)
+	// the map-backed Graph. safeSearch confines a panicking peel to this
+	// query and discards the poisoned arena.
+	res, err := e.safeSearch(ws, snap.SubCSR(id), ws.nodes, snap.comps[id], v, opts)
 	if err != nil {
 		e.stats.recordSearch(ws.stripe, time.Since(start), false)
 		e.stats.recordError(ws.stripe)
@@ -318,6 +350,12 @@ func (e *Engine) peelOwn(ctx context.Context, snap *Snapshot, id int32, v dmcs.V
 		e.stats.recordSearch(ws.stripe, time.Since(start), false)
 		e.stats.recordError(ws.stripe)
 		return nil, ctx.Err()
+	}
+	if res.TimedOut {
+		// Peel-timeout: a genuine deadline expiry mid-peel. The partial
+		// is returned (documented best-so-far contract) but counted, and
+		// callers never cache it.
+		e.stats.recordTimedOut(ws.stripe)
 	}
 	e.stats.recordSearch(ws.stripe, time.Since(start), true)
 	e.stats.recordServed(ws.stripe, false)

@@ -102,6 +102,11 @@ func (e *Engine) searchShared(ctx context.Context, snap *Snapshot, id int32, v d
 		e.putScratch(ws) // a parked waiter must not pin an arena
 		res, err := e.awaitFlight(ctx, sh, f)
 		switch {
+		case err == ErrQueueTimeout:
+			// The flight's budget ran out on the LEADER's queue clock; a
+			// joiner that arrived later may have budget left, so it falls
+			// back to its own clock, exactly like the TimedOut case below.
+			return e.searchOwnClock(ctx, snap, id, v, opts, q)
 		case err != nil:
 			e.stats.recordError(stripe)
 			return nil, err
@@ -128,6 +133,11 @@ func (e *Engine) searchShared(ctx context.Context, snap *Snapshot, id int32, v d
 	go e.computeFlight(f, sh, fk, baseLen, snap, id, nodes, v, opts)
 	res, err := e.awaitFlight(ctx, sh, f)
 	if err != nil {
+		// A flight queue-timeout IS this leader's queue-timeout: the
+		// flight's clock started when the leader registered it.
+		if err == ErrQueueTimeout {
+			e.stats.recordTimedOut(stripe)
+		}
 		e.stats.recordError(stripe)
 		return nil, err
 	}
@@ -187,12 +197,17 @@ func (e *Engine) searchOwnClock(ctx context.Context, snap *Snapshot, id int32, v
 func (e *Engine) computeFlight(f *flight, sh *cacheShard, fk string, baseLen int, snap *Snapshot, id int32, nodes []graph.Node, v dmcs.Variant, opts dmcs.Options) {
 	var res *dmcs.Result
 	var err error
-	select {
-	case e.sem <- struct{}{}:
+	remaining, aerr := e.acquireSlot(opts.Timeout, f.cancel)
+	switch aerr {
+	case nil:
+		opts.Timeout = remaining
 		ws := e.getScratch()
 		opts.Cancel = f.cancel
 		start := time.Now()
-		res, err = dmcs.SearchSub(ws.arena, snap.SubCSR(id), nodes, snap.comps[id], v, opts)
+		// safeSearch confines a panicking peel to this flight: every
+		// waiter gets the *PanicError, the poisoned arena is discarded,
+		// and the engine keeps serving.
+		res, err = e.safeSearch(ws, snap.SubCSR(id), nodes, snap.comps[id], v, opts)
 		// An abandoned peel is one that unwound early because the last
 		// waiter left (a closed Cancel surfaces as TimedOut). It still
 		// counts as a computed search — the work happened — but its
@@ -204,15 +219,23 @@ func (e *Engine) computeFlight(f *flight, sh *cacheShard, fk string, baseLen int
 		// and it is still never cached.)
 		abandoned := err == nil && res.TimedOut && isClosed(f.cancel)
 		e.stats.recordSearch(ws.stripe, time.Since(start), err == nil && !abandoned)
+		if err == nil && res.TimedOut && !abandoned {
+			e.stats.recordTimedOut(ws.stripe)
+		}
 		e.putScratch(ws)
 		<-e.sem
 		if abandoned {
 			res, err = nil, context.Canceled
 		}
-	case <-f.cancel:
+	case errSlotCancelled:
 		// Abandoned before a worker slot freed up: nobody is waiting and
 		// no peel ran, so there is nothing worth computing or counting.
 		err = context.Canceled
+	default:
+		// The flight's budget expired while queued — no peel ran, nothing
+		// is cacheable, and every waiter sees ErrQueueTimeout (joiners
+		// fall back to their own clocks; see searchShared).
+		err = aerr
 	}
 	sh.mu.Lock()
 	// Guard against having been superseded: if every waiter left and a

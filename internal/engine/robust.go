@@ -1,0 +1,183 @@
+package engine
+
+// Robustness plumbing for the serving tier: queue-timeout vs
+// peel-timeout semantics, per-query panic isolation, and the stale-read
+// API degraded-mode serving is built on. cmd/dmcsd composes these —
+// admission control and overload state live above the engine (see
+// internal/server); what lives HERE is everything that must hold even
+// for direct library callers:
+//
+//   - A query whose deadline expires while QUEUED (waiting for a worker
+//     slot, no peel started) fails with ErrQueueTimeout — distinct from
+//     a peel-timeout, which returns a best-so-far partial with
+//     Result.TimedOut set. Queue-timeouts produce no result and are
+//     never cached, extending the "partials are never cached" invariant
+//     to work that never started.
+//   - A panic inside one query's peel (a poisoned query, or an injected
+//     chaos panic) is confined to that query: the caller gets a
+//     *PanicError, the worker slot is released, the possibly-corrupt
+//     arena is discarded, and the engine keeps serving.
+//   - LookupStale answers a query from a superseded epoch's cached
+//     result when the caller (the overload controller, in practice)
+//     decides a stale answer beats no answer.
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/faultinject"
+	"dmcs/internal/graph"
+)
+
+// ErrQueueTimeout is returned by Search/SearchBatch when a query's
+// Options.Timeout budget expired before a worker slot freed up: the
+// search never started, so there is no partial result — unlike a
+// peel-timeout, which returns the best community found so far with
+// Result.TimedOut set. Queue-timeouts count toward both Stats.TimedOut
+// and Stats.Errors, and nothing about the query is ever cached.
+var ErrQueueTimeout = errors.New("engine: query timed out while queued (search never started)")
+
+// errSlotCancelled is acquireSlot's "the cancel channel fired first"
+// outcome; callers map it onto their own cancellation error.
+var errSlotCancelled = errors.New("engine: slot wait cancelled")
+
+// PanicError is what a query whose peel panicked returns: the panic is
+// recovered at the engine boundary so one poisoned query costs one
+// failed response, never the process. The possibly-corrupt search arena
+// is discarded at the same point, so a recovered panic can never leak
+// mid-peel scratch state into a later query.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: query panicked: %v", e.Value)
+}
+
+// acquireSlot takes a worker-pool slot under the query's remaining
+// deadline budget. The uncontended path is a plain non-blocking channel
+// send — no timer, no time.Now. When the pool is saturated it waits,
+// racing the budget (timeout > 0) and the caller's cancel channel; on a
+// successful contended acquire it returns the budget minus the queue
+// wait, so queue wait and peel together never exceed the original
+// timeout. A budget that runs out while queued — or that the wait fully
+// consumed — yields ErrQueueTimeout with the slot released.
+func (e *Engine) acquireSlot(timeout time.Duration, cancel <-chan struct{}) (time.Duration, error) {
+	select {
+	case e.sem <- struct{}{}:
+		return timeout, nil
+	default:
+	}
+	var queueC <-chan time.Time
+	enq := time.Now()
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		queueC = t.C
+	}
+	select {
+	case e.sem <- struct{}{}:
+		if timeout > 0 {
+			timeout -= time.Since(enq)
+			if timeout <= 0 {
+				<-e.sem
+				return 0, ErrQueueTimeout
+			}
+		}
+		return timeout, nil
+	case <-cancel:
+		return 0, errSlotCancelled
+	case <-queueC:
+		return 0, ErrQueueTimeout
+	}
+}
+
+// safeSearch runs one peel with per-query panic isolation. It is the
+// single funnel every engine-executed search goes through (solo,
+// flight, and fused paths alike), so the isolation and the
+// fault-injection point cannot be bypassed. On a recovered panic the
+// bundle's arena — whose epoch tags and scratch slots may be mid-peel —
+// is replaced with a fresh one before the bundle can return to the
+// pool, and the caller gets a *PanicError.
+//
+// The faultinject.EnginePeel point fires here: injected latency models
+// a slow peel, an injected error a failing one, an injected panic a
+// poisoned query exercising the recovery path end to end.
+func (e *Engine) safeSearch(ws *workerScratch, sub *graph.SubCSR, q, comp []graph.Node, v dmcs.Variant, opts dmcs.Options) (res *dmcs.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ws.arena = dmcs.NewArena()
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.Fire(faultinject.EnginePeel); err != nil {
+		return nil, err
+	}
+	return dmcs.SearchSub(ws.arena, sub, q, comp, v, opts)
+}
+
+// NoteRejected records one admission rejection made by the serving tier
+// above the engine (a malformed or over-budget request refused before
+// any search work). The count lands on a rotating stats stripe — the
+// same pattern the pre-admission error path uses — so a rejection storm
+// spreads over the striped counters instead of hammering one cache
+// line.
+func (e *Engine) NoteRejected() {
+	e.stats.recordRejected(int(e.stripeCtr.Add(1) & uint32(e.stats.numStripes()-1)))
+}
+
+// NoteShed records one load-shed query (bounded-queue overflow,
+// token-bucket exhaustion, or overload-state shedding in the tier
+// above). Same striping as NoteRejected.
+func (e *Engine) NoteShed() {
+	e.stats.recordShed(int(e.stripeCtr.Add(1) & uint32(e.stats.numStripes()-1)))
+}
+
+// LookupStale probes the result cache for q's answer at the current or
+// a recent superseded epoch, newest first, going at most maxBehind
+// versions back. It does no search work: a hit returns the cached
+// result and the epoch it was computed against; a miss returns ok ==
+// false and the caller decides what failing gracefully means. A hit at
+// the current epoch counts as a cache hit; a hit at an older epoch
+// counts as Stats.StaleServed — the caller MUST surface such results as
+// stale (dmcsd sets "stale": true), because the community may not match
+// the current graph.
+//
+// Superseded epochs' entries only survive Apply when the engine was
+// built with Options.StaleRetention > 0; otherwise Apply clears them
+// eagerly and LookupStale degenerates to a current-epoch probe.
+func (e *Engine) LookupStale(q Query, maxBehind int) (*dmcs.Result, uint64, bool) {
+	if e.cache == nil {
+		return nil, 0, false
+	}
+	snap := e.snap.Load()
+	ws := e.getScratch()
+	defer e.putScratch(ws)
+	ws.nodes = normalizeNodesInto(ws.nodes[:0], q.Nodes)
+	opts := canonicalOptions(q.Opts)
+	cur := snap.epoch
+	lo := uint64(0)
+	if mb := uint64(max(0, maxBehind)); mb < cur {
+		lo = cur - mb
+	}
+	for ep := cur; ; ep-- {
+		ws.key = appendCacheKey(ws.key[:0], ep, ws.nodes, q.Variant, opts)
+		if res, ok := e.cache.get(hashKey(ws.key), ws.key); ok {
+			if ep == cur {
+				e.stats.recordHit(ws.stripe)
+			} else {
+				e.stats.recordStaleServed(ws.stripe)
+			}
+			return res, ep, true
+		}
+		if ep == lo {
+			return nil, 0, false
+		}
+	}
+}

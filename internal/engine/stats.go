@@ -48,12 +48,37 @@ type Stats struct {
 	// fused leader's peel count toward Collapsed, like singleflight
 	// joins.
 	Fused uint64
+	// TimedOut counts queries whose deadline fired: peel-timeouts (the
+	// search returned a best-so-far partial with Result.TimedOut set) and
+	// queue-timeouts (the budget expired before a worker slot freed up;
+	// the caller got ErrQueueTimeout and no work was done). The two are
+	// distinguishable at the call site by the error; here they share one
+	// counter because both mean "the deadline, not the answer, ended this
+	// query". Queue-timeouts also count toward Errors.
+	TimedOut uint64
+	// Rejected counts queries the serving tier refused before doing any
+	// search work — failed admission checks other than load shedding
+	// (malformed requests, budgets too small to cover the estimated
+	// peel). Recorded via NoteRejected by the tier above the engine; not
+	// included in Queries.
+	Rejected uint64
+	// Shed counts queries refused specifically to protect the service
+	// under overload (bounded-queue overflow, token-bucket exhaustion,
+	// overload-state shedding). Recorded via NoteShed; not included in
+	// Queries.
+	Shed uint64
+	// StaleServed counts queries answered from a superseded epoch's
+	// cached result through LookupStale — the degraded-mode answers the
+	// serving tier hands out instead of failing under pressure. Included
+	// in Queries (the query was answered), not in CacheHits (the answer
+	// was not current).
+	StaleServed uint64
 	// CacheEntries is the current number of cached results.
 	CacheEntries int
-	// P50 and P95 are latency percentiles over a sliding window of the
-	// most recent executed (non-cache-hit) searches; zero until the first
-	// search completes.
-	P50, P95 time.Duration
+	// P50, P95, and P99 are latency percentiles over a sliding window of
+	// the most recent executed (non-cache-hit) searches; zero until the
+	// first search completes.
+	P50, P95, P99 time.Duration
 }
 
 // statsCollector accumulates counters across cache-line-padded stripes.
@@ -92,13 +117,17 @@ type latSample struct {
 // the atomics keeps two stripes' counters from sharing a cache line
 // (the slice backing array lays stripes out contiguously).
 type statStripe struct {
-	queries   atomic.Uint64
-	cacheHits atomic.Uint64
-	collapsed atomic.Uint64
-	errors    atomic.Uint64
-	computed  atomic.Uint64
-	fused     atomic.Uint64
-	_         [80]byte // pad the 48 counter bytes out to two cache lines
+	queries     atomic.Uint64
+	cacheHits   atomic.Uint64
+	collapsed   atomic.Uint64
+	errors      atomic.Uint64
+	computed    atomic.Uint64
+	fused       atomic.Uint64
+	timedOut    atomic.Uint64
+	rejected    atomic.Uint64
+	shed        atomic.Uint64
+	staleServed atomic.Uint64
+	_           [48]byte // pad the 80 counter bytes out to two cache lines
 
 	//dmcs:striped
 	mu      sync.Mutex
@@ -161,6 +190,36 @@ func (s *statsCollector) recordError(stripe int) {
 	st.errors.Add(1)
 }
 
+// recordTimedOut counts one deadline-ended query (queue- or
+// peel-timeout). It is an add-on counter: the caller also records the
+// query's outcome (recordServed for a partial, recordError for a
+// queue-timeout).
+//
+//dmcs:hotpath
+func (s *statsCollector) recordTimedOut(stripe int) {
+	s.stripes[stripe].timedOut.Add(1)
+}
+
+// recordRejected counts one admission rejection by the serving tier.
+func (s *statsCollector) recordRejected(stripe int) {
+	s.stripes[stripe].rejected.Add(1)
+}
+
+// recordShed counts one load-shed query.
+func (s *statsCollector) recordShed(stripe int) {
+	s.stripes[stripe].shed.Add(1)
+}
+
+// recordStaleServed counts one query answered with a superseded epoch's
+// cached result.
+//
+//dmcs:hotpath
+func (s *statsCollector) recordStaleServed(stripe int) {
+	st := &s.stripes[stripe]
+	st.queries.Add(1)
+	st.staleServed.Add(1)
+}
+
 // recordSearch counts one executed peel and, when the peel ran to its
 // natural end (complete), records its latency in the stripe's ring.
 // Errored or abandoned peels still count toward Computed — the work was
@@ -201,6 +260,10 @@ func (s *statsCollector) snapshot(cacheEntries int) Stats {
 		st.Errors += sp.errors.Load()
 		st.Computed += sp.computed.Load()
 		st.Fused += sp.fused.Load()
+		st.TimedOut += sp.timedOut.Load()
+		st.Rejected += sp.rejected.Load()
+		st.Shed += sp.shed.Load()
+		st.StaleServed += sp.staleServed.Load()
 		sp.mu.Lock()
 		samples = append(samples, sp.ring[:sp.ringLen]...)
 		sp.mu.Unlock()
@@ -218,6 +281,7 @@ func (s *statsCollector) snapshot(cacheEntries int) Stats {
 	slices.Sort(lat)
 	st.P50 = lat[ceilRank(len(lat), 50)]
 	st.P95 = lat[ceilRank(len(lat), 95)]
+	st.P99 = lat[ceilRank(len(lat), 99)]
 	return st
 }
 

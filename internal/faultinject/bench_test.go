@@ -1,0 +1,33 @@
+package faultinject
+
+import "testing"
+
+// BenchmarkFireDisarmed is the registry's whole reason to exist in this
+// form: a disarmed injection point must be one atomic load — no
+// allocation, no lock, no branch into the slow path. CI gates it at
+// 0 allocs/op alongside the engine cache-hit gates.
+func BenchmarkFireDisarmed(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Fire(EngineSearch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFireArmedOtherPoint measures the cost the registry's armed
+// state imposes on points that are NOT themselves armed: one atomic
+// load plus one pointer-slot load, still allocation-free. This is what
+// the engine's cache-hit path pays while a chaos profile is injecting
+// faults elsewhere.
+func BenchmarkFireArmedOtherPoint(b *testing.B) {
+	defer Reset()
+	Set(ServerRespond, Injection{Drop: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Fire(EngineSearch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	Reset()
+	for p := Point(0); p < numPoints; p++ {
+		if err := Fire(p); err != nil {
+			t.Fatalf("disarmed Fire(%v) = %v, want nil", p, err)
+		}
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	defer Reset()
+	want := errors.New("boom")
+	Set(EnginePeel, Injection{Err: want})
+	if err := Fire(EnginePeel); !errors.Is(err, want) {
+		t.Fatalf("Fire = %v, want %v", err, want)
+	}
+	// Other points stay unarmed even while the registry is armed.
+	if err := Fire(EngineSearch); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	Clear(EnginePeel)
+	if err := Fire(EnginePeel); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+}
+
+func TestArmedWithoutDirectiveFailsLoudly(t *testing.T) {
+	defer Reset()
+	Set(ServerDecode, Injection{})
+	if err := Fire(ServerDecode); !errors.Is(err, ErrInjected) {
+		t.Fatalf("zero Injection Fire = %v, want ErrInjected", err)
+	}
+}
+
+func TestDropInjection(t *testing.T) {
+	defer Reset()
+	Set(ServerRespond, Injection{Drop: true})
+	if err := Fire(ServerRespond); !errors.Is(err, ErrDropped) {
+		t.Fatalf("Fire = %v, want ErrDropped", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	defer Reset()
+	Set(EnginePeel, Injection{Panic: "poisoned"})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected injected panic")
+		}
+	}()
+	_ = Fire(EnginePeel)
+}
+
+func TestLatencyInjection(t *testing.T) {
+	defer Reset()
+	Set(EngineApply, Injection{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Fire(EngineApply); err != nil {
+		t.Fatalf("latency-only injection returned error %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("injected latency not observed: %v", d)
+	}
+}
+
+// A latency-only injection must not fail the call: Err/Panic/Drop unset
+// means "slow, then proceed".
+func TestLatencyOnlyDoesNotError(t *testing.T) {
+	defer Reset()
+	Set(EnginePeel, Injection{Latency: time.Microsecond})
+	if err := Fire(EnginePeel); err != nil {
+		t.Fatalf("latency-only Fire = %v, want nil", err)
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	defer Reset()
+	Set(EnginePeel, Injection{Err: ErrInjected, Every: 3})
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if Fire(EnginePeel) != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("Every=3 over 9 passes fired %d times, want 3", fails)
+	}
+	if Hits(EnginePeel) != 9 || Fired(EnginePeel) != 3 {
+		t.Fatalf("Hits=%d Fired=%d, want 9/3", Hits(EnginePeel), Fired(EnginePeel))
+	}
+}
+
+func TestLimitDisarmsAfterN(t *testing.T) {
+	defer Reset()
+	Set(EnginePeel, Injection{Err: ErrInjected, Limit: 2})
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if Fire(EnginePeel) != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("Limit=2 fired %d times, want 2", fails)
+	}
+	if Fired(EnginePeel) != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired(EnginePeel))
+	}
+}
+
+// Limit must hold exactly under concurrent firing — the chaos suites
+// inject "exactly K panics" into a storm and count on it.
+func TestLimitConcurrent(t *testing.T) {
+	defer Reset()
+	Set(EnginePeel, Injection{Err: ErrInjected, Limit: 7})
+	var fails sync.Map
+	var total atomic64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if Fire(EnginePeel) != nil {
+					n++
+				}
+			}
+			fails.Store(w, n)
+			total.add(int64(n))
+		}(w)
+	}
+	wg.Wait()
+	if got := total.load(); got != 7 {
+		t.Fatalf("concurrent Limit=7 fired %d times", got)
+	}
+}
+
+func TestSetReplaces(t *testing.T) {
+	defer Reset()
+	Set(EnginePeel, Injection{Err: errors.New("old")})
+	Set(EnginePeel, Injection{Drop: true})
+	if err := Fire(EnginePeel); !errors.Is(err, ErrDropped) {
+		t.Fatalf("replaced injection Fire = %v, want ErrDropped", err)
+	}
+	Reset()
+	if Armed() {
+		t.Fatal("Armed() true after Reset")
+	}
+}
+
+func TestPointNames(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Point(0); p < numPoints; p++ {
+		name := p.String()
+		if name == "unknown" || seen[name] {
+			t.Fatalf("point %d has bad/duplicate name %q", p, name)
+		}
+		seen[name] = true
+	}
+}
+
+// atomic64 is a tiny wrapper so the test file needs no extra import
+// gymnastics.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission control. Two mechanisms stack in front of every computed
+// query:
+//
+//  1. Cost-aware token buckets, one per cost class. A query's cost is
+//     estimated from the size of the component it peels — the dominant
+//     term of DMCS peel time — so a whale query drains its bucket
+//     proportionally to the work it is about to buy, and the cheap
+//     class's bucket is untouched by whales entirely. Refusal computes
+//     an honest Retry-After from the refill rate.
+//  2. A bounded inflight slot table shared by all classes — the
+//     admission queue whose fullness feeds the overload controller.
+//     When it is full the server sheds instead of buffering: queueing
+//     past capacity only converts overload into latency.
+//
+// Both are deliberately simple enough to reason about under -race:
+// buckets take one short mutex per computed admission (cache hits and
+// stale serves bypass admission entirely), and the slot table is a
+// buffered channel.
+
+// queryClass buckets queries by estimated cost.
+type queryClass int
+
+const (
+	classCheap queryClass = iota
+	classExpensive
+	numClasses
+)
+
+func (c queryClass) String() string {
+	if c == classExpensive {
+		return "expensive"
+	}
+	return "cheap"
+}
+
+// tokenBucket is a standard leaky bucket: capacity burst, refill rate
+// tokens/second, costs taken atomically under a mutex. take never
+// blocks — admission either passes now or sheds with a Retry-After.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	rate   float64 // tokens per second
+	burst  float64
+}
+
+func newTokenBucket(rate, burst float64, now time.Time) *tokenBucket {
+	return &tokenBucket{tokens: burst, last: now, rate: rate, burst: burst}
+}
+
+// take attempts to spend cost tokens. On refusal it returns how long
+// the caller should wait for the bucket to refill enough — the
+// Retry-After hint.
+func (b *tokenBucket) take(cost float64, now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += b.rate * dt.Seconds()
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, 0
+	}
+	deficit := cost - b.tokens
+	if b.rate <= 0 {
+		return false, time.Second
+	}
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// costOf converts a component size into bucket tokens. Cost grows
+// linearly with the component (peel work is near-linear in practice
+// post-PR3), with a floor of one token so even trivial queries pay
+// admission.
+func costOf(compSize int) float64 {
+	const nodesPerToken = 256
+	c := float64(compSize) / nodesPerToken
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// latEstimator tracks an exponentially weighted moving average of
+// completed peel latency per class — the basis for the pre-work budget
+// check ("can the remaining deadline plausibly cover this peel?").
+// Seeded lazily by the first completion; until then estimate reports 0
+// and the budget check admits optimistically.
+type latEstimator struct {
+	mu  sync.Mutex
+	avg time.Duration
+}
+
+func (l *latEstimator) observe(d time.Duration) {
+	l.mu.Lock()
+	if l.avg == 0 {
+		l.avg = d
+	} else {
+		l.avg = (l.avg*7 + d) / 8
+	}
+	l.mu.Unlock()
+}
+
+func (l *latEstimator) estimate() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.avg
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/engine"
+	"dmcs/internal/faultinject"
+	"dmcs/internal/graph"
+)
+
+// The chaos suite: hammer the full serving tier over real HTTP while a
+// mutator toggles the graph between two known versions and a chaos
+// goroutine arms and clears every injection point (latency, errors,
+// panics, slow Apply, dropped responses). Run under -race in CI.
+//
+// The invariants checked on every single response:
+//
+//   - No hybrid-epoch results. The mutator only ever toggles a fixed
+//     chord set inside community 0, so at every instant the graph is in
+//     exactly one of two versions (epoch parity picks which — a no-op
+//     toggle never bumps the epoch). Every complete answer for the
+//     sentinel query must be bit-identical (members and score) to the
+//     serial reference answer of ONE version; a result computed partly
+//     against each would match neither.
+//   - Stale answers are exact for the epoch they claim: parity of the
+//     reported epoch selects the reference answer.
+//   - Refusals are always explicit, well-formed JSON with the documented
+//     codes; injected faults surface as 500s, never as wrong answers.
+//   - Shutdown completes: after the storm, drain + close finish under a
+//     watchdog and a final serial-vs-engine comparison proves the
+//     surviving state (arenas, cache, snapshot) is uncorrupted.
+func TestChaosServingStorm(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	// Two graph versions: A = the plain fixture, B = A plus extra chords
+	// inside community 0. Both built independently for serial reference
+	// answers.
+	buildVersion := func(withChords bool) *graph.Graph {
+		b := graph.NewBuilder(tgSmallComms*tgSmallSize + tgWhaleSize)
+		for c := 0; c < tgSmallComms; c++ {
+			base := c * tgSmallSize
+			for i := 0; i < tgSmallSize; i++ {
+				u := graph.Node(base + i)
+				b.AddEdge(u, graph.Node(base+(i+1)%tgSmallSize))
+				b.AddEdge(u, graph.Node(base+(i+3)%tgSmallSize))
+			}
+		}
+		wbase := tgSmallComms * tgSmallSize
+		for i := 0; i < tgWhaleSize; i++ {
+			u := graph.Node(wbase + i)
+			b.AddEdge(u, graph.Node(wbase+(i+1)%tgWhaleSize))
+			b.AddEdge(u, graph.Node(wbase+(i+7)%tgWhaleSize))
+		}
+		if withChords {
+			for _, e := range chaosChords() {
+				b.AddEdge(e[0], e[1])
+			}
+		}
+		return b.Build()
+	}
+	gA, gB := buildVersion(false), buildVersion(true)
+	opts := optsFPA()
+	sentinel := []graph.Node{0}
+	ansA, err := dmcs.Search(gA, sentinel, dmcs.VariantFPA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansB, err := dmcs.Search(gB, sentinel, dmcs.VariantFPA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameAnswer(ansA, ansB) {
+		t.Fatal("fixture defect: both graph versions give the same sentinel answer; the hybrid check would be vacuous")
+	}
+	// Community 1's membership is untouched by the toggle, but its score
+	// still shifts with the graph's global edge mass (the modularity
+	// term), so it gets the same per-version reference pair as the
+	// sentinel — and the same hybrid check.
+	stableQ := []graph.Node{tgSmallSize}
+	stableA, err := dmcs.Search(gA, stableQ, dmcs.VariantFPA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stableB, err := dmcs.Search(gB, stableQ, dmcs.VariantFPA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := engine.New(buildVersion(false), engine.Options{StaleRetention: 8})
+	// Live sampler with a deliberately twitchy SLO so the storm actually
+	// drives the overload states, not just the happy path.
+	s := New(eng, Config{
+		SampleInterval: 10 * time.Millisecond,
+		ExpensiveNodes: 256,
+		Overload:       OverloadConfig{SLO: 2 * time.Millisecond, CalmSamples: 2},
+	})
+	ts := httptest.NewServer(s)
+
+	duration := 3 * time.Second
+	if testing.Short() {
+		duration = 800 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	var (
+		wg       sync.WaitGroup
+		complete atomic.Int64 // complete 200s checked against a reference
+		staleOK  atomic.Int64
+		refused  atomic.Int64
+		faulted  atomic.Int64 // transport-level failures (dropped responses)
+	)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	checkAnswer := func(resp queryResponse, refA, refB *dmcs.Result) error {
+		if resp.Stale {
+			// Stale answers report the exact epoch they were computed
+			// against; parity selects the one reference they must match.
+			want := refA
+			if resp.Epoch%2 == 1 {
+				want = refB
+			}
+			if !sameResponse(resp, want) {
+				return fmt.Errorf("stale answer for epoch %d does not match that epoch's reference", resp.Epoch)
+			}
+			staleOK.Add(1)
+			return nil
+		}
+		if !sameResponse(resp, refA) && !sameResponse(resp, refB) {
+			return fmt.Errorf("HYBRID result: %d nodes score %v matches neither graph version (epoch %d)",
+				resp.Size, resp.Score, resp.Epoch)
+		}
+		return nil
+	}
+
+	// Query workers: sentinel and stable queries, mixed budgets, some
+	// garbage requests.
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var body string
+				refA, refB := ansA, ansB
+				switch (w + i) % 5 {
+				case 0:
+					body = `{"nodes":[0],"timeout_ms":500}`
+				case 1:
+					body = fmt.Sprintf(`{"nodes":[%d],"timeout_ms":500}`, tgSmallSize)
+					refA, refB = stableA, stableB
+				case 2:
+					body = `{"nodes":[0],"timeout_ms":1}` // likely queue/peel timeout under chaos
+				case 3:
+					body = fmt.Sprintf(`{"nodes":[%d],"timeout_ms":500}`, tgWhaleBase)
+				case 4:
+					body = `{"nodes":[` // malformed on purpose
+				}
+				hr, err := client.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					faulted.Add(1)
+					continue
+				}
+				raw, rerr := io.ReadAll(hr.Body)
+				hr.Body.Close()
+				if rerr != nil {
+					faulted.Add(1)
+					continue
+				}
+				switch hr.StatusCode {
+				case http.StatusOK:
+					var resp queryResponse
+					if err := json.Unmarshal(raw, &resp); err != nil {
+						t.Errorf("bad 200 body %q: %v", raw, err)
+						return
+					}
+					if resp.TimedOut {
+						continue // partial: best-so-far, no exactness contract
+					}
+					if (w+i)%5 == 3 {
+						continue // whale query: no reference precomputed
+					}
+					if err := checkAnswer(resp, refA, refB); err != nil {
+						t.Error(err)
+						return
+					}
+					complete.Add(1)
+				case http.StatusTooManyRequests, http.StatusBadRequest,
+					http.StatusUnprocessableEntity, http.StatusGatewayTimeout,
+					http.StatusInternalServerError, http.StatusServiceUnavailable:
+					var eb errorBody
+					if err := json.Unmarshal(raw, &eb); err != nil || eb.Code == "" {
+						t.Errorf("refusal %d with malformed body %q", hr.StatusCode, raw)
+						return
+					}
+					refused.Add(1)
+				default:
+					t.Errorf("unexpected status %d: %s", hr.StatusCode, raw)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Mutator: blindly alternates chord add / chord del batches. A
+	// mistimed toggle normalizes to a no-op and leaves the epoch alone,
+	// so epoch parity always identifies the live version.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sb strings.Builder
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sb.Reset()
+			for _, e := range chaosChords() {
+				if i%2 == 0 {
+					fmt.Fprintf(&sb, "add %d %d\n", e[0], e[1])
+				} else {
+					fmt.Fprintf(&sb, "del %d %d\n", e[0], e[1])
+				}
+			}
+			hr, err := client.Post(ts.URL+"/apply", "text/plain", strings.NewReader(sb.String()))
+			if err == nil {
+				io.Copy(io.Discard, hr.Body)
+				hr.Body.Close()
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Chaos driver: rotates one armed injection at a time through every
+	// point and directive class, with small Limits so service keeps
+	// making progress between faults.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		storm := []struct {
+			p   faultinject.Point
+			inj faultinject.Injection
+		}{
+			{faultinject.EnginePeel, faultinject.Injection{Latency: 5 * time.Millisecond, Limit: 4}},
+			{faultinject.EnginePeel, faultinject.Injection{Err: errors.New("chaos: injected peel error"), Limit: 2}},
+			{faultinject.EnginePeel, faultinject.Injection{Panic: "chaos: injected peel panic", Limit: 2}},
+			{faultinject.EngineSearch, faultinject.Injection{Err: errors.New("chaos: injected admission error"), Limit: 2}},
+			{faultinject.EngineApply, faultinject.Injection{Latency: 8 * time.Millisecond, Limit: 2}},
+			{faultinject.ServerDecode, faultinject.Injection{Err: errors.New("chaos: injected decode error"), Limit: 2}},
+			{faultinject.ServerDecode, faultinject.Injection{Panic: "chaos: injected decode panic", Limit: 1}},
+			{faultinject.ServerRespond, faultinject.Injection{Drop: true, Limit: 2}},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				faultinject.Reset()
+				return
+			default:
+			}
+			f := storm[i%len(storm)]
+			faultinject.Set(f.p, f.inj)
+			time.Sleep(7 * time.Millisecond)
+			faultinject.Clear(f.p)
+		}
+	}()
+
+	time.Sleep(duration)
+	close(stop)
+	waitOrDeadlock(t, &wg, 30*time.Second, "chaos workers")
+
+	// Drain + shutdown must complete promptly — the no-deadlock check.
+	s.StartDrain()
+	if hr, err := client.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"nodes":[0]}`)); err == nil {
+		if hr.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("query during drain: %d, want 503", hr.StatusCode)
+		}
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+	}
+	closed := make(chan struct{})
+	go func() { ts.Close(); s.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown deadlock: server close did not finish")
+	}
+
+	// Post-storm state check: with injections cleared, the engine must
+	// answer the sentinel exactly for whatever epoch the storm left
+	// behind — panics and poisoned arenas along the way must not have
+	// leaked into surviving state.
+	faultinject.Reset()
+	want := ansA
+	if eng.Epoch()%2 == 1 {
+		want = ansB
+	}
+	res, err := eng.Search(t.Context(), engine.Query{Nodes: sentinel, Opts: opts})
+	if err != nil {
+		t.Fatalf("post-storm sentinel query: %v", err)
+	}
+	if !sameAnswer(want, res) {
+		t.Fatalf("post-storm sentinel answer corrupted: %d nodes score %v", len(res.Community), res.Score)
+	}
+	if complete.Load() == 0 {
+		t.Error("storm produced zero verified complete answers — chaos drowned the service entirely")
+	}
+	t.Logf("chaos: %d complete (%d stale) / %d refused / %d transport faults; final state %v, epoch %d",
+		complete.Load(), staleOK.Load(), refused.Load(), faulted.Load(), s.State(), eng.Epoch())
+}
+
+// chaosChords is the toggled edge set: four extra chords inside
+// community 0 that change its density (and thus the sentinel answer's
+// score) without touching any other community.
+func chaosChords() [][2]graph.Node {
+	return [][2]graph.Node{{0, 8}, {1, 9}, {2, 10}, {3, 11}}
+}
+
+func sameAnswer(a, b *dmcs.Result) bool {
+	if a.Score != b.Score || len(a.Community) != len(b.Community) {
+		return false
+	}
+	for i := range a.Community {
+		if a.Community[i] != b.Community[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameResponse(resp queryResponse, want *dmcs.Result) bool {
+	if resp.Score != want.Score || len(resp.Community) != len(want.Community) {
+		return false
+	}
+	for i := range want.Community {
+		if resp.Community[i] != want.Community[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func waitOrDeadlock(t *testing.T, wg *sync.WaitGroup, timeout time.Duration, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatalf("deadlock: %s did not finish within %v", what, timeout)
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// step is one controller sample plus the state it must land in.
+type step struct {
+	frac float64
+	p99  time.Duration
+	want OverloadState
+}
+
+func runSteps(t *testing.T, c *overloadController, steps []step) {
+	t.Helper()
+	for i, s := range steps {
+		if got := c.Observe(s.frac, s.p99); got != s.want {
+			t.Fatalf("step %d (frac=%.2f p99=%v): state %v, want %v", i, s.frac, s.p99, got, s.want)
+		}
+	}
+}
+
+// Default watermarks under test: high 0.75, full 0.95, low 0.25, calm 3,
+// SLO 50ms.
+func testController() *overloadController {
+	return newOverloadController(OverloadConfig{SLO: 50 * time.Millisecond, CalmSamples: 3})
+}
+
+func TestOverloadQueueEscalation(t *testing.T) {
+	runSteps(t, testController(), []step{
+		{0.10, 0, StateHealthy},
+		{0.74, 0, StateHealthy},       // below high water
+		{0.75, 0, StateShedExpensive}, // at high water
+		{0.50, 0, StateShedExpensive}, // mid load holds the state
+		{0.95, 0, StateStaleServe},    // at full water
+		{0.80, 0, StateStaleServe},    // high-but-not-full never steps down
+	})
+}
+
+func TestOverloadLatencyEscalation(t *testing.T) {
+	runSteps(t, testController(), []step{
+		{0, 50 * time.Millisecond, StateHealthy},       // at SLO is fine
+		{0, 51 * time.Millisecond, StateShedExpensive}, // above SLO
+		{0, 99 * time.Millisecond, StateShedExpensive}, // below 2×
+		{0, 100 * time.Millisecond, StateStaleServe},   // at 2×: straight to stale-serve
+	})
+}
+
+func TestOverloadLatencySignalDisabled(t *testing.T) {
+	c := newOverloadController(OverloadConfig{CalmSamples: 3}) // SLO 0
+	runSteps(t, c, []step{
+		{0, time.Hour, StateHealthy}, // p99 ignored without an SLO
+		{0.96, 0, StateStaleServe},   // queue signal still live
+	})
+}
+
+func TestOverloadRecoveryHysteresis(t *testing.T) {
+	c := testController()
+	runSteps(t, c, []step{
+		{0.96, 0, StateStaleServe},
+		// Two calm samples are not enough (CalmSamples 3).
+		{0.10, 0, StateStaleServe},
+		{0.10, 0, StateStaleServe},
+		// Third calm sample steps down ONE level, not straight to healthy.
+		{0.10, 0, StateShedExpensive},
+		{0.10, 0, StateShedExpensive},
+		{0.10, 0, StateShedExpensive},
+		{0.10, 0, StateHealthy},
+		{0.10, 0, StateHealthy}, // extra calm samples are a no-op at healthy
+	})
+}
+
+func TestOverloadCalmRunInterrupted(t *testing.T) {
+	c := testController()
+	runSteps(t, c, []step{
+		{0.96, 0, StateStaleServe},
+		{0.10, 0, StateStaleServe},
+		{0.10, 0, StateStaleServe},
+		{0.50, 0, StateStaleServe}, // mid load resets the calm counter...
+		{0.10, 0, StateStaleServe},
+		{0.10, 0, StateStaleServe},
+		{0.10, 0, StateShedExpensive}, // ...so three MORE calm samples are needed
+	})
+}
+
+func TestOverloadCalmNeedsBothSignals(t *testing.T) {
+	c := testController()
+	runSteps(t, c, []step{
+		{0.80, 0, StateShedExpensive},
+		// Queue calm but p99 blown: not a calm sample.
+		{0.10, 60 * time.Millisecond, StateShedExpensive},
+		{0.10, 60 * time.Millisecond, StateShedExpensive},
+		{0.10, 60 * time.Millisecond, StateShedExpensive},
+		{0.10, 10 * time.Millisecond, StateShedExpensive},
+		{0.10, 10 * time.Millisecond, StateShedExpensive},
+		{0.10, 10 * time.Millisecond, StateHealthy},
+	})
+}
+
+func TestOverloadShedDoesNotStepDownFromStale(t *testing.T) {
+	c := testController()
+	runSteps(t, c, []step{
+		{0.96, 0, StateStaleServe},
+		// Shed-level pressure while in stale-serve must hold stale-serve,
+		// not regress to shed-expensive.
+		{0.80, 0, StateStaleServe},
+		{0.96, 0, StateStaleServe},
+	})
+}
+
+func TestOverloadStateStrings(t *testing.T) {
+	for st, want := range map[OverloadState]string{
+		StateHealthy:       "healthy",
+		StateShedExpensive: "shed-expensive",
+		StateStaleServe:    "stale-serve",
+		OverloadState(99):  "unknown",
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("state %d: %q, want %q", st, got, want)
+		}
+	}
+}

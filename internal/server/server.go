@@ -1,0 +1,494 @@
+// Package server is the overload-safe HTTP serving tier around
+// engine.Engine: admission control (cost-aware token buckets plus a
+// bounded inflight table), client deadline budgets propagated into the
+// engine's timeout machinery, graceful degradation through an overload
+// state machine that falls back to epoch-stale cached answers, and
+// per-request panic isolation. cmd/dmcsd is a thin flag-parsing
+// wrapper; everything testable lives here.
+//
+// Endpoints:
+//
+//	POST /query   {"nodes":[...], "variant":"FPA", "timeout_ms":100}
+//	POST /apply   update-stream lines (add/setw/del/node), one atomic batch
+//	GET  /stats   engine counters + server admission state
+//	GET  /healthz liveness + overload state
+//
+// Refusals are explicit, never silent: shed and rate-limited requests
+// get 429 with a Retry-After header, queue/deadline expiries get 504
+// with a code distinguishing "never started" from "ran out mid-peel",
+// and degraded-mode answers carry "stale": true with the epoch they
+// were computed against.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/engine"
+	"dmcs/internal/faultinject"
+	"dmcs/internal/graph"
+)
+
+// Config tunes the serving tier. The zero value of every field selects
+// a sensible default (see defaults()).
+type Config struct {
+	// DefaultTimeout is the deadline budget for requests that do not send
+	// timeout_ms; MaxTimeout caps what clients may ask for.
+	DefaultTimeout, MaxTimeout time.Duration
+	// MaxInflight bounds concurrently admitted queries (the admission
+	// queue). Default 8×GOMAXPROCS.
+	MaxInflight int
+	// ExpensiveNodes is the component size at which a query classifies as
+	// expensive (whale). Default 8192.
+	ExpensiveNodes int
+	// Per-class token buckets: tokens/second and burst. A query costs
+	// ~componentSize/256 tokens, floor 1 (see costOf).
+	CheapRate, CheapBurst         float64
+	ExpensiveRate, ExpensiveBurst float64
+	// StaleMaxBehind is how many epochs back degraded-mode answers may
+	// reach (requires the engine to run with Options.StaleRetention > 0
+	// for superseded epochs to stay resident). Default 8.
+	StaleMaxBehind int
+	// Request caps fed to the decoders.
+	MaxRequestBytes int64
+	MaxQueryNodes   int
+	MaxUpdateOps    int
+	// Overload configures the degradation state machine.
+	Overload OverloadConfig
+	// SampleInterval is the overload controller's sampling period.
+	// Default 100ms; negative disables the sampler (tests drive the state
+	// directly).
+	SampleInterval time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 8 * runtime.GOMAXPROCS(0)
+	}
+	if c.ExpensiveNodes == 0 {
+		c.ExpensiveNodes = 8192
+	}
+	if c.CheapRate == 0 {
+		c.CheapRate = 2000
+	}
+	if c.CheapBurst == 0 {
+		c.CheapBurst = 2 * c.CheapRate
+	}
+	if c.ExpensiveRate == 0 {
+		c.ExpensiveRate = 64
+	}
+	if c.ExpensiveBurst == 0 {
+		c.ExpensiveBurst = 2 * c.ExpensiveRate
+	}
+	if c.StaleMaxBehind == 0 {
+		c.StaleMaxBehind = 8
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = defaultMaxRequestBytes
+	}
+	if c.MaxQueryNodes == 0 {
+		c.MaxQueryNodes = defaultMaxQueryNodes
+	}
+	if c.MaxUpdateOps == 0 {
+		c.MaxUpdateOps = defaultMaxUpdateOps
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 100 * time.Millisecond
+	}
+}
+
+// Server is the HTTP serving tier. Create with New, serve via
+// ServeHTTP (it implements http.Handler), shut down with StartDrain
+// (new requests get 503; pair with http.Server.Shutdown to drain
+// in-flight ones) and Close (stops the overload sampler).
+type Server struct {
+	eng *engine.Engine
+	cfg Config
+	mux *http.ServeMux
+
+	inflight chan struct{} // admission queue: one slot per admitted query
+	buckets  [numClasses]*tokenBucket
+	ests     [numClasses]*latEstimator
+
+	state    atomic.Int32 // OverloadState, published by the sampler
+	draining atomic.Bool
+	closed   atomic.Bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New builds a Server around eng and starts its overload sampler
+// (unless cfg.SampleInterval < 0). Callers own eng's lifecycle.
+func New(eng *engine.Engine, cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	now := time.Now()
+	s.buckets[classCheap] = newTokenBucket(cfg.CheapRate, cfg.CheapBurst, now)
+	s.buckets[classExpensive] = newTokenBucket(cfg.ExpensiveRate, cfg.ExpensiveBurst, now)
+	for c := range s.ests {
+		s.ests[c] = &latEstimator{}
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/apply", s.handleApply)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.SampleInterval > 0 {
+		go s.sample()
+	} else {
+		close(s.done)
+	}
+	return s
+}
+
+// sample periodically feeds the overload controller and publishes its
+// state. Engine.Stats is O(latency window) per call; at the default
+// 10 Hz that is noise.
+func (s *Server) sample() {
+	defer close(s.done)
+	ctrl := newOverloadController(s.cfg.Overload)
+	tick := time.NewTicker(s.cfg.SampleInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			frac := float64(len(s.inflight)) / float64(cap(s.inflight))
+			st := s.eng.Stats()
+			s.state.Store(int32(ctrl.Observe(frac, st.P99)))
+		}
+	}
+}
+
+// State reports the current overload state.
+func (s *Server) State() OverloadState { return OverloadState(s.state.Load()) }
+
+// StartDrain flips the server into draining: every subsequent request
+// is refused with 503. In-flight requests finish normally — pair with
+// http.Server.Shutdown, which waits for them.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Close stops the overload sampler. Idempotent; does not wait for
+// in-flight requests (that is http.Server.Shutdown's job).
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// ServeHTTP implements http.Handler with per-request panic containment:
+// a panicking handler (injected or real) answers 500 instead of taking
+// the whole process down. The engine's own peel-panic isolation sits a
+// layer below; this net catches everything else.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				panic(rec) // deliberate connection abort (dropped-response injection)
+			}
+			// Headers may already be out; WriteHeader then is a no-op plus a
+			// server log line, which is the best available answer.
+			writeError(w, http.StatusInternalServerError, "panic", fmt.Sprintf("handler panicked: %v", rec), 0)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+type errorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// writeError emits the uniform refusal shape. retryAfter > 0 adds a
+// Retry-After header (rounded up to whole seconds, minimum 1).
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Code: code, Error: msg})
+}
+
+// writeJSON emits a success body through the dropped-response injection
+// point: a Drop directive aborts the connection mid-response, the
+// client-visible shape of a server that computed an answer and died
+// sending it.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	if err := faultinject.Fire(faultinject.ServerRespond); err != nil {
+		if errors.Is(err, faultinject.ErrDropped) {
+			panic(http.ErrAbortHandler)
+		}
+		writeError(w, http.StatusInternalServerError, "injected", err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) shed(w http.ResponseWriter, msg string, retryAfter time.Duration) {
+	s.eng.NoteShed()
+	writeError(w, http.StatusTooManyRequests, "shed", msg, retryAfter)
+}
+
+// queryResponse is the POST /query success shape.
+type queryResponse struct {
+	Community []graph.Node `json:"community"`
+	Size      int          `json:"size"`
+	Score     float64      `json:"score"`
+	// Epoch is the graph version the answer was computed against — exact
+	// for stale answers, best-effort current epoch otherwise.
+	Epoch uint64 `json:"epoch"`
+	// Stale marks a degraded-mode answer served from a superseded epoch.
+	Stale bool `json:"stale"`
+	// TimedOut marks a best-so-far partial whose peel hit the deadline.
+	TimedOut  bool  `json:"timed_out"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "invalid", "POST only", 0)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", 0)
+		return
+	}
+	start := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		s.eng.NoteRejected()
+		writeError(w, http.StatusBadRequest, "invalid", "reading body: "+err.Error(), 0)
+		return
+	}
+	if err := faultinject.Fire(faultinject.ServerDecode); err != nil {
+		writeError(w, http.StatusInternalServerError, "injected", err.Error(), 0)
+		return
+	}
+	req, variant, err := decodeQuery(body, s.cfg.MaxQueryNodes)
+	if err != nil {
+		s.eng.NoteRejected()
+		writeError(w, http.StatusBadRequest, "invalid", err.Error(), 0)
+		return
+	}
+	q := engine.Query{
+		Nodes:   req.Nodes,
+		Variant: variant,
+		// Mirror the CLI's option policy so cache keys line up across
+		// entry points (and with LookupStale probes below).
+		Opts: dmcs.Options{LayerPruning: variant == dmcs.VariantFPA},
+	}
+	budget := req.timeoutOf(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+
+	// Classify by the size of the component the query would peel. This is
+	// also the first validation gate: unknown nodes and cross-component
+	// query sets are rejected before costing anything.
+	comp, err := s.eng.Snapshot().Component(req.Nodes)
+	if err != nil {
+		s.eng.NoteRejected()
+		writeError(w, http.StatusBadRequest, "invalid", err.Error(), 0)
+		return
+	}
+	class := classCheap
+	if len(comp) >= s.cfg.ExpensiveNodes {
+		class = classExpensive
+	}
+
+	// Degraded modes answer from cache (stale allowed) or shed — no new
+	// peels for the classes being protected against.
+	state := s.State()
+	if state == StateStaleServe || (state == StateShedExpensive && class == classExpensive) {
+		if !req.NoStale {
+			if res, epoch, ok := s.eng.LookupStale(q, s.cfg.StaleMaxBehind); ok {
+				s.writeResult(w, res, epoch, epoch != s.eng.Epoch(), start)
+				return
+			}
+		}
+		if state == StateStaleServe {
+			s.shed(w, "overloaded: serving cached answers only", s.cfg.SampleInterval)
+		} else {
+			s.shed(w, "overloaded: shedding expensive queries", s.cfg.SampleInterval)
+		}
+		return
+	}
+
+	// Cost-aware rate limit, then the bounded admission queue. Both
+	// refuse instantly — buffering past capacity only converts overload
+	// into latency.
+	if ok, retry := s.buckets[class].take(costOf(len(comp)), time.Now()); !ok {
+		s.shed(w, class.String()+"-class rate limit", retry)
+		return
+	}
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.shed(w, "admission queue full", s.cfg.SampleInterval)
+		return
+	}
+	defer func() { <-s.inflight }()
+
+	// Pre-work budget check: if this class's typical peel already
+	// overshoots the remaining budget, reject now instead of burning a
+	// worker slot to produce a doomed partial.
+	elapsed := time.Since(start)
+	if est := s.ests[class].estimate(); est > 0 && elapsed+est > budget {
+		s.eng.NoteRejected()
+		writeError(w, http.StatusUnprocessableEntity, "budget",
+			fmt.Sprintf("deadline budget %v cannot cover estimated %v peel", budget, est), 0)
+		return
+	}
+
+	// The engine deducts its own queue wait from Opts.Timeout
+	// (acquireSlot); the server deducts the time spent here before
+	// dispatch so the client's deadline is honored end to end.
+	q.Opts.Timeout = budget - elapsed
+	ctx := r.Context()
+	peelStart := time.Now()
+	res, err := s.eng.Search(ctx, q)
+	peel := time.Since(peelStart)
+	if err != nil {
+		var pe *engine.PanicError
+		switch {
+		case errors.Is(err, engine.ErrQueueTimeout):
+			writeError(w, http.StatusGatewayTimeout, "queue_timeout",
+				"query timed out while queued; search never started", s.cfg.SampleInterval)
+		case errors.As(err, &pe):
+			writeError(w, http.StatusInternalServerError, "panic",
+				fmt.Sprintf("search panicked: %v", pe.Value), 0)
+		case errors.Is(err, faultinject.ErrInjected) || errors.Is(err, faultinject.ErrDropped):
+			writeError(w, http.StatusInternalServerError, "injected", err.Error(), 0)
+		case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+			writeError(w, http.StatusGatewayTimeout, "timeout", err.Error(), 0)
+		default:
+			writeError(w, http.StatusBadRequest, "invalid", err.Error(), 0)
+		}
+		return
+	}
+	if !res.TimedOut {
+		s.ests[class].observe(peel)
+	}
+	s.writeResult(w, res, s.eng.Epoch(), false, start)
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, res *dmcs.Result, epoch uint64, stale bool, start time.Time) {
+	s.writeJSON(w, queryResponse{
+		Community: res.Community,
+		Size:      len(res.Community),
+		Score:     res.Score,
+		Epoch:     epoch,
+		Stale:     stale,
+		TimedOut:  res.TimedOut,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+// applyResponse is the POST /apply success shape (engine.ApplyStats on
+// the wire).
+type applyResponse struct {
+	Epoch          uint64 `json:"epoch"`
+	NodesAdded     int    `json:"nodes_added"`
+	EdgesAdded     int    `json:"edges_added"`
+	EdgesRemoved   int    `json:"edges_removed"`
+	WeightsChanged int    `json:"weights_changed"`
+	RefloodedNodes int    `json:"reflooded_nodes"`
+	Components     int    `json:"components"`
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "invalid", "POST only", 0)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", 0)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", "reading body: "+err.Error(), 0)
+		return
+	}
+	if err := faultinject.Fire(faultinject.ServerDecode); err != nil {
+		writeError(w, http.StatusInternalServerError, "injected", err.Error(), 0)
+		return
+	}
+	batch, err := parseUpdateOps(body, s.cfg.MaxUpdateOps)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", err.Error(), 0)
+		return
+	}
+	st := s.eng.Apply(batch)
+	s.writeJSON(w, applyResponse{
+		Epoch:          st.Epoch,
+		NodesAdded:     st.NodesAdded,
+		EdgesAdded:     st.EdgesAdded,
+		EdgesRemoved:   st.EdgesRemoved,
+		WeightsChanged: st.WeightsChanged,
+		RefloodedNodes: st.RefloodedNodes,
+		Components:     st.Components,
+	})
+}
+
+// statsResponse is the GET /stats shape: raw engine counters plus the
+// admission tier's live state. Durations are nanoseconds.
+type statsResponse struct {
+	Engine engine.Stats `json:"engine"`
+	Server struct {
+		State       string `json:"state"`
+		Draining    bool   `json:"draining"`
+		Inflight    int    `json:"inflight"`
+		InflightCap int    `json:"inflight_cap"`
+		Epoch       uint64 `json:"epoch"`
+	} `json:"server"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.Engine = s.eng.Stats()
+	resp.Server.State = s.State().String()
+	resp.Server.Draining = s.draining.Load()
+	resp.Server.Inflight = len(s.inflight)
+	resp.Server.InflightCap = cap(s.inflight)
+	resp.Server.Epoch = s.eng.Epoch()
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"state":    s.State().String(),
+		"draining": s.draining.Load(),
+	})
+}
