@@ -4,12 +4,18 @@
 // next to the code (BENCH_2.json is the CSR-migration baseline,
 // BENCH_3.json the query-scoped SubCSR/arena baseline, BENCH_4.json the
 // dynamic-update suite, BENCH_5.json the parallel serving suite,
-// BENCH_6.json adds the intra-query parallelism suite: whale-component
-// peels and skewed fused batches swept across -cpu).
+// BENCH_6.json the intra-query parallelism suite: whale-component
+// peels and skewed fused batches swept across -cpu, BENCH_8.json the
+// query-under-churn suite: hit ratio and computed-search p99 recorded
+// as custom metrics under component-scoped cache invalidation).
+//
+// Custom b.ReportMetric values (e.g. "0.95 hit_ratio", "135745 p99_ns")
+// are parsed off each benchmark line and recorded per benchmark under
+// "metrics" in the JSON.
 //
 // Usage:
 //
-//	go run ./cmd/bench                       # serving + update + whale suite -> BENCH_6.json
+//	go run ./cmd/bench                       # serving + update + whale + churn suite -> BENCH_8.json
 //	go run ./cmd/bench -cpu 1,2,4,8          # same, swept across GOMAXPROCS
 //	go run ./cmd/bench -bench . -pkgs ./...  # everything (slow)
 //
@@ -31,6 +37,13 @@
 // every GOMAXPROCS) exits non-zero when a benchmark allocates more than
 // N allocs/op. CI uses it to fail when steady-state engine query
 // serving — serial or parallel — starts allocating.
+//
+// -metricgate enforces custom-metric budgets: "-metricgate
+// Name:metric>=Min" or "Name:metric<=Max" (comma separated, matched
+// like -gate) exits non-zero when the named benchmark's reported metric
+// violates the bound. CI uses it to fail when the warm-majority churn
+// hit ratio drops below its pinned floor — the component-scoped-epochs
+// acceptance criterion.
 //
 // -ratiogate enforces pairwise time budgets: "-ratiogate A<=1.25xB"
 // (comma separated) exits non-zero when benchmark A's ns/op exceeds
@@ -61,6 +74,12 @@ import (
 // name; stripping it would make a -cpu sweep overwrite itself.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
 
+// metricPair matches one "value unit" measurement on a benchmark line.
+// testing prints b.ReportMetric values in exactly this shape between
+// ns/op and the -benchmem columns; ns/op, B/op and allocs/op themselves
+// are skipped when collecting custom metrics.
+var metricPair = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?) ([A-Za-z_][A-Za-z0-9_/%.-]*)`)
+
 // procSuffix strips the GOMAXPROCS suffix for baseline fallback and
 // gate matching.
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -73,6 +92,9 @@ type report struct {
 	Packages    []string           `json:"packages"`
 	NsPerOp     map[string]float64 `json:"ns_per_op"`
 	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values per benchmark (e.g.
+	// hit_ratio, p99_ns for the query-under-churn suite).
+	Metrics map[string]map[string]float64 `json:"metrics,omitempty"`
 	// BaselineNsPerOp and Speedup are present only when -baseline is
 	// given: the prior report's numbers and new-vs-old ratios for the
 	// benchmarks both runs contain.
@@ -88,14 +110,15 @@ func fail(format string, args ...interface{}) {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_6.json", "output JSON path")
-		benchtime = flag.String("benchtime", "200ms", "go test -benchtime value (pinned for comparability)")
-		bench     = flag.String("bench", "Weighted|SmallQueries|EngineApply|UnderChurn|EngineParallel|HotKeyHerd|Whale|SkewedBatch", "go test -bench regex")
-		pkgs      = flag.String("pkgs", "./internal/dmcs,./internal/engine", "comma-separated package patterns")
-		cpu       = flag.String("cpu", "", "go test -cpu list (e.g. 1,2,4,8); empty runs at GOMAXPROCS only")
-		baseline  = flag.String("baseline", "", "prior report JSON to merge as the before numbers")
-		gate      = flag.String("gate", "", "comma-separated Name=MaxAllocs budgets enforced on allocs/op")
-		ratiogate = flag.String("ratiogate", "", "comma-separated A<=1.25xB pairwise ns/op budgets, matched per GOMAXPROCS suffix")
+		out        = flag.String("out", "BENCH_8.json", "output JSON path")
+		benchtime  = flag.String("benchtime", "200ms", "go test -benchtime value (pinned for comparability)")
+		bench      = flag.String("bench", "Weighted|SmallQueries|EngineApply|UnderChurn|EngineParallel|HotKeyHerd|Whale|SkewedBatch", "go test -bench regex")
+		pkgs       = flag.String("pkgs", "./internal/dmcs,./internal/engine", "comma-separated package patterns")
+		cpu        = flag.String("cpu", "", "go test -cpu list (e.g. 1,2,4,8); empty runs at GOMAXPROCS only")
+		baseline   = flag.String("baseline", "", "prior report JSON to merge as the before numbers")
+		gate       = flag.String("gate", "", "comma-separated Name=MaxAllocs budgets enforced on allocs/op")
+		metricgate = flag.String("metricgate", "", "comma-separated Name:metric>=Min or Name:metric<=Max bounds on custom metrics")
+		ratiogate  = flag.String("ratiogate", "", "comma-separated A<=1.25xB pairwise ns/op budgets, matched per GOMAXPROCS suffix")
 	)
 	flag.Parse()
 
@@ -122,6 +145,7 @@ func main() {
 		Packages:    patterns,
 		NsPerOp:     map[string]float64{},
 		AllocsPerOp: map[string]float64{},
+		Metrics:     map[string]map[string]float64{},
 	}
 	pkg := ""
 	sc := bufio.NewScanner(&buf)
@@ -147,6 +171,18 @@ func main() {
 		if m[6] != "" {
 			if allocs, err := strconv.ParseFloat(m[6], 64); err == nil {
 				rep.AllocsPerOp[name] = allocs
+			}
+		}
+		for _, mp := range metricPair.FindAllStringSubmatch(line, -1) {
+			unit := mp[2]
+			if unit == "ns/op" || unit == "B/op" || unit == "allocs/op" {
+				continue
+			}
+			if v, err := strconv.ParseFloat(mp[1], 64); err == nil {
+				if rep.Metrics[name] == nil {
+					rep.Metrics[name] = map[string]float64{}
+				}
+				rep.Metrics[name][unit] = v
 			}
 		}
 	}
@@ -231,6 +267,52 @@ func main() {
 			}
 			if !matched {
 				fmt.Fprintf(os.Stderr, "bench: GATE FAILED %s: benchmark not found in results\n", name)
+				violations++
+			}
+		}
+	}
+
+	if *metricgate != "" {
+		for _, g := range strings.Split(*metricgate, ",") {
+			entry := strings.TrimSpace(g)
+			op, min := ">=", true
+			target, boundStr, ok := strings.Cut(entry, ">=")
+			if !ok {
+				op, min = "<=", false
+				target, boundStr, ok = strings.Cut(entry, "<=")
+			}
+			if !ok {
+				fail("bad -metricgate entry %q (want Name:metric>=Min or Name:metric<=Max)", entry)
+			}
+			name, metric, ok := strings.Cut(strings.TrimSpace(target), ":")
+			if !ok {
+				fail("bad -metricgate target %q (want Name:metric)", target)
+			}
+			bound, err := strconv.ParseFloat(strings.TrimSpace(boundStr), 64)
+			if err != nil {
+				fail("bad -metricgate bound %q: %v", boundStr, err)
+			}
+			matched := false
+			for full, metrics := range rep.Metrics {
+				bare := procSuffix.ReplaceAllString(full, "")
+				if full != name && bare != name &&
+					!strings.HasSuffix(full, "."+name) && !strings.HasSuffix(bare, "."+name) {
+					continue
+				}
+				v, have := metrics[metric]
+				if !have {
+					continue
+				}
+				matched = true
+				if (min && v < bound) || (!min && v > bound) {
+					fmt.Fprintf(os.Stderr, "bench: METRIC GATE FAILED %s: %s %v violates %s %v\n", full, metric, v, op, bound)
+					violations++
+				} else {
+					fmt.Printf("metric gate ok: %s %s %v %s %v\n", full, metric, v, op, bound)
+				}
+			}
+			if !matched {
+				fmt.Fprintf(os.Stderr, "bench: METRIC GATE FAILED %s: metric %s not found in results\n", name, metric)
 				violations++
 			}
 		}

@@ -214,7 +214,9 @@ var showFullStats bool
 
 // printFullStats dumps the complete engine counter set, including the
 // serving-tier robustness counters (deadline expiries, pre-work
-// rejections, overload sheds, degraded-mode stale answers).
+// rejections, overload sheds, degraded-mode stale answers) and the
+// component-scoped invalidation counters (components superseded vs
+// carried warm across Applies).
 func printFullStats(st engine.Stats) {
 	if !showFullStats {
 		return
@@ -222,6 +224,7 @@ func printFullStats(st engine.Stats) {
 	fmt.Printf("engine: fused=%d timed-out=%d rejected=%d shed=%d stale-served=%d cache-entries=%d p99=%s\n",
 		st.Fused, st.TimedOut, st.Rejected, st.Shed, st.StaleServed, st.CacheEntries,
 		st.P99.Round(time.Microsecond))
+	fmt.Printf("engine: components invalidated=%d retained=%d\n", st.Invalidated, st.Retained)
 }
 
 // runUpdates processes an update-stream file: mutations are staged into a

@@ -121,8 +121,9 @@ func main() {
 	}
 	srv.Close()
 	st := eng.Stats()
-	fmt.Printf("dmcsd: drained. served=%d cache-hits=%d stale-served=%d shed=%d rejected=%d timed-out=%d errors=%d\n",
-		st.Queries, st.CacheHits, st.StaleServed, st.Shed, st.Rejected, st.TimedOut, st.Errors)
+	fmt.Printf("dmcsd: drained. served=%d cache-hits=%d stale-served=%d shed=%d rejected=%d timed-out=%d errors=%d invalidated=%d retained=%d\n",
+		st.Queries, st.CacheHits, st.StaleServed, st.Shed, st.Rejected, st.TimedOut, st.Errors,
+		st.Invalidated, st.Retained)
 }
 
 func fatalf(format string, args ...any) {

@@ -127,12 +127,21 @@
 //     A query racing an Apply therefore returns a result bit-identical to
 //     running against either the pre- or the post-batch graph — never a
 //     hybrid.
-//   - Epoch invalidation: every snapshot carries an epoch (0 initially,
-//     +1 per Apply). The per-component sub-CSR cache lives on the snapshot
-//     itself, and the result LRU keys every entry by epoch, so after an
-//     Apply no query can ever observe a pre-update cached community — not
-//     even one inserted by a slow pre-update query finishing after the
-//     swap.
+//   - Component-scoped invalidation: every snapshot carries a
+//     per-component version vector — each component has a stable key
+//     (never reused) and a version, the epoch (0 initially, +1 per
+//     Apply) that last touched it. The result LRU keys every entry by
+//     (component key, version), so after an Apply no query can observe
+//     a pre-update cached community for a component the batch touched —
+//     not even one inserted by a slow pre-update query finishing after
+//     the swap. Components the batch did not touch keep their versions:
+//     their cached results, sub-CSRs, and in-flight computations stay
+//     valid across the swap, so a localized update does not cool the
+//     cache for the rest of the graph. A component's version also pins
+//     the total graph weight its answers were normalized with, so an
+//     untouched component's scores do not drift as unrelated parts of
+//     the graph change; the next Apply touching it picks up the current
+//     total. EngineApplyStats.Invalidated/Retained report the split.
 //   - Writers serialize: concurrent Apply calls are applied one at a
 //     time, each producing its own version.
 //
@@ -241,8 +250,10 @@ type EngineStats = engine.Stats
 type EngineBatch = engine.Batch
 
 // EngineApplyStats reports what one Engine.Apply did: the new epoch, the
-// batch's net effect, and how many nodes the incremental component
-// maintenance re-flooded.
+// batch's net effect, how many nodes the incremental component
+// maintenance re-flooded, and the invalidation split — components
+// superseded (restamped to the new epoch) vs retained (carried with
+// their cached state intact).
 type EngineApplyStats = engine.ApplyStats
 
 // BatchResult pairs one query of Engine.SearchBatch with its outcome.

@@ -30,7 +30,11 @@
 //	    On a function: the named parameter must be derived from a
 //	    keymaker result at every call site. On a map-typed struct
 //	    field (bare //dmcs:keyed): every index expression over the map
-//	    must use a keymaker-derived key.
+//	    must use a keymaker-derived key. On a []byte/string struct
+//	    field (bare //dmcs:keyed): reads of the field are canonical by
+//	    contract, and in exchange every write to it — assignment or
+//	    composite literal, keyed or positional — must be a
+//	    keymaker-derived value.
 //	//dmcs:acquire <releaser>
 //	    On a function: calling it checks out a pooled resource that
 //	    must be released via the named function/method on every path

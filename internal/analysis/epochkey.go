@@ -19,16 +19,23 @@ import (
 //     that must be canonical (engine: resultCache.get/add,
 //     cacheShard.addLocked, computeFlight's fk);
 //   - map fields indexed directly carry //dmcs:keyed on the field
-//     (engine: cacheShard.byKey, cacheShard.flights).
+//     (engine: cacheShard.byKey, cacheShard.flights);
+//   - key-typed struct fields ([]byte/string) carry a bare //dmcs:keyed
+//     (engine: batchPending.key). Such a field is canonical wherever it
+//     is READ — the annotation is its contract — and in exchange every
+//     WRITE to it (assignment or composite literal) must itself be
+//     canonical, so the contract is machine-checked at the producer
+//     instead of waived at every consumer.
 //
 // Within one function, an expression is "canonical" if it is a keymaker
-// call result, one of the function's own //dmcs:keyed parameters, or a
-// variable/field every one of whose in-function assignments is
-// canonical — propagated through slicing, string/[]byte conversion, and
-// plain assignment. Passing a non-canonical expression to a keyed sink
-// is a finding; so is calling a keyed function with an unverifiable
-// argument, which is resolved by annotating the calling function's own
-// parameter, pushing the obligation out to its callers.
+// call result, one of the function's own //dmcs:keyed parameters, a
+// read of a keyed key-typed field, or a variable/field every one of
+// whose in-function assignments is canonical — propagated through
+// slicing, string/[]byte conversion, and plain assignment. Passing a
+// non-canonical expression to a keyed sink is a finding; so is calling
+// a keyed function with an unverifiable argument, which is resolved by
+// annotating the calling function's own parameter, pushing the
+// obligation out to its callers.
 var EpochKey = &Analyzer{
 	Name: "epochkey",
 	Doc:  "cache/flight-table keys must come from the canonical epoch-prefixed key helper",
@@ -90,6 +97,11 @@ func checkEpochKeyFunc(pass *Pass, fd funcDeclInfo) {
 			return obj != nil && blessed[obj] && !tainted[obj]
 		case *ast.SelectorExpr:
 			if v := fieldVarOf(info, e); v != nil {
+				if keyedKeyField(prog, v) {
+					// A //dmcs:keyed key-typed field is canonical by
+					// contract; its writes are checked below.
+					return true
+				}
 				return blessed[v] && !tainted[v]
 			}
 			return false
@@ -201,9 +213,65 @@ func checkEpochKeyFunc(pass *Pass, fd funcDeclInfo) {
 			if !canonical(n.Index) {
 				report(n.Index, "keyed-map")
 			}
+		case *ast.AssignStmt:
+			// Writes to keyed key-typed fields must be canonical: reads
+			// of such fields are trusted on that basis.
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				sel, ok := unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVarOf(info, sel); keyedKeyField(prog, v) && !canonical(n.Rhs[i]) {
+					report(n.Rhs[i], "keyed-field")
+				}
+			}
+		case *ast.CompositeLit:
+			// Composite literals are the other way a keyed key-typed
+			// field gets written (engine: the batchPending admission
+			// literal).
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i, el := range n.Elts {
+				var v *types.Var
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					id, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v, _ = info.Uses[id].(*types.Var)
+					val = kv.Value
+				} else if i < st.NumFields() {
+					v = st.Field(i)
+				}
+				if keyedKeyField(prog, v) && !canonical(val) {
+					report(val, "keyed-field")
+				}
+			}
 		}
 		return true
 	})
+}
+
+// keyedKeyField reports whether v is a struct field annotated with a
+// bare //dmcs:keyed whose type is key-like ([]byte or string). Map
+// fields carrying the same annotation keep their index-expression
+// semantics and are excluded here.
+func keyedKeyField(prog *Program, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	fa := prog.FieldAnnotOf(v)
+	return fa != nil && fa.Keyed && keyLikeType(v.Type())
 }
 
 // keyLike reports whether the assignment target is a plausible key
@@ -213,6 +281,11 @@ func keyLike(info *types.Info, e ast.Expr) bool {
 	if t == nil {
 		return false
 	}
+	return keyLikeType(t)
+}
+
+// keyLikeType reports whether t is a key-buffer type: []byte or string.
+func keyLikeType(t types.Type) bool {
 	if s, ok := t.Underlying().(*types.Slice); ok {
 		b, ok := s.Elem().Underlying().(*types.Basic)
 		return ok && b.Kind() == types.Byte

@@ -42,3 +42,32 @@ func waived(sh *shard) int {
 	//dmcs:allow epochkey fixture: test-only probe key
 	return sh.byKey["probe"]
 }
+
+// pending carries a key built at admission; the bare //dmcs:keyed on a
+// key-typed field makes reads canonical and writes checked.
+type pending struct {
+	//dmcs:keyed
+	key []byte
+	n   int
+}
+
+func fieldReads(p *pending, sh *shard) int {
+	insert(p.key, 1)               // a keyed key-typed field is canonical on read
+	insert(p.key[:1], 1)           // slicing preserves canonicality
+	return sh.byKey[string(p.key)] // conversion preserves canonicality
+}
+
+func fieldWrites(epoch uint64, p *pending) {
+	p.key = appendKey(nil, epoch) // canonical write
+	k := appendKey(nil, epoch)
+	q := pending{key: k, n: 1}             // canonical composite-literal write
+	r := pending{appendKey(nil, epoch), 2} // positional form is checked too
+	_, _ = q, r
+}
+
+func fieldWritesBad(p *pending) {
+	p.key = []byte("handrolled")           // want `keyed-field key .* is not derived`
+	q := pending{key: []byte("raw"), n: 1} // want `keyed-field key .* is not derived`
+	r := pending{[]byte("pos"), 2}         // want `keyed-field key .* is not derived`
+	_, _ = q, r
+}

@@ -71,6 +71,13 @@ type ApplyStats struct {
 	RefloodedNodes int
 	// Components is the component count of the new snapshot.
 	Components int
+	// Invalidated counts the pre-batch components this Apply superseded:
+	// their cached results, sub-CSRs, and in-flight singleflights became
+	// unservable on the fresh path. Retained counts the pre-batch
+	// components carried verbatim into the new snapshot — their versions,
+	// caches, and flights all survived. Invalidated + Retained equals the
+	// pre-batch component count.
+	Invalidated, Retained int
 }
 
 // Apply merges the batch into the current snapshot and publishes the
@@ -80,17 +87,21 @@ type ApplyStats struct {
 // and stay valid until their last reader finishes), and queries admitted
 // after Apply returns run on the new version.
 //
-// Invalidation is epoch-based and airtight: the per-component sub-CSR
-// cache lives on the snapshot (a new version starts fresh), and the
-// result LRU keys every entry by epoch, so no query can ever observe a
-// community computed against a pre-batch graph — not even a result that a
-// slow pre-batch query inserts into the cache after the swap. Apply also
-// drops the previous version's cache entries eagerly; that is a memory
-// optimization, not a correctness requirement. In-flight singleflight
-// computations are deliberately left running: their waiters admitted
-// against the old version and are owed its answer, and whatever such a
-// flight publishes is keyed under the old epoch, unreachable by post-swap
-// lookups.
+// Invalidation is component-scoped and airtight: every cache key, flight
+// key, and sub-CSR is scoped to a (component identity, component version)
+// pair, and Apply advances the versions only of the components the batch
+// actually touched. Results for untouched components stay servable — no
+// eager cache clear, no cross-shard sweep; entries for superseded
+// component versions become unreachable on the fresh path the instant the
+// new snapshot is published (LookupStale may still probe them, flagged,
+// within StaleRetention) and age out of the LRU naturally. No query can
+// ever observe a community computed against a superseded version of its
+// component — not even a result that a slow pre-batch query inserts into
+// the cache after the swap. In-flight singleflight computations are
+// deliberately left running: flights for untouched components remain
+// joinable and their results cacheable (their key is still current),
+// while flights for touched components publish under the superseded
+// version, unreachable by post-swap lookups.
 //
 // Cost: the merge is one sweep over the packed arrays (O(V+E) for the
 // whole snapshot, independent of batch size), and component maintenance
@@ -118,20 +129,10 @@ func (e *Engine) Apply(b Batch) ApplyStats {
 		// current version and its warm result/sub-CSR caches.
 		return ApplyStats{Epoch: cur.epoch, Components: len(cur.comps)}
 	}
-	compID, comps, reflooded := graph.UpdateComponents(csr, cur.compID, len(cur.comps), info)
-	next := newSnapshotParts(csr, compID, comps, cur.epoch+1)
-	// Clear before publishing: at this point the cache holds only
-	// about-to-be-stale entries (epoch-prefixed keys make them unreachable
-	// after the swap anyway; clearing frees their memory instead of
-	// waiting for LRU churn). Clearing after the Store would race with
-	// fast post-swap queries and wipe their freshly cached, valid results.
-	// With StaleRetention > 0 the eager clear is skipped: superseded
-	// epochs' entries stay resident for LookupStale's degraded-mode
-	// reads, bounded by the LRU, and remain unreachable on the normal
-	// path regardless.
-	if e.staleRetention <= 0 {
-		e.cache.clear()
-	}
+	compID, comps, carried, reflooded := graph.UpdateComponents(csr, cur.compID, len(cur.comps), info)
+	next, invalidated, retained := newSnapshotFrom(cur, csr, compID, comps, carried, cur.epoch+1, e.staleRetention)
+	e.invalidated.Add(uint64(invalidated))
+	e.retained.Add(uint64(retained))
 	e.snap.Store(next)
 	return ApplyStats{
 		Epoch:          next.epoch,
@@ -141,5 +142,7 @@ func (e *Engine) Apply(b Batch) ApplyStats {
 		WeightsChanged: info.WeightsChanged,
 		RefloodedNodes: reflooded,
 		Components:     len(comps),
+		Invalidated:    invalidated,
+		Retained:       retained,
 	}
 }

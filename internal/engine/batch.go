@@ -46,12 +46,13 @@ import (
 type batchPending struct {
 	idx   int // position in qs/out
 	nodes []graph.Node
-	key   []byte
-	h     uint64
-	comp  int32
-	v     dmcs.Variant
-	opts  dmcs.Options
-	dup   int32 // index into pend of the identical leader, or -1
+	//dmcs:keyed
+	key  []byte // built by appendCacheKey at admission; epochkey tracks this field
+	h    uint64
+	comp int32
+	v    dmcs.Variant
+	opts dmcs.Options
+	dup  int32 // index into pend of the identical leader, or -1
 }
 
 // SearchBatch answers qs and returns per-query results in input order.
@@ -89,17 +90,19 @@ func (e *Engine) SearchBatch(ctx context.Context, qs []Query) []BatchResult {
 		if opts.Timeout == 0 {
 			opts.Timeout = e.defaultTimeout
 		}
-		key := appendCacheKey(nil, snap.epoch, nodes, qs[i].Variant, opts)
-		h := hashKey(key)
-		if res, ok := e.cache.get(h, key); ok {
-			e.stats.recordHit(stripe)
-			out[i] = BatchResult{Result: res}
-			continue
-		}
+		// Admission before keying, as in run(): the key is scoped to the
+		// query component's (identity, version) stamp on this snapshot.
 		id, err := snap.componentIndex(nodes)
 		if err != nil {
 			e.stats.recordError(stripe)
 			out[i] = BatchResult{Err: err}
+			continue
+		}
+		key := appendCacheKey(nil, snap.compKey[id], snap.compVer[id], nodes, qs[i].Variant, opts)
+		h := hashKey(key)
+		if res, ok := e.cache.get(h, key); ok {
+			e.stats.recordHit(stripe)
+			out[i] = BatchResult{Result: res}
 			continue
 		}
 		p := batchPending{idx: i, nodes: nodes, key: key, h: h, comp: id, v: qs[i].Variant, opts: opts, dup: -1}
@@ -187,7 +190,6 @@ func (e *Engine) drainBatch(ctx context.Context, snap *Snapshot, pend []batchPen
 // peel through the same semaphore/cancellation/stats protocol as every
 // other computed query and publish the completed result.
 func (e *Engine) computeFused(ctx context.Context, snap *Snapshot, p *batchPending, ws *workerScratch) BatchResult {
-	//dmcs:allow epochkey p.key was built by appendCacheKey at batch admission; the analyzer cannot track derivation through the batchPending field
 	if res, ok := e.cache.get(p.h, p.key); ok {
 		e.stats.recordHit(ws.stripe)
 		return BatchResult{Result: res}
@@ -201,7 +203,6 @@ func (e *Engine) computeFused(ctx context.Context, snap *Snapshot, p *batchPendi
 	if !res.TimedOut {
 		// Same publication rule as the flight path: only results that ran
 		// to their natural end are shareable across callers.
-		//dmcs:allow epochkey p.key was built by appendCacheKey at batch admission; the analyzer cannot track derivation through the batchPending field
 		e.cache.add(p.h, p.key, res)
 	}
 	return BatchResult{Result: res}

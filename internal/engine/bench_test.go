@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"testing"
+	"time"
 
 	"dmcs/internal/dmcs"
 	"dmcs/internal/faultinject"
@@ -135,6 +136,111 @@ func BenchmarkEngineQueryUnderChurn(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	<-done
+}
+
+// benchmarkQueryUnderChurnProfile is the query-under-churn suite behind
+// the BenchmarkEngineQueryUnderChurn* family: a background writer
+// toggles edges inside the first `churned` components (sleeping `pace`
+// between batches — 0 means continuous) while the measured loop sends
+// `coldPct`% of its queries into the churned components and the rest
+// into untouched ones. The cache is fully warmed first, so the reported
+// hit_ratio is the direct measure of component-scoped invalidation:
+// untouched components keep their versions across every Apply and must
+// keep hitting, churned components go cold on each touch. p99_ns is the
+// engine's computed-search p99 over the run, the latency cost of the
+// misses the churn does force.
+func benchmarkQueryUnderChurnProfile(b *testing.B, churned, coldPct int, pace time.Duration) {
+	e := New(smallQueryEngineGraph(benchComponents, benchCompSize), Options{Workers: 2})
+	ctx := context.Background()
+	nodes := make([]graph.Node, 1)
+	for c := 0; c < benchComponents; c++ {
+		nodes[0] = graph.Node(c * benchCompSize)
+		if _, err := e.Search(ctx, Query{Nodes: nodes}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			comp := (i / 2) % churned
+			base := graph.Node(comp * benchCompSize)
+			u := base + graph.Node(((i/2)*7)%(benchCompSize-1))
+			var batch Batch
+			if i%2 == 0 {
+				batch.RemoveEdge(u, u+1)
+			} else {
+				batch.AddEdge(u, u+1)
+			}
+			e.Apply(batch)
+			if pace > 0 {
+				time.Sleep(pace)
+			}
+		}
+	}()
+	before := e.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var comp int
+		if i%100 < coldPct {
+			comp = i % churned
+		} else {
+			comp = churned + i%(benchComponents-churned)
+		}
+		nodes[0] = graph.Node(comp * benchCompSize)
+		if _, err := e.Search(ctx, Query{Nodes: nodes}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	st := e.Stats()
+	if served := st.Queries - before.Queries; served > 0 {
+		b.ReportMetric(float64(st.CacheHits-before.CacheHits)/float64(served), "hit_ratio")
+	}
+	b.ReportMetric(float64(st.P99.Nanoseconds()), "p99_ns")
+	// Churn evidence: components actually superseded while the timer ran.
+	// A hit_ratio of ~1.0 only means something if this is non-zero — it
+	// rules out a starved writer making the ratio gate vacuous.
+	b.ReportMetric(float64(st.Invalidated-before.Invalidated), "invalidated")
+}
+
+// BenchmarkEngineQueryUnderChurnWarmMajority is the gated steady-state
+// profile: continuous Apply churn confined to 4 of 400 components, 95%
+// of queries on untouched components. CI fails if hit_ratio drops below
+// the pinned floor (see ci.yml) — the acceptance criterion for
+// component-scoped epochs keeping the cache warm under churn.
+func BenchmarkEngineQueryUnderChurnWarmMajority(b *testing.B) {
+	benchmarkQueryUnderChurnProfile(b, 4, 5, 0)
+}
+
+// BenchmarkEngineQueryUnderChurnColdMajority skews 80% of queries into
+// the churned components: the recorded hit_ratio/p99 pair shows what
+// versioning costs when locality is bad (recorded, not gated).
+func BenchmarkEngineQueryUnderChurnColdMajority(b *testing.B) {
+	benchmarkQueryUnderChurnProfile(b, 4, 80, 0)
+}
+
+// BenchmarkEngineQueryUnderChurnWarmThrottled is the warm-majority skew
+// at a low update rate (200µs between batches) — the sweep point that
+// separates churn-rate effects from locality effects.
+func BenchmarkEngineQueryUnderChurnWarmThrottled(b *testing.B) {
+	benchmarkQueryUnderChurnProfile(b, 4, 5, 200*time.Microsecond)
+}
+
+// BenchmarkEngineQueryUnderChurnScattered spreads continuous churn over
+// 64 components with a 50/50 query split — wide update locality, the
+// worst realistic case for per-component retention.
+func BenchmarkEngineQueryUnderChurnScattered(b *testing.B) {
+	benchmarkQueryUnderChurnProfile(b, 64, 50, 0)
 }
 
 // BenchmarkEngineSmallQueriesCacheHit is the steady-state serving path: a

@@ -7,19 +7,22 @@ import (
 )
 
 // resultCache is a hash-sharded LRU keyed by the normalized query key
-// (snapshot epoch + sorted deduplicated node set + algorithm variant +
-// result-shaping options). Only complete results are stored — timed-out
-// or cancelled searches return whatever was peeled so far, which depends
-// on wall-clock time, so caching them would leak nondeterminism into
-// later queries.
+// (component identity + component version + sorted deduplicated node set
+// + algorithm variant + result-shaping options). Only complete results
+// are stored — timed-out or cancelled searches return whatever was
+// peeled so far, which depends on wall-clock time, so caching them would
+// leak nondeterminism into later queries.
 //
 // Sharding is the cache's concurrency story: the key's FNV-1a hash picks
 // one of a power-of-two number of shards (sized to at least the engine's
 // parallelism), and each shard has its own mutex, so concurrent hits on
-// different keys proceed without contending on any global lock. Epoch
-// keying makes this safe under mutation without any cross-shard
-// coordination: Apply never needs to atomically invalidate the cache,
-// because entries of older epochs can no longer match any lookup.
+// different keys proceed without contending on any global lock.
+// Component-version keying makes this safe under mutation without any
+// cross-shard coordination: Apply never needs to atomically invalidate
+// the cache, because entries of superseded component versions can no
+// longer match any fresh-path lookup — while entries of components the
+// Apply did not touch keep matching, which is the whole point of
+// component-scoped epochs (see the package doc).
 //
 // Within a shard the LRU is array-backed and intrusive: entries live in
 // one slab indexed by int32, with prev/next links stored inline and a
@@ -233,14 +236,17 @@ func (s *cacheShard) moveToFrontLocked(i int32) {
 	s.pushFrontLocked(i)
 }
 
-// clear drops every cached entry. Apply calls it after an epoch bump:
-// entries of older epochs can no longer match any lookup, so holding
-// them would only waste capacity until LRU churn evicts them. Shards are
+// clear drops every cached entry. The serving path never calls it —
+// Apply invalidates logically, by advancing touched components'
+// versions, and deliberately leaves untouched components' entries warm;
+// superseded entries age out through LRU churn (or stay probeable by
+// LookupStale within StaleRetention). clear remains for tests and for
+// callers that want to release result memory wholesale. Shards are
 // cleared one lock at a time — there is no cross-shard atomicity and
-// none is needed, again because epoch keying (not clearing) is what
-// makes stale entries unservable. In-flight computations are left
-// untouched: a pre-swap flight that completes later publishes under its
-// old-epoch key, which no post-swap lookup can match.
+// none is needed, because version keying (not clearing) is what makes
+// superseded entries unservable. In-flight computations are left
+// untouched: a flight for a touched component publishes under its
+// superseded version key, which no fresh-path lookup can match.
 func (c *resultCache) clear() {
 	if c == nil {
 		return

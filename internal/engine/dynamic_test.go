@@ -202,16 +202,34 @@ func TestEpochInvalidatesCache(t *testing.T) {
 }
 
 // TestCacheKeyCarriesEpoch pins the structural half of the invalidation
-// guarantee: the same normalized query under two epochs never shares a
-// cache key, so even a result inserted late (by a query that admitted
-// before the swap and finished after it) cannot answer a new-version
-// lookup.
+// guarantee: the same normalized query never shares a cache key across
+// two versions of its component, nor across two distinct component
+// identities, so even a result inserted late (by a query that admitted
+// before the swap and finished after it) cannot answer a lookup at the
+// component's next version — while an identical (identity, version)
+// stamp, i.e. an untouched component, produces the identical key across
+// an Apply, which is what keeps its cache warm.
 func TestCacheKeyCarriesEpoch(t *testing.T) {
 	nodes := []graph.Node{1, 2, 3}
-	k0 := appendCacheKey(nil, 0, nodes, dmcs.VariantFPA, dmcs.Options{})
-	k1 := appendCacheKey(nil, 1, nodes, dmcs.VariantFPA, dmcs.Options{})
-	if bytes.Equal(k0, k1) {
-		t.Fatalf("cache keys for different epochs collide: %q", k0)
+	k00 := appendCacheKey(nil, 0, 0, nodes, dmcs.VariantFPA, dmcs.Options{})
+	k01 := appendCacheKey(nil, 0, 1, nodes, dmcs.VariantFPA, dmcs.Options{})
+	k10 := appendCacheKey(nil, 1, 0, nodes, dmcs.VariantFPA, dmcs.Options{})
+	if bytes.Equal(k00, k01) {
+		t.Fatalf("cache keys for different component versions collide: %q", k00)
+	}
+	if bytes.Equal(k00, k10) {
+		t.Fatalf("cache keys for different component identities collide: %q", k00)
+	}
+	// The delimiter between identity and version must prevent positional
+	// ambiguity: (key=1, ver=10) vs (key=11, ver=0).
+	if bytes.Equal(
+		appendCacheKey(nil, 1, 10, nodes, dmcs.VariantFPA, dmcs.Options{}),
+		appendCacheKey(nil, 11, 0, nodes, dmcs.VariantFPA, dmcs.Options{}),
+	) {
+		t.Fatal("identity/version concatenation is ambiguous")
+	}
+	if !bytes.Equal(k00, appendCacheKey(nil, 0, 0, nodes, dmcs.VariantFPA, dmcs.Options{})) {
+		t.Fatal("identical stamps must produce identical keys")
 	}
 }
 
@@ -283,7 +301,11 @@ func TestQueryDuringApplyDifferential(t *testing.T) {
 			}
 		}
 		// Settled queries (no racing writer) must match the live version
-		// exactly.
+		// exactly. For the untouched components this also covers the
+		// frozen-w_G contract: the toggle preserves the graph's total
+		// weight exactly (two unit chords out, +2 on one weight), so their
+		// stamped-version answers coincide bitwise with the live serial
+		// reference — any keying or normalization drift would surface here.
 		for i, q := range queries {
 			res, err := e.Search(ctx, q)
 			if err != nil {
@@ -299,11 +321,15 @@ func TestQueryDuringApplyDifferential(t *testing.T) {
 
 // TestConcurrentApplyAndBatchSearch hammers Apply from several writers
 // while batch queries stream — the -race stress for the swap path, the
-// epoch-keyed cache, and the immutable-replace entry discipline.
+// component-version-keyed cache, and the immutable-replace entry
+// discipline. Writers stay inside components 0..2; component 3 is never
+// touched, so when the dust settles it must still be at version 0 with
+// its original answer warm.
 func TestConcurrentApplyAndBatchSearch(t *testing.T) {
 	const comps, size = 4, 40
 	e := New(smallQueryEngineGraph(comps, size), Options{Workers: 4, CacheSize: 8})
 	ctx := context.Background()
+	orig := e.Snapshot()
 	var qs []Query
 	for c := 0; c < comps; c++ {
 		qs = append(qs, Query{Nodes: []graph.Node{graph.Node(c * size)}})
@@ -339,7 +365,34 @@ func TestConcurrentApplyAndBatchSearch(t *testing.T) {
 		}
 	}
 	wg.Wait()
-	// After the dust settles, every query must match the final version.
+	// Component 3 was never touched: its version must have survived every
+	// Apply, and its answer must still be the one computed against the
+	// ORIGINAL snapshot — member set, adjacency, and frozen w_G all date
+	// from version 0.
+	settled := e.Snapshot()
+	idx3, err := settled.ComponentID(qs[3].Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := settled.ComponentVersion(idx3); v != 0 {
+		t.Fatalf("untouched component 3 at version %d, want 0", v)
+	}
+	res3, err := e.Search(ctx, qs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialOn(t, orig, qs[3]); !sameResult(res3, want) {
+		t.Fatalf("untouched component 3 after churn: (%v, %v) != original serial (%v, %v)",
+			res3.Community, res3.Score, want.Community, want.Score)
+	}
+	// One batch touching every component restamps them all at the live
+	// graph, so every query must now match the final version's serial
+	// reference — frozen w_G and live w_G coincide again.
+	var settle Batch
+	for c := 0; c < comps; c++ {
+		settle.SetWeight(graph.Node(c*size), graph.Node(c*size+1), 2)
+	}
+	e.Apply(settle)
 	final := e.Snapshot()
 	for i, q := range qs {
 		res, err := e.Search(ctx, q)

@@ -24,10 +24,33 @@
 // (internal/graph.MergeCSR — no round-trip through the map-backed Graph),
 // maintains the component partition incrementally (unions on insert,
 // re-flooding only components that lost an edge), and publishes the
-// result as the next version with an atomic pointer swap. Snapshots are
-// versioned by an epoch; in-flight queries drain on the version they
-// admitted against, and the result cache keys every entry by epoch, so a
-// mutation can never leave a stale community result servable.
+// result as the next version with an atomic pointer swap. In-flight
+// queries drain on the version they admitted against.
+//
+// # Component-scoped epochs
+//
+// Invalidation is per component, not per graph. Every component carries a
+// stable identity and a version — the epoch at which it last changed —
+// and every cache key, singleflight key, and fused-batch admission key is
+// prefixed with that (identity, version) pair instead of the global
+// epoch. An Apply advances only the versions of the components its batch
+// touched (an edge inserted, removed, or re-weighted inside it, or a
+// merge/split involving it); results, sub-CSRs, and in-flight
+// computations for every untouched component remain valid, warm, and
+// joinable across the swap. Under churn concentrated away from the hot
+// query set, the hit ratio therefore stays high instead of collapsing to
+// zero on every mutation.
+//
+// A component's version pins its full scoring context: the member
+// adjacency and the normalization weight w_G the modularity objectives
+// divide by, both frozen at the stamping epoch. Served answers bit-match
+// the serial reference for the graph as of that component's version —
+// never a hybrid of two versions. The deliberate consequence on
+// multi-component graphs: churn in one component does not shift the
+// normalization term of answers served for other, untouched components;
+// their answers stay bit-stable until the component itself changes.
+// "Stale" is a per-component notion as well — see LookupStale — and a
+// degraded-mode answer for an untouched component is not stale at all.
 //
 // Queries are deterministic: node sets are normalized (sorted,
 // deduplicated) on entry, and for a given normalized set and options the
@@ -83,14 +106,16 @@ type Options struct {
 	// DefaultTimeout is applied to queries whose own Options.Timeout is
 	// zero. 0 leaves such queries unbounded.
 	DefaultTimeout time.Duration
-	// StaleRetention, when > 0, disables Apply's eager result-cache
-	// clear so entries computed against superseded epochs stay resident
-	// (bounded by the LRU as usual) and remain reachable through
-	// LookupStale for degraded-mode serving; the value bounds how many
-	// epochs back LookupStale callers may usefully probe. Epoch-prefixed
-	// keys keep old entries unservable on the normal query path either
-	// way — retention changes memory behavior and the stale-read API,
-	// never a fresh query's answer. 0 (the default) clears eagerly.
+	// StaleRetention, when > 0, bounds per-component staleness ancestry:
+	// when an Apply supersedes a component, the new component records up
+	// to StaleRetention (identity, version) pairs of its ancestors, and
+	// LookupStale may probe those entries (still resident in the LRU) for
+	// degraded-mode serving. Version-scoped keys keep superseded entries
+	// unservable on the normal query path either way — retention changes
+	// only the stale-read API, never a fresh query's answer. 0 (the
+	// default) records no ancestry, so LookupStale serves only current-
+	// version (non-stale) answers. Results for components an Apply did
+	// not touch are never stale and are unaffected by this knob.
 	StaleRetention int
 }
 
@@ -134,6 +159,8 @@ type Engine struct {
 	sem            chan struct{} // worker-pool slots, acquired per computed search
 	scratch        sync.Pool     // *workerScratch; per-P, so checkout does no channel ops
 	stripeCtr      atomic.Uint32 // round-robins stats stripes across scratch bundles
+	invalidated    atomic.Uint64 // components superseded by Apply, cumulative
+	retained       atomic.Uint64 // components carried across Apply, cumulative
 	workers        int
 	defaultTimeout time.Duration
 	staleRetention int
@@ -215,7 +242,12 @@ func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
 func (e *Engine) Workers() int { return e.workers }
 
 // Stats returns a point-in-time snapshot of the engine's counters.
-func (e *Engine) Stats() Stats { return e.stats.snapshot(e.cache.len()) }
+func (e *Engine) Stats() Stats {
+	st := e.stats.snapshot(e.cache.len())
+	st.Invalidated = e.invalidated.Load()
+	st.Retained = e.retained.Load()
+	return st
+}
 
 // Search answers one query. A cache hit returns immediately; a miss
 // either joins the key's in-flight computation or starts one, blocking
@@ -253,11 +285,12 @@ func (e *Engine) Search(ctx context.Context, q Query) (*dmcs.Result, error) {
 // and performs no channel operation and no allocation.
 //
 // The snapshot pointer is loaded exactly once, so a query racing an
-// Apply runs consistently against one version end to end: its cache key
-// carries that version's epoch, its component lookup and search read that
-// version's arrays, and a result it inserts afterwards is keyed under
-// that epoch — visible only to queries of the same version, never to
-// queries admitted after the swap.
+// Apply runs consistently against one version end to end: its component
+// lookup and search read that version's arrays, its cache key carries
+// that version's (component identity, component version) stamp, and a
+// result it inserts afterwards is keyed under that stamp — visible to
+// any query whose component is at the same version, which is exactly the
+// set of queries owed a bit-identical answer.
 // Scratch discipline: the bundle is returned to the pool as soon as its
 // last buffer use is behind us — in particular BEFORE blocking on a
 // flight, so the number of live bundles (and their grown arenas) stays
@@ -272,37 +305,32 @@ func (e *Engine) run(ctx context.Context, q Query) (*dmcs.Result, error) {
 	if opts.Timeout == 0 {
 		opts.Timeout = e.defaultTimeout
 	}
-	if e.cache == nil {
-		res, err := e.searchInline(ctx, snap, q.Variant, opts, ws)
-		e.putScratch(ws)
-		return res, err
-	}
-	ws.key = appendCacheKey(ws.key[:0], snap.epoch, nodes, q.Variant, opts)
-	h := hashKey(ws.key)
-	if res, ok := e.cache.get(h, ws.key); ok {
-		e.stats.recordHit(ws.stripe)
-		e.putScratch(ws)
-		return res, nil
-	}
+	// Admission (the component lookup) runs before keying: the cache key
+	// is scoped to the query's component, so it cannot be built until the
+	// component is known. The lookup is allocation-free, keeping the warm
+	// hit path at 0 allocs/op.
 	id, err := snap.componentIndex(nodes)
 	if err != nil {
 		e.stats.recordError(ws.stripe)
 		e.putScratch(ws)
 		return nil, err
 	}
-	return e.searchShared(ctx, snap, id, q.Variant, opts, ws, h, q)
-}
-
-// searchInline is the cache-disabled path: validate, then peel on the
-// caller's goroutine with the caller's context — exactly the serial
-// semantics, bounded by the worker pool.
-func (e *Engine) searchInline(ctx context.Context, snap *Snapshot, v dmcs.Variant, opts dmcs.Options, ws *workerScratch) (*dmcs.Result, error) {
-	id, err := snap.componentIndex(ws.nodes)
-	if err != nil {
-		e.stats.recordError(ws.stripe)
-		return nil, err
+	if e.cache == nil {
+		// Cache-disabled path: peel on the caller's goroutine with the
+		// caller's context — exactly the serial semantics, bounded by the
+		// worker pool.
+		res, err := e.peelOwn(ctx, snap, id, q.Variant, opts, ws)
+		e.putScratch(ws)
+		return res, err
 	}
-	return e.peelOwn(ctx, snap, id, v, opts, ws)
+	ws.key = appendCacheKey(ws.key[:0], snap.compKey[id], snap.compVer[id], nodes, q.Variant, opts)
+	h := hashKey(ws.key)
+	if res, ok := e.cache.get(h, ws.key); ok {
+		e.stats.recordHit(ws.stripe)
+		e.putScratch(ws)
+		return res, nil
+	}
+	return e.searchShared(ctx, snap, id, q.Variant, opts, ws, h, q)
 }
 
 // peelOwn runs one unshared search on the caller's goroutine and clock:
@@ -424,20 +452,25 @@ func sortNodes(a []graph.Node) {
 	}
 }
 
-// appendCacheKey appends the encoding of the snapshot epoch, the
-// normalized node set, and every option that shapes a completed result to
-// b (usually a recycled worker buffer, so the hit path builds its key
-// without allocating). The epoch prefix makes version confusion
-// structurally impossible: a result computed against snapshot N is keyed
-// under N and can never answer a lookup for snapshot N+1, even when the
-// computing query finishes (and inserts) after the swap. Timeout is
-// deliberately excluded: only results that ran to completion are cached,
-// and those do not depend on the deadline. Callers pass canonicalized
-// options (see canonicalOptions) so result-equivalent settings collide.
+// appendCacheKey appends the encoding of the query component's stable
+// identity and version, the normalized node set, and every option that
+// shapes a completed result to b (usually a recycled worker buffer, so
+// the hit path builds its key without allocating). The
+// (identity, version) prefix makes version confusion structurally
+// impossible at component scope: a result computed against one version
+// of a component is keyed under that version and can never answer a
+// lookup after the component changes — while an Apply that leaves the
+// component untouched leaves both numbers, and therefore every cached
+// entry for it, intact. Timeout is deliberately excluded: only results
+// that ran to completion are cached, and those do not depend on the
+// deadline. Callers pass canonicalized options (see canonicalOptions) so
+// result-equivalent settings collide.
 //
 //dmcs:keymaker
-func appendCacheKey(b []byte, epoch uint64, nodes []graph.Node, v dmcs.Variant, o dmcs.Options) []byte {
-	b = strconv.AppendUint(b, epoch, 10)
+func appendCacheKey(b []byte, compKey, compVer uint64, nodes []graph.Node, v dmcs.Variant, o dmcs.Options) []byte {
+	b = strconv.AppendUint(b, compKey, 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, compVer, 10)
 	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(v), 10)
 	b = append(b, '|')

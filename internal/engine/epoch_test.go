@@ -1,0 +1,172 @@
+package engine
+
+// Chained differential test for component-scoped epochs: a long
+// interleaving of Apply and queries in which every Apply touches exactly
+// one component. Three properties are checked at every step:
+//
+//  1. Untouched components keep their (key, version) stamps across the
+//     Apply and their queries are answered from cache — byte-for-byte
+//     the same *dmcs.Result pointer that was cached before the Apply.
+//  2. The touched component is restamped and its next answer bit-matches
+//     a from-scratch serial rebuild on the new snapshot (a fresh stamp
+//     pins w_G to the live graph, so the serial reference on the full
+//     CSR is the exact oracle).
+//  3. A query racing the Apply returns either its component's pre-Apply
+//     answer or its post-Apply answer — never a hybrid — restated per
+//     component version: untouched components must return their pre
+//     answer no matter how the race lands.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"dmcs/internal/dmcs"
+	"dmcs/internal/graph"
+)
+
+// compStamp is one component's recorded answer and identity at the time
+// it was last (re)computed.
+type compStamp struct {
+	res *dmcs.Result
+	key uint64
+	ver uint64
+}
+
+func TestComponentEpochChainedDifferential(t *testing.T) {
+	const comps, size = 6, 24
+	// The cache is sized so nothing is ever evicted: the pointer-equality
+	// assertions below distinguish "served from cache" from "recomputed
+	// to the same bits", which only works if entries cannot age out.
+	e := New(smallQueryEngineGraph(comps, size), Options{Workers: 4, CacheSize: 4096})
+	ctx := context.Background()
+
+	qs := make([]Query, comps)
+	for c := 0; c < comps; c++ {
+		qs[c] = Query{Nodes: []graph.Node{graph.Node(c * size)}}
+	}
+
+	// Seed the cache and record each component's stamped answer and
+	// (key, version) identity.
+	answers := make([]compStamp, comps)
+	snap := e.Snapshot()
+	for c := range qs {
+		res, err := e.Search(ctx, qs[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := snap.ComponentID(qs[c].Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers[c] = compStamp{res: res, key: snap.ComponentKey(id), ver: snap.ComponentVersion(id)}
+	}
+
+	rounds := 3 * comps
+	if testing.Short() {
+		rounds = comps
+	}
+	toggles := make([]int, comps)
+	for r := 0; r < rounds; r++ {
+		touched := r % comps
+		base := graph.Node(touched * size)
+
+		// The touching batch toggles a chord inside the touched component
+		// only; connectivity is preserved by the ring.
+		var b Batch
+		if toggles[touched]%2 == 0 {
+			b.RemoveEdge(base, base+7)
+		} else {
+			b.AddEdge(base, base+7)
+		}
+		toggles[touched]++
+
+		// Race one round of queries against the Apply (property 3), then
+		// settle and check properties 1 and 2 deterministically.
+		raceRes := make([]*dmcs.Result, comps)
+		raceErr := make([]error, comps)
+		var wg sync.WaitGroup
+		for c := range qs {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				raceRes[c], raceErr[c] = e.Search(ctx, qs[c])
+			}(c)
+		}
+		st := e.Apply(b)
+		post := e.Snapshot()
+		wg.Wait()
+
+		postSerial := serialOn(t, post, qs[touched])
+		for c := range qs {
+			if raceErr[c] != nil {
+				t.Fatalf("round %d comp %d racing query: %v", r, c, raceErr[c])
+			}
+			if c == touched {
+				// Touched: pre answer (the cached result at the superseded
+				// version) or post answer (serial on the new snapshot) —
+				// nothing else.
+				if raceRes[c] != answers[c].res && !sameResult(raceRes[c], postSerial) {
+					t.Fatalf("round %d: touched comp %d racing query is a hybrid: (%v, %v)",
+						r, c, raceRes[c].Community, raceRes[c].Score)
+				}
+			} else if raceRes[c] != answers[c].res {
+				// Untouched: the version never moved, so only the cached
+				// pre answer is a legal outcome, whichever side of the
+				// swap the query landed on.
+				t.Fatalf("round %d: untouched comp %d racing query did not return its cached answer", r, c)
+			}
+		}
+
+		// Property 1: every untouched component kept its stamps, and a
+		// settled query is a cache hit returning the identical result.
+		hitsBefore := e.Stats().CacheHits
+		for c := range qs {
+			id, err := post.ComponentID(qs[c].Nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key, ver := post.ComponentKey(id), post.ComponentVersion(id)
+			if c == touched {
+				if key == answers[c].key && ver == answers[c].ver {
+					t.Fatalf("round %d: touched comp %d kept stamp (key=%d ver=%d)", r, c, key, ver)
+				}
+				if ver != st.Epoch {
+					t.Fatalf("round %d: touched comp %d version %d, want epoch %d", r, c, ver, st.Epoch)
+				}
+				continue
+			}
+			if key != answers[c].key || ver != answers[c].ver {
+				t.Fatalf("round %d: untouched comp %d restamped: (%d,%d) -> (%d,%d)",
+					r, c, answers[c].key, answers[c].ver, key, ver)
+			}
+			res, err := e.Search(ctx, qs[c])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != answers[c].res {
+				t.Fatalf("round %d: untouched comp %d settled query missed the cache", r, c)
+			}
+		}
+		if hits := e.Stats().CacheHits; hits < hitsBefore+uint64(comps-1) {
+			t.Fatalf("round %d: cache hits %d -> %d, want +%d untouched hits",
+				r, hitsBefore, hits, comps-1)
+		}
+
+		// Property 2: the touched component's settled answer bit-matches a
+		// from-scratch rebuild on the new snapshot.
+		res, err := e.Search(ctx, qs[touched])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResult(res, postSerial) {
+			t.Fatalf("round %d: touched comp %d settled answer (%v, %v) != from-scratch rebuild (%v, %v)",
+				r, touched, res.Community, res.Score, postSerial.Community, postSerial.Score)
+		}
+		id, err := post.ComponentID(qs[touched].Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers[touched] = compStamp{res: res, key: post.ComponentKey(id), ver: post.ComponentVersion(id)}
+	}
+}

@@ -12,9 +12,13 @@ import (
 // flight is one in-flight computation that concurrent identical misses
 // collapse onto. The first miss (the leader) registers the flight in its
 // cache shard and spawns the computing goroutine; later misses on the
-// same (epoch, key, effective timeout) join it. Everyone — leader
-// included — waits on done, so a thundering herd of N identical misses
-// costs one peel instead of N.
+// same (component version, key, effective timeout) join it. Everyone —
+// leader included — waits on done, so a thundering herd of N identical
+// misses costs one peel instead of N. Because flight keys carry the
+// component's (identity, version) stamp rather than the global epoch, an
+// Apply that does not touch a flight's component leaves the flight
+// joinable — and its eventual result cacheable and servable — across the
+// snapshot swap.
 //
 // Cancellation is refcounted, which is what makes joining safe: a
 // waiter whose context fires leaves its wait immediately (returning its
@@ -179,7 +183,7 @@ func (e *Engine) searchOwnClock(ctx context.Context, snap *Snapshot, id int32, v
 	ws.nodes = normalizeNodesInto(ws.nodes[:0], q.Nodes)
 	res, err := e.peelOwn(ctx, snap, id, v, opts, ws)
 	if err == nil && !res.TimedOut {
-		ws.key = appendCacheKey(ws.key[:0], snap.epoch, ws.nodes, v, opts)
+		ws.key = appendCacheKey(ws.key[:0], snap.compKey[id], snap.compVer[id], ws.nodes, v, opts)
 		e.cache.add(hashKey(ws.key), ws.key, res)
 	}
 	e.putScratch(ws)

@@ -17,9 +17,11 @@ package engine
 //     chaos panic) is confined to that query: the caller gets a
 //     *PanicError, the worker slot is released, the possibly-corrupt
 //     arena is discarded, and the engine keeps serving.
-//   - LookupStale answers a query from a superseded epoch's cached
-//     result when the caller (the overload controller, in practice)
-//     decides a stale answer beats no answer.
+//   - LookupStale answers a query from its component's current version
+//     (not stale — untouched components keep their version across
+//     Apply) or, within StaleRetention, from a superseded version of the
+//     component's ancestry, when the caller (the overload controller, in
+//     practice) decides a stale answer beats no answer.
 
 import (
 	"errors"
@@ -139,45 +141,56 @@ func (e *Engine) NoteShed() {
 	e.stats.recordShed(int(e.stripeCtr.Add(1) & uint32(e.stats.numStripes()-1)))
 }
 
-// LookupStale probes the result cache for q's answer at the current or
-// a recent superseded epoch, newest first, going at most maxBehind
-// versions back. It does no search work: a hit returns the cached
-// result and the epoch it was computed against; a miss returns ok ==
-// false and the caller decides what failing gracefully means. A hit at
-// the current epoch counts as a cache hit; a hit at an older epoch
-// counts as Stats.StaleServed — the caller MUST surface such results as
-// stale (dmcsd sets "stale": true), because the community may not match
-// the current graph.
+// LookupStale probes the result cache for q's answer at the query
+// component's current version first, then — within maxBehind entries of
+// the component's recorded ancestry, newest first — at superseded
+// versions. It does no search work: a hit returns the cached result, the
+// component version it was computed against, and whether that version is
+// superseded (stale); a miss returns ok == false and the caller decides
+// what failing gracefully means.
 //
-// Superseded epochs' entries only survive Apply when the engine was
-// built with Options.StaleRetention > 0; otherwise Apply clears them
-// eagerly and LookupStale degenerates to a current-epoch probe.
-func (e *Engine) LookupStale(q Query, maxBehind int) (*dmcs.Result, uint64, bool) {
+// Staleness is per component. A hit at the component's current version
+// is NOT stale — even if the graph's global epoch has advanced many
+// times since the result was computed, an Apply that never touched the
+// component leaves its answer exact — and counts as a plain cache hit. A
+// hit on a superseded ancestor version counts as Stats.StaleServed and
+// returns stale == true; the caller MUST surface such results as stale
+// (dmcsd sets "stale": true), because the community may not match the
+// current graph.
+//
+// Ancestry is only recorded when the engine was built with
+// Options.StaleRetention > 0; otherwise LookupStale degenerates to a
+// current-version probe. A query whose nodes are invalid on the current
+// snapshot (out of range, or spanning components) has no current
+// component and returns ok == false.
+func (e *Engine) LookupStale(q Query, maxBehind int) (res *dmcs.Result, version uint64, stale, ok bool) {
 	if e.cache == nil {
-		return nil, 0, false
+		return nil, 0, false, false
 	}
 	snap := e.snap.Load()
 	ws := e.getScratch()
 	defer e.putScratch(ws)
 	ws.nodes = normalizeNodesInto(ws.nodes[:0], q.Nodes)
 	opts := canonicalOptions(q.Opts)
-	cur := snap.epoch
-	lo := uint64(0)
-	if mb := uint64(max(0, maxBehind)); mb < cur {
-		lo = cur - mb
+	id, err := snap.componentIndex(ws.nodes)
+	if err != nil {
+		return nil, 0, false, false
 	}
-	for ep := cur; ; ep-- {
-		ws.key = appendCacheKey(ws.key[:0], ep, ws.nodes, q.Variant, opts)
-		if res, ok := e.cache.get(hashKey(ws.key), ws.key); ok {
-			if ep == cur {
-				e.stats.recordHit(ws.stripe)
-			} else {
-				e.stats.recordStaleServed(ws.stripe)
-			}
-			return res, ep, true
-		}
-		if ep == lo {
-			return nil, 0, false
+	ws.key = appendCacheKey(ws.key[:0], snap.compKey[id], snap.compVer[id], ws.nodes, q.Variant, opts)
+	if res, hit := e.cache.get(hashKey(ws.key), ws.key); hit {
+		e.stats.recordHit(ws.stripe)
+		return res, snap.compVer[id], false, true
+	}
+	hist := snap.compHist[id]
+	if maxBehind >= 0 && len(hist) > maxBehind {
+		hist = hist[:maxBehind]
+	}
+	for _, ref := range hist {
+		ws.key = appendCacheKey(ws.key[:0], ref.key, ref.ver, ws.nodes, q.Variant, opts)
+		if res, hit := e.cache.get(hashKey(ws.key), ws.key); hit {
+			e.stats.recordStaleServed(ws.stripe)
+			return res, ref.ver, true, true
 		}
 	}
+	return nil, 0, false, false
 }

@@ -241,69 +241,103 @@ func TestPanicIsolationHerd(t *testing.T) {
 	}
 }
 
-// TestLookupStale covers the degraded-mode read API: with retention on,
-// a superseded epoch's cached answer stays reachable (and is counted as
-// StaleServed); with retention off, Apply clears it.
+// TestLookupStale covers the degraded-mode read API under per-component
+// staleness: an Apply that never touches the queried component leaves
+// its answer a fresh current-version hit; an Apply that does touch it
+// supersedes the version, and (with retention on) the old answer stays
+// reachable through the component's ancestry, counted as StaleServed.
 func TestLookupStale(t *testing.T) {
-	res := testGraph(t, 400)
+	// Four disjoint ring+chord communities; the query lives in
+	// component 0 (nodes 0..15), mutations target specific components.
+	g := smallQueryEngineGraph(4, 16)
 	q := Query{Nodes: []graph.Node{0}}
 
-	e := New(res.G, Options{StaleRetention: 4})
+	e := New(g, Options{StaleRetention: 4})
 	first, err := e.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ep, ok := e.LookupStale(q, 0); !ok || ep != 0 {
-		t.Fatalf("current-epoch lookup: ok=%v ep=%d", ok, ep)
+	if _, ver, stale, ok := e.LookupStale(q, 0); !ok || stale || ver != 0 {
+		t.Fatalf("current-version lookup: ok=%v stale=%v ver=%d", ok, stale, ver)
 	}
 
-	var b Batch
-	b.AddEdge(0, 1) // parallel to an existing edge? AddEdge resets weight; ensure a real change:
-	b.AddNode(graph.Node(res.G.NumNodes()))
-	if st := e.Apply(b); st.Epoch != 1 {
+	// An Apply entirely inside component 1 must not disturb component 0's
+	// answer: still a fresh hit at an unchanged version, even with
+	// maxBehind 0, and never flagged stale.
+	var untouched Batch
+	untouched.RemoveEdge(16, 23) // a chord inside component 1
+	if st := e.Apply(untouched); st.Epoch != 1 {
 		t.Fatalf("Apply epoch = %d, want 1", st.Epoch)
 	}
+	got, ver, stale, ok := e.LookupStale(q, 0)
+	if !ok || stale || ver != 0 {
+		t.Fatalf("untouched-component lookup after Apply: ok=%v stale=%v ver=%d", ok, stale, ver)
+	}
+	if !reflect.DeepEqual(got.Community, first.Community) {
+		t.Fatal("untouched-component lookup returned a different community")
+	}
+	if st := e.Stats(); st.StaleServed != 0 {
+		t.Fatalf("untouched-component hits counted as StaleServed (%d)", st.StaleServed)
+	}
 
-	// maxBehind 0: current epoch only — the old entry must not answer.
-	if _, _, ok := e.LookupStale(q, 0); ok {
-		t.Fatal("epoch-0 entry served for a current-epoch-only probe")
+	// Now mutate INSIDE component 0: its version is superseded, so the
+	// cached answer is no longer current.
+	var touching Batch
+	touching.RemoveEdge(0, 7) // a chord inside component 0; ring stays connected
+	if st := e.Apply(touching); st.Epoch != 2 {
+		t.Fatalf("Apply epoch = %d, want 2", st.Epoch)
 	}
-	// maxBehind 1: the stale answer is reachable, flagged by its epoch.
-	stale, ep, ok := e.LookupStale(q, 1)
-	if !ok || ep != 0 {
-		t.Fatalf("stale lookup: ok=%v ep=%d", ok, ep)
+
+	// maxBehind 0: current version only — the superseded entry must not
+	// answer.
+	if _, _, _, ok := e.LookupStale(q, 0); ok {
+		t.Fatal("superseded entry served for a current-version-only probe")
 	}
-	if !reflect.DeepEqual(stale.Community, first.Community) {
+	// maxBehind 1: the stale answer is reachable through the component's
+	// ancestry, flagged with the version it was computed against.
+	staleRes, ver, stale, ok := e.LookupStale(q, 1)
+	if !ok || !stale || ver != 0 {
+		t.Fatalf("stale lookup: ok=%v stale=%v ver=%d", ok, stale, ver)
+	}
+	if !reflect.DeepEqual(staleRes.Community, first.Community) {
 		t.Fatal("stale lookup returned a different community than was cached")
 	}
-	st := e.Stats()
-	if st.StaleServed != 1 {
+	if st := e.Stats(); st.StaleServed != 1 {
 		t.Errorf("Stats.StaleServed = %d, want 1", st.StaleServed)
 	}
 
-	// A fresh search at the new epoch repopulates; LookupStale now hits
-	// the current epoch and counts as a plain cache hit.
+	// A fresh search repopulates at the component's new version;
+	// LookupStale hits the current version and counts as a plain cache
+	// hit.
 	if _, err := e.Search(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	hitsBefore := e.Stats().CacheHits
-	if _, ep, ok := e.LookupStale(q, 4); !ok || ep != 1 {
-		t.Fatalf("post-recompute lookup: ok=%v ep=%d", ok, ep)
+	if _, ver, stale, ok := e.LookupStale(q, 4); !ok || stale || ver != 2 {
+		t.Fatalf("post-recompute lookup: ok=%v stale=%v ver=%d", ok, stale, ver)
 	}
 	if e.Stats().CacheHits != hitsBefore+1 {
-		t.Error("current-epoch LookupStale hit not counted as a cache hit")
+		t.Error("current-version LookupStale hit not counted as a cache hit")
 	}
 
-	// Without retention, Apply clears eagerly and nothing stale survives.
-	e2 := New(res.G, Options{})
+	// Without retention there is no ancestry: a touching Apply strands
+	// the old entry, but untouched components STILL keep their answers —
+	// retention only governs stale reachability, not warm hits.
+	e2 := New(smallQueryEngineGraph(4, 16), Options{})
 	if _, err := e2.Search(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	var b2 Batch
-	b2.AddNode(graph.Node(res.G.NumNodes()))
+	b2.RemoveEdge(16, 23)
 	e2.Apply(b2)
-	if _, _, ok := e2.LookupStale(q, 8); ok {
-		t.Fatal("StaleRetention=0 engine served a stale entry after Apply")
+	if _, ver, stale, ok := e2.LookupStale(q, 8); !ok || stale || ver != 0 {
+		t.Fatalf("retention-0 untouched lookup: ok=%v stale=%v ver=%d", ok, stale, ver)
+	}
+	var b3 Batch
+	b3.RemoveEdge(0, 7)
+	e2.Apply(b3)
+	if _, _, _, ok := e2.LookupStale(q, 8); ok {
+		t.Fatal("StaleRetention=0 engine served a stale entry after a touching Apply")
 	}
 }
 
@@ -311,7 +345,7 @@ func TestLookupStale(t *testing.T) {
 func TestLookupStaleNeverSearches(t *testing.T) {
 	res := testGraph(t, 400)
 	e := New(res.G, Options{StaleRetention: 2})
-	if _, _, ok := e.LookupStale(Query{Nodes: []graph.Node{7}}, 3); ok {
+	if _, _, _, ok := e.LookupStale(Query{Nodes: []graph.Node{7}}, 3); ok {
 		t.Fatal("cold cache lookup reported a hit")
 	}
 	if st := e.Stats(); st.Computed != 0 {

@@ -67,12 +67,22 @@ type Stats struct {
 	// overload-state shedding). Recorded via NoteShed; not included in
 	// Queries.
 	Shed uint64
-	// StaleServed counts queries answered from a superseded epoch's
-	// cached result through LookupStale — the degraded-mode answers the
-	// serving tier hands out instead of failing under pressure. Included
-	// in Queries (the query was answered), not in CacheHits (the answer
-	// was not current).
+	// StaleServed counts queries answered from a superseded version of
+	// their component through LookupStale — the degraded-mode answers the
+	// serving tier hands out instead of failing under pressure. A
+	// LookupStale answer at the component's CURRENT version is a plain
+	// cache hit, not counted here: an Apply that never touched the
+	// component leaves its answer exact. Included in Queries (the query
+	// was answered), not in CacheHits (the answer was not current).
 	StaleServed uint64
+	// Invalidated and Retained count components across all Applies:
+	// Invalidated components were superseded (their cached results,
+	// sub-CSRs, and flights became unreachable on the fresh path),
+	// Retained components were carried verbatim into the next snapshot
+	// with caches and flights intact. Their ratio is the direct measure
+	// of how component-scoped invalidation is paying off under the
+	// current churn pattern.
+	Invalidated, Retained uint64
 	// CacheEntries is the current number of cached results.
 	CacheEntries int
 	// P50, P95, and P99 are latency percentiles over a sliding window of

@@ -50,7 +50,8 @@ type Delta struct {
 type MergeInfo struct {
 	Inserted       [][2]Node // now present, previously absent; u < v, sorted
 	Removed        [][2]Node // now absent, previously present; u < v, sorted
-	WeightsChanged int       // existing edges whose weight changed
+	WeightEdges    [][2]Node // present before and after with a changed weight; u < v, sorted
+	WeightsChanged int       // existing edges whose weight changed (== len(WeightEdges))
 	NodesAdded     int       // node-count growth (explicit and implicit)
 }
 
@@ -178,6 +179,7 @@ func MergeCSR(c *CSR, ops []Delta) (*CSR, *MergeInfo) {
 			info.Removed = append(info.Removed, key)
 			dir = append(dir, dirOp{src: u, dst: v, del: true}, dirOp{src: v, dst: u, del: true})
 		case s.present && s.existed && s.w != s.oldW:
+			info.WeightEdges = append(info.WeightEdges, key)
 			info.WeightsChanged++
 			dir = append(dir, dirOp{src: u, dst: v, w: s.w}, dirOp{src: v, dst: u, w: s.w})
 		}
@@ -190,6 +192,7 @@ func MergeCSR(c *CSR, ops []Delta) (*CSR, *MergeInfo) {
 	})
 	slices.SortFunc(info.Inserted, cmpEdge)
 	slices.SortFunc(info.Removed, cmpEdge)
+	slices.SortFunc(info.WeightEdges, cmpEdge)
 
 	weighted := c.weights != nil
 	if !weighted {
@@ -291,7 +294,15 @@ func cmpEdge(a, b [2]Node) int {
 // The returned partition is in canonical form: component ids are assigned
 // in first-seen ascending-node order and each member list is sorted, the
 // same invariants a from-scratch flood produces.
-func UpdateComponents(c *CSR, oldCompID []int32, numOldComps int, info *MergeInfo) (compID []int32, comps [][]Node, refloodedNodes int) {
+//
+// carried maps each new component id to the old component id it is a
+// verbatim continuation of, or -1. carried[id] == r guarantees that new
+// component id has exactly the member set, adjacency, and edge weights of
+// old component r: no edge incident to the component was inserted,
+// removed, or re-weighted by the batch, and no node joined or left it.
+// Callers use this to preserve per-component version stamps (and anything
+// keyed by them — cached results, sub-CSRs) across a merge.
+func UpdateComponents(c *CSR, oldCompID []int32, numOldComps int, info *MergeInfo) (compID []int32, comps [][]Node, carried []int32, refloodedNodes int) {
 	n := c.NumNodes()
 	oldN := len(oldCompID)
 	groups := numOldComps + (n - oldN) // old components + new-node singletons
@@ -320,10 +331,22 @@ func UpdateComponents(c *CSR, oldCompID []int32, numOldComps int, info *MergeInf
 	}
 	// Mark after all unions so the dirty bit lands on the final root: a
 	// removal inside a group that an insertion also merged must dirty the
-	// whole merged group.
+	// whole merged group. touched marks every root whose component's edge
+	// set changed in any way — such groups can never be carried, even when
+	// they keep their id and membership (e.g. a weight update or an
+	// inserted chord inside one component).
 	dirty := make([]bool, groups)
+	touched := make([]bool, groups)
+	for _, e := range info.Inserted {
+		touched[find(groupOf(e[0]))] = true
+	}
 	for _, e := range info.Removed {
-		dirty[find(groupOf(e[0]))] = true
+		r := find(groupOf(e[0]))
+		dirty[r] = true
+		touched[r] = true
+	}
+	for _, e := range info.WeightEdges {
+		touched[find(groupOf(e[0]))] = true
 	}
 
 	// Provisional component ids: clean merged groups keep their root id;
@@ -374,10 +397,19 @@ func UpdateComponents(c *CSR, oldCompID []int32, numOldComps int, info *MergeInf
 		if table[p] == -1 {
 			table[p] = int32(len(comps))
 			comps = append(comps, nil)
+			// A carried component is a clean untouched old group: its
+			// provisional id is still an old root (< numOldComps), nothing
+			// was unioned into it (that would have marked it touched), and
+			// none of its edges changed.
+			if p < int32(numOldComps) && !touched[p] {
+				carried = append(carried, p)
+			} else {
+				carried = append(carried, -1)
+			}
 		}
 		id := table[p]
 		compID[u] = id
 		comps[id] = append(comps[id], Node(u))
 	}
-	return compID, comps, refloodedNodes
+	return compID, comps, carried, refloodedNodes
 }

@@ -256,7 +256,9 @@ func TestUpdateComponentsMatchesFlood(t *testing.T) {
 	for round := 0; round < 30; round++ {
 		ops := randomBatch(rng, cur.NumNodes(), 10, false)
 		next, info := MergeCSR(cur, ops)
-		compID, comps, _ = UpdateComponents(next, compID, len(comps), info)
+		oldComps := comps
+		var carried []int32
+		compID, comps, carried, _ = UpdateComponents(next, compID, len(comps), info)
 		wantID, wantComps := floodComponents(next)
 		if !reflect.DeepEqual(compID, wantID) {
 			t.Fatalf("round %d: compID mismatch\n got %v\nwant %v", round, compID, wantID)
@@ -264,7 +266,53 @@ func TestUpdateComponentsMatchesFlood(t *testing.T) {
 		if !reflect.DeepEqual(comps, wantComps) {
 			t.Fatalf("round %d: comps mismatch\n got %v\nwant %v", round, comps, wantComps)
 		}
+		checkCarried(t, cur, next, oldComps, comps, carried, info)
 		cur = next
+	}
+}
+
+// checkCarried verifies the carried contract: a carried component is a
+// verbatim continuation — same members, same adjacency, same weights —
+// and a component overlapping any edge the batch changed is never carried.
+func checkCarried(t *testing.T, old, next *CSR, oldComps, comps [][]Node, carried []int32, info *MergeInfo) {
+	t.Helper()
+	if len(carried) != len(comps) {
+		t.Fatalf("carried has %d entries for %d components", len(carried), len(comps))
+	}
+	touched := make(map[Node]bool)
+	for _, es := range [][][2]Node{info.Inserted, info.Removed, info.WeightEdges} {
+		for _, e := range es {
+			touched[e[0]], touched[e[1]] = true, true
+		}
+	}
+	for id, from := range carried {
+		if from < 0 {
+			continue
+		}
+		if !reflect.DeepEqual(comps[id], oldComps[from]) {
+			t.Fatalf("carried comp %d: members %v != old comp %d members %v", id, comps[id], from, oldComps[from])
+		}
+		for _, u := range comps[id] {
+			if touched[u] {
+				t.Fatalf("carried comp %d contains node %d with a changed edge", id, u)
+			}
+			if !reflect.DeepEqual(next.Neighbors(u), old.Neighbors(u)) {
+				t.Fatalf("carried comp %d: node %d adjacency changed across merge", id, u)
+			}
+			ow, nw := old.NeighborWeights(u), next.NeighborWeights(u)
+			for i := range next.Neighbors(u) {
+				wOld, wNew := 1.0, 1.0
+				if ow != nil {
+					wOld = ow[i]
+				}
+				if nw != nil {
+					wNew = nw[i]
+				}
+				if wOld != wNew {
+					t.Fatalf("carried comp %d: node %d weight[%d] changed %v -> %v", id, u, i, wOld, wNew)
+				}
+			}
+		}
 	}
 }
 
@@ -281,7 +329,7 @@ func TestUpdateComponentsRefloodScope(t *testing.T) {
 
 	// Insert-only batch: joins the pair to the path, refloods nothing.
 	next, info := MergeCSR(cur, []Delta{{Op: DeltaAddEdge, U: 3, V: 7}})
-	compID, comps, reflooded := UpdateComponents(next, compID, len(comps), info)
+	compID, comps, _, reflooded := UpdateComponents(next, compID, len(comps), info)
 	if reflooded != 0 {
 		t.Fatalf("insert-only batch reflooded %d nodes, want 0", reflooded)
 	}
@@ -293,7 +341,7 @@ func TestUpdateComponentsRefloodScope(t *testing.T) {
 	// never the 6-node path+pair component.
 	cur = next
 	next, info = MergeCSR(cur, []Delta{{Op: DeltaRemoveEdge, U: 4, V: 5}})
-	compID, comps, reflooded = UpdateComponents(next, compID, len(comps), info)
+	compID, comps, _, reflooded = UpdateComponents(next, compID, len(comps), info)
 	if reflooded != 3 {
 		t.Fatalf("triangle removal reflooded %d nodes, want 3", reflooded)
 	}
@@ -305,7 +353,7 @@ func TestUpdateComponentsRefloodScope(t *testing.T) {
 	// 6 nodes are reflooded.
 	cur = next
 	next, info = MergeCSR(cur, []Delta{{Op: DeltaRemoveEdge, U: 2, V: 3}})
-	_, comps, reflooded = UpdateComponents(next, compID, len(comps), info)
+	_, comps, _, reflooded = UpdateComponents(next, compID, len(comps), info)
 	if reflooded != 6 {
 		t.Fatalf("split removal reflooded %d nodes, want 6", reflooded)
 	}
@@ -331,12 +379,61 @@ func TestUpdateComponentsNewNodes(t *testing.T) {
 	if info.NodesAdded != 4 {
 		t.Fatalf("NodesAdded = %d, want 4", info.NodesAdded)
 	}
-	compID, comps, reflooded := UpdateComponents(next, compID, len(comps), info)
+	compID, comps, _, reflooded := UpdateComponents(next, compID, len(comps), info)
 	if reflooded != 0 {
 		t.Fatalf("growth batch reflooded %d nodes, want 0", reflooded)
 	}
 	wantID, wantComps := floodComponents(next)
 	if !reflect.DeepEqual(compID, wantID) || !reflect.DeepEqual(comps, wantComps) {
 		t.Fatalf("partition mismatch:\n got %v %v\nwant %v %v", compID, comps, wantID, wantComps)
+	}
+}
+
+// TestUpdateComponentsCarried pins the carried map directly: untouched
+// components survive any mix of inserts, removals, weight changes, and
+// node growth elsewhere in the graph, and every kind of touch — including
+// ones that keep a component's id and membership — clears the flag.
+func TestUpdateComponentsCarried(t *testing.T) {
+	// Four components: path 0-1-2, triangle 3-4-5, pair 6-7, pair 8-9.
+	g := FromEdges(10, [][2]Node{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {3, 5}, {6, 7}, {8, 9}})
+	cur := NewCSR(g)
+	compID, comps := floodComponents(cur)
+	if len(comps) != 4 {
+		t.Fatalf("want 4 components, got %d", len(comps))
+	}
+
+	// Batch touches the path (insert chord 0-2), the triangle (weight
+	// change), and grows an isolated node; both pairs must carry.
+	next, info := MergeCSR(cur, []Delta{
+		{Op: DeltaAddEdge, U: 0, V: 2},
+		{Op: DeltaSetWeight, U: 3, V: 4, W: 5},
+		{Op: DeltaAddNode, U: 10},
+	})
+	oldComps := comps
+	compID, comps, carried, _ := UpdateComponents(next, compID, len(comps), info)
+	checkCarried(t, cur, next, oldComps, comps, carried, info)
+	want := []int32{-1, -1, 2, 3, -1} // path touched, triangle touched, pairs carried, singleton new
+	if !reflect.DeepEqual(carried, want) {
+		t.Fatalf("carried = %v, want %v", carried, want)
+	}
+
+	// A removal that splits a component: the fragments are not carried,
+	// everything else is.
+	cur = next
+	next, info = MergeCSR(cur, []Delta{{Op: DeltaRemoveEdge, U: 6, V: 7}})
+	oldComps = comps
+	_, comps, carried, _ = UpdateComponents(next, compID, len(comps), info)
+	checkCarried(t, cur, next, oldComps, comps, carried, info)
+	if len(comps) != 6 {
+		t.Fatalf("want 6 components after split, got %d", len(comps))
+	}
+	carriedCount := 0
+	for _, from := range carried {
+		if from >= 0 {
+			carriedCount++
+		}
+	}
+	if carriedCount != 4 { // path, triangle, pair 8-9, singleton 10
+		t.Fatalf("carried = %v, want exactly 4 carried components", carried)
 	}
 }

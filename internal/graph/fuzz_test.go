@@ -170,7 +170,10 @@ func FuzzMergeCSR(f *testing.F) {
 				}
 			}
 
-			compID, comps, _ = UpdateComponents(next, compID, len(comps), info)
+			oldComps := comps
+			var carried []int32
+			compID, comps, carried, _ = UpdateComponents(next, compID, len(comps), info)
+			checkCarried(t, cur, next, oldComps, comps, carried, info)
 			wantID, wantComps := floodComponents(next)
 			if len(comps) != len(wantComps) {
 				t.Fatalf("incremental partition has %d components, re-flood has %d", len(comps), len(wantComps))

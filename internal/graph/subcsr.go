@@ -95,6 +95,19 @@ func NewSubCSR(c *CSR, members []Node) *SubCSR {
 	return dst
 }
 
+// NewSubCSRAt is NewSubCSR with the normalization weight pinned: the
+// returned sub scores against wG instead of c.TotalWeight(). Callers that
+// version components independently use it to rebuild a carried
+// component's sub on a later snapshot while keeping its answers
+// bit-identical to the version the component was stamped at — the member
+// adjacency is unchanged by construction (see UpdateComponents' carried
+// contract) and wG freezes the only global term the objectives consume.
+func NewSubCSRAt(c *CSR, members []Node, wG float64) *SubCSR {
+	dst := NewSubCSR(c, members)
+	dst.totalW = wG
+	return dst
+}
+
 // WrapCSR returns the identity SubCSR over the whole snapshot: shared
 // packed arrays, no relabelling, w_C = w_G. It lets single-component
 // graphs use the query-scoped search path without copying the snapshot.

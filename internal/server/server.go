@@ -53,9 +53,11 @@ type Config struct {
 	// ~componentSize/256 tokens, floor 1 (see costOf).
 	CheapRate, CheapBurst         float64
 	ExpensiveRate, ExpensiveBurst float64
-	// StaleMaxBehind is how many epochs back degraded-mode answers may
-	// reach (requires the engine to run with Options.StaleRetention > 0
-	// for superseded epochs to stay resident). Default 8.
+	// StaleMaxBehind is how many superseded versions of the query's own
+	// component degraded-mode answers may reach back through (requires
+	// the engine to run with Options.StaleRetention > 0 for ancestry to
+	// be recorded). Answers at the component's current version are exact
+	// — never flagged stale — regardless of this knob. Default 8.
 	StaleMaxBehind int
 	// Request caps fed to the decoders.
 	MaxRequestBytes int64
@@ -262,10 +264,15 @@ type queryResponse struct {
 	Community []graph.Node `json:"community"`
 	Size      int          `json:"size"`
 	Score     float64      `json:"score"`
-	// Epoch is the graph version the answer was computed against — exact
-	// for stale answers, best-effort current epoch otherwise.
+	// Epoch is the version of the query's component the answer was
+	// computed against — the epoch at which that component last changed,
+	// not the graph's global epoch. Exact for stale answers; best-effort
+	// (captured at classification) for fresh ones.
 	Epoch uint64 `json:"epoch"`
-	// Stale marks a degraded-mode answer served from a superseded epoch.
+	// Stale marks a degraded-mode answer served from a superseded version
+	// of the query's component. An answer at the component's current
+	// version is exact and never flagged, even when the rest of the graph
+	// has churned since it was computed.
 	Stale bool `json:"stale"`
 	// TimedOut marks a best-so-far partial whose peel hit the deadline.
 	TimedOut  bool  `json:"timed_out"`
@@ -309,13 +316,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Classify by the size of the component the query would peel. This is
 	// also the first validation gate: unknown nodes and cross-component
-	// query sets are rejected before costing anything.
-	comp, err := s.eng.Snapshot().Component(req.Nodes)
+	// query sets are rejected before costing anything. The component's
+	// version is captured here too — it is what the response reports as
+	// "epoch" (best-effort for fresh answers: an Apply racing the query
+	// may advance it before the peel runs; exact for degraded answers,
+	// which LookupStale versions itself).
+	snap := s.eng.Snapshot()
+	compIdx, err := snap.ComponentID(req.Nodes)
 	if err != nil {
 		s.eng.NoteRejected()
 		writeError(w, http.StatusBadRequest, "invalid", err.Error(), 0)
 		return
 	}
+	compVer := snap.ComponentVersion(compIdx)
+	comp := snap.ComponentMembers(compIdx)
 	class := classCheap
 	if len(comp) >= s.cfg.ExpensiveNodes {
 		class = classExpensive
@@ -326,8 +340,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	state := s.State()
 	if state == StateStaleServe || (state == StateShedExpensive && class == classExpensive) {
 		if !req.NoStale {
-			if res, epoch, ok := s.eng.LookupStale(q, s.cfg.StaleMaxBehind); ok {
-				s.writeResult(w, res, epoch, epoch != s.eng.Epoch(), start)
+			// Staleness comes from LookupStale itself, per component: an
+			// answer at the query component's current version is exact and
+			// NOT flagged, no matter how many Applies have landed elsewhere
+			// in the graph; only an answer from a superseded version of
+			// this component is marked stale.
+			if res, ver, stale, ok := s.eng.LookupStale(q, s.cfg.StaleMaxBehind); ok {
+				s.writeResult(w, res, ver, stale, start)
 				return
 			}
 		}
@@ -394,7 +413,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !res.TimedOut {
 		s.ests[class].observe(peel)
 	}
-	s.writeResult(w, res, s.eng.Epoch(), false, start)
+	s.writeResult(w, res, compVer, false, start)
 }
 
 func (s *Server) writeResult(w http.ResponseWriter, res *dmcs.Result, epoch uint64, stale bool, start time.Time) {
@@ -419,6 +438,8 @@ type applyResponse struct {
 	WeightsChanged int    `json:"weights_changed"`
 	RefloodedNodes int    `json:"reflooded_nodes"`
 	Components     int    `json:"components"`
+	Invalidated    int    `json:"invalidated"`
+	Retained       int    `json:"retained"`
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
@@ -453,6 +474,8 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		WeightsChanged: st.WeightsChanged,
 		RefloodedNodes: st.RefloodedNodes,
 		Components:     st.Components,
+		Invalidated:    st.Invalidated,
+		Retained:       st.Retained,
 	})
 }
 

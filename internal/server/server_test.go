@@ -263,9 +263,9 @@ func TestBudgetRejection(t *testing.T) {
 func TestDegradedShedExpensive(t *testing.T) {
 	s, eng := newTestServer(t, engine.Options{StaleRetention: 8}, Config{})
 	whale := fmt.Sprintf(`{"nodes":[%d]}`, tgWhaleBase)
-	// Warm the cache with the whale answer at epoch 0, then mutate a
-	// small community so the whale entry becomes epoch-stale (the whale
-	// itself is untouched by the mutation).
+	// Warm the cache with the whale answer at version 0, then mutate a
+	// small community. The whale component is untouched, so its answer
+	// must stay a FRESH hit — unchanged version, never flagged stale.
 	if w := post(s, "/query", whale); w.Code != http.StatusOK {
 		t.Fatalf("warming whale query: %d %s", w.Code, w.Body.String())
 	}
@@ -274,14 +274,30 @@ func TestDegradedShedExpensive(t *testing.T) {
 	}
 
 	s.state.Store(int32(StateShedExpensive))
-	// Expensive query: served stale from epoch 0, flagged.
 	w := post(s, "/query", whale)
 	if w.Code != http.StatusOK {
 		t.Fatalf("whale under shed-expensive: %d %s", w.Code, w.Body.String())
 	}
 	resp := decodeBody[queryResponse](t, w)
+	if resp.Stale || resp.Epoch != 0 {
+		t.Fatalf("untouched whale answer stale=%v epoch=%d, want fresh at version 0", resp.Stale, resp.Epoch)
+	}
+	if st := eng.Stats(); st.StaleServed != 0 {
+		t.Fatalf("untouched-component hit counted as StaleServed (%d)", st.StaleServed)
+	}
+
+	// Now mutate INSIDE the whale (a chord; the ring keeps it connected):
+	// its version is superseded and the cached answer becomes stale.
+	if w := post(s, "/apply", fmt.Sprintf("del %d %d\n", tgWhaleBase, tgWhaleBase+7)); w.Code != http.StatusOK {
+		t.Fatalf("whale apply: %d %s", w.Code, w.Body.String())
+	}
+	w = post(s, "/query", whale)
+	if w.Code != http.StatusOK {
+		t.Fatalf("whale under shed-expensive: %d %s", w.Code, w.Body.String())
+	}
+	resp = decodeBody[queryResponse](t, w)
 	if !resp.Stale || resp.Epoch != 0 {
-		t.Fatalf("whale answer stale=%v epoch=%d, want stale from epoch 0", resp.Stale, resp.Epoch)
+		t.Fatalf("whale answer stale=%v epoch=%d, want stale from version 0", resp.Stale, resp.Epoch)
 	}
 	if eng.Stats().StaleServed == 0 {
 		t.Fatal("stale serve not counted")
@@ -304,22 +320,39 @@ func TestDegradedShedExpensive(t *testing.T) {
 
 func TestDegradedStaleServe(t *testing.T) {
 	s, _ := newTestServer(t, engine.Options{StaleRetention: 8}, Config{})
+	// Warm two cheap communities, then mutate inside community 3 only:
+	// its entry goes stale while community 5's stays a fresh hit.
 	cheap := fmt.Sprintf(`{"nodes":[%d]}`, 3*tgSmallSize)
+	untouched := fmt.Sprintf(`{"nodes":[%d]}`, 5*tgSmallSize)
 	if w := post(s, "/query", cheap); w.Code != http.StatusOK {
 		t.Fatalf("warming query: %d %s", w.Code, w.Body.String())
 	}
-	if w := post(s, "/apply", "add 0 2\n"); w.Code != http.StatusOK {
+	if w := post(s, "/query", untouched); w.Code != http.StatusOK {
+		t.Fatalf("warming query: %d %s", w.Code, w.Body.String())
+	}
+	// Drop a chord inside community 3 (nodes 48..63; the ring keeps it
+	// connected).
+	if w := post(s, "/apply", fmt.Sprintf("del %d %d\n", 3*tgSmallSize, 3*tgSmallSize+3)); w.Code != http.StatusOK {
 		t.Fatalf("apply: %d %s", w.Code, w.Body.String())
 	}
 
 	s.state.Store(int32(StateStaleServe))
-	// Cached-at-old-epoch cheap query: stale answer, no peel.
+	// Cached-at-superseded-version cheap query: stale answer, no peel.
 	w := post(s, "/query", cheap)
 	if w.Code != http.StatusOK {
 		t.Fatalf("cached query under stale-serve: %d %s", w.Code, w.Body.String())
 	}
 	if resp := decodeBody[queryResponse](t, w); !resp.Stale || resp.Epoch != 0 {
-		t.Fatalf("stale-serve answer stale=%v epoch=%d, want stale epoch 0", resp.Stale, resp.Epoch)
+		t.Fatalf("stale-serve answer stale=%v epoch=%d, want stale version 0", resp.Stale, resp.Epoch)
+	}
+	// The untouched community is served fresh, not stale: its version
+	// never moved.
+	w = post(s, "/query", untouched)
+	if w.Code != http.StatusOK {
+		t.Fatalf("untouched query under stale-serve: %d %s", w.Code, w.Body.String())
+	}
+	if resp := decodeBody[queryResponse](t, w); resp.Stale || resp.Epoch != 0 {
+		t.Fatalf("untouched answer stale=%v epoch=%d, want fresh at version 0", resp.Stale, resp.Epoch)
 	}
 	// Uncached query: shed — stale-serve starts no new peels, cheap or not.
 	wantCode(t, post(s, "/query", fmt.Sprintf(`{"nodes":[%d]}`, 4*tgSmallSize)),
