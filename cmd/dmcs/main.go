@@ -51,6 +51,7 @@ import (
 	"dmcs/internal/graph"
 	"dmcs/internal/harness"
 	"dmcs/internal/modularity"
+	"dmcs/internal/wal"
 )
 
 func main() {
@@ -65,11 +66,23 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "batch mode: concurrent search workers")
 		verbose    = flag.Bool("v", false, "print the community membership")
 		fullStats  = flag.Bool("stats", false, "batch/stream modes: print the full engine counter set (incl. timed-out/rejected/shed/stale-served) at the end")
+		walDir     = flag.String("wal", "", "stream mode: data directory for the write-ahead log (state survives restarts; same code path as dmcsd -data-dir)")
+		recoverDir = flag.Bool("recover", false, "with -wal: recover the durable state, print its epoch and stats, and exit")
 	)
 	flag.Parse()
+	if *recoverDir {
+		if *walDir == "" {
+			fatalf("-recover requires -wal <dir>")
+		}
+		runRecover(*walDir)
+		return
+	}
 	if *graphPath == "" || (*queryStr == "" && *queryFile == "" && *updateFile == "") {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *walDir != "" && *updateFile == "" {
+		fatalf("-wal is only meaningful in update-stream mode (-updates) or with -recover")
 	}
 
 	in := os.Stdin
@@ -97,7 +110,7 @@ func main() {
 
 	showFullStats = *fullStats
 	if *updateFile != "" {
-		runUpdates(g, byLabel, *updateFile, *algo, *parallel, *timeout, *verbose)
+		runUpdates(g, byLabel, *updateFile, *walDir, *algo, *parallel, *timeout, *verbose)
 		return
 	}
 	if *queryFile != "" {
@@ -212,6 +225,10 @@ func runBatch(g *graph.Graph, byLabel map[string]graph.Node, path, algo string, 
 // and stream summaries.
 var showFullStats bool
 
+// walAttached records that the stream engine was opened through
+// OpenDurable, so the summaries include the durability counters.
+var walAttached bool
+
 // printFullStats dumps the complete engine counter set, including the
 // serving-tier robustness counters (deadline expiries, pre-work
 // rejections, overload sheds, degraded-mode stale answers) and the
@@ -225,13 +242,17 @@ func printFullStats(st engine.Stats) {
 		st.Fused, st.TimedOut, st.Rejected, st.Shed, st.StaleServed, st.CacheEntries,
 		st.P99.Round(time.Microsecond))
 	fmt.Printf("engine: components invalidated=%d retained=%d\n", st.Invalidated, st.Retained)
+	if walAttached {
+		fmt.Printf("engine: durable-epoch=%d last-checkpoint=%d checkpoint-failures=%d wal-sync-errors=%d\n",
+			st.DurableEpoch, st.LastCheckpoint, st.CheckpointFailures, st.WALSyncErrors)
+	}
 }
 
 // runUpdates processes an update-stream file: mutations are staged into a
 // batch, applied atomically on `apply` (or implicitly before a query),
 // and queries are answered by the live engine against the current graph
 // version.
-func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, algo string, parallel int, timeout time.Duration, verbose bool) {
+func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, walDir, algo string, parallel int, timeout time.Duration, verbose bool) {
 	variant, ok := variantByName(algo)
 	if !ok {
 		fatalf("update-stream mode supports the DMCS variants (FPA, NCA, NCA-DR, FPA-DMG); got %q", algo)
@@ -241,7 +262,24 @@ func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, algo string
 		fatalf("open updates: %v", err)
 	}
 
-	eng := engine.New(g, engine.Options{Workers: parallel})
+	var eng *engine.Engine
+	if walDir != "" {
+		// Same durable code path dmcsd uses for -data-dir: on a fresh
+		// directory the parsed graph seeds the log; on a non-empty one the
+		// recovered state wins and -graph contributes only its labels.
+		var info engine.RecoveryInfo
+		eng, info, err = engine.OpenDurable(g, wal.Options{Dir: walDir}, engine.Options{Workers: parallel})
+		if err != nil {
+			fatalf("open wal: %v", err)
+		}
+		walAttached = true
+		if !info.FreshStart {
+			fmt.Printf("recovered: epoch=%d checkpoint=%d replayed=%d torn-bytes=%d (graph file superseded by durable state)\n",
+				info.RecoveredEpoch, info.CheckpointEpoch, info.RecordsReplayed, info.TruncatedBytes)
+		}
+	} else {
+		eng = engine.New(g, engine.Options{Workers: parallel})
+	}
 	// Labels grow with the graph; new tokens in mutation lines intern as
 	// fresh node ids staged into the pending batch.
 	labels := make([]string, g.NumNodes())
@@ -269,7 +307,10 @@ func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, algo string
 		if pending.Len() == 0 {
 			return
 		}
-		st := eng.Apply(pending)
+		st, err := eng.Apply(pending)
+		if err != nil {
+			fatalf("apply: %v", err)
+		}
 		pending.Reset()
 		fmt.Printf("apply: epoch=%d +%dn +%de -%de ~%dw reflooded=%d components=%d\n",
 			st.Epoch, st.NodesAdded, st.EdgesAdded, st.EdgesRemoved, st.WeightsChanged,
@@ -374,11 +415,46 @@ func runUpdates(g *graph.Graph, byLabel map[string]graph.Node, path, algo string
 		fatalf("close updates: %v", err)
 	}
 	applyPending()
+	if walAttached {
+		// Make everything applied durable and leave a fresh checkpoint so
+		// the next run replays nothing.
+		if err := eng.SyncWAL(); err != nil {
+			fatalf("wal sync: %v", err)
+		}
+		if _, err := eng.Checkpoint(); err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+		if err := eng.CloseWAL(); err != nil {
+			fatalf("wal close: %v", err)
+		}
+	}
 	st := eng.Stats()
 	fmt.Printf("\nstream done: epoch=%d served=%d cache-hits=%d collapsed=%d computed=%d errors=%d p50=%s p95=%s\n",
 		eng.Epoch(), st.Queries, st.CacheHits, st.Collapsed, st.Computed, st.Errors,
 		st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond))
 	printFullStats(st)
+}
+
+// runRecover opens a WAL data directory, recovers the durable state
+// (newest valid checkpoint plus the replayable log suffix), prints what
+// it found, and exits. A missing or empty directory is initialized as a
+// fresh empty state — the same semantics dmcsd applies on first boot.
+func runRecover(dir string) {
+	eng, info, err := engine.OpenDurable(nil, wal.Options{Dir: dir}, engine.Options{})
+	if err != nil {
+		fatalf("recover: %v", err)
+	}
+	snap := eng.Snapshot()
+	csr := snap.CSR()
+	durable, _ := eng.DurableEpoch()
+	fmt.Printf("recovered: epoch=%d durable-epoch=%d fresh=%v\n", eng.Epoch(), durable, info.FreshStart)
+	fmt.Printf("checkpoint: epoch=%d skipped=%d\n", info.CheckpointEpoch, info.SkippedCheckpoints)
+	fmt.Printf("log: replayed=%d records, torn-bytes=%d truncated\n", info.RecordsReplayed, info.TruncatedBytes)
+	fmt.Printf("graph: %d nodes, %d edges, %d components (weighted=%v)\n",
+		csr.NumNodes(), csr.NumEdges(), snap.NumComponents(), csr.Weighted())
+	if err := eng.CloseWAL(); err != nil {
+		fatalf("wal close: %v", err)
+	}
 }
 
 // parseQuery resolves a separated list of node labels, exiting on unknown

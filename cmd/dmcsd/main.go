@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dmcsd -graph graph.txt [-addr :7473] [-workers 8] [-slo 50ms]
+//	dmcsd -graph graph.txt -data-dir /var/lib/dmcs [-fsync always]
 //
 // Endpoints:
 //
@@ -13,21 +14,33 @@
 //	POST /apply   update-stream lines: add/setw/del/node with numeric ids
 //	GET  /stats   engine counters + admission state (JSON)
 //	GET  /healthz liveness + overload state
+//	GET  /debug/state  canonical binary state image (with -state-dump)
 //
 // Query responses carry "stale": true when answered from a superseded
 // graph epoch under overload (disable per request with "no_stale":
 // true). Refused requests get JSON errors with a machine-readable code
 // and, where retrying helps, a Retry-After header.
 //
+// With -data-dir the graph state is durable: every applied batch is
+// written ahead to a CRC-framed log before it is acknowledged, periodic
+// checkpoints bound replay time, and boot recovers the last durable
+// epoch — newest valid checkpoint plus log replay, with a torn final
+// record truncated — BEFORE the listener binds, so a recovering process
+// never serves pre-recovery state. On the first boot the -graph file
+// seeds the directory; afterwards the durable state is authoritative
+// and -graph contributes nothing. -fsync picks the durability/latency
+// trade-off (see internal/wal).
+//
 // SIGINT/SIGTERM starts a graceful drain: new requests are refused with
-// 503 while in-flight ones finish (bounded by -drain-timeout), then the
-// process exits 0.
+// 503 while in-flight ones finish (bounded by -drain-timeout), the WAL
+// is fsynced, a final checkpoint is written, then the process exits 0.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,6 +51,7 @@ import (
 	"dmcs/internal/engine"
 	"dmcs/internal/graph"
 	"dmcs/internal/server"
+	"dmcs/internal/wal"
 )
 
 func main() {
@@ -55,6 +69,13 @@ func main() {
 		defTimeout   = flag.Duration("default-timeout", 2*time.Second, "deadline budget for requests without timeout_ms")
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "cap on client-requested budgets")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		dataDir   = flag.String("data-dir", "", "durability directory: write-ahead log + checkpoints (empty = no durability)")
+		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or off")
+		fsyncIvl  = flag.Duration("fsync-interval", 0, "background fsync period under -fsync interval (0 = 50ms)")
+		ckptEvery = flag.Int("checkpoint-every", 1024, "checkpoint after this many applied batches (0 disables periodic checkpoints)")
+		segBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = 64MiB)")
+		stateDump = flag.Bool("state-dump", false, "expose GET /debug/state (canonical binary state image)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -80,11 +101,41 @@ func main() {
 		}
 	}
 
-	eng := engine.New(g, engine.Options{
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
-		StaleRetention: *staleKeep,
-	})
+	eopts := engine.Options{
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		StaleRetention:  *staleKeep,
+		CheckpointEvery: *ckptEvery,
+	}
+	var eng *engine.Engine
+	if *dataDir != "" {
+		// Recovery happens here, before the listener binds: a client that
+		// can connect is guaranteed to see the recovered state, never a
+		// partially replayed one.
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var info engine.RecoveryInfo
+		eng, info, err = engine.OpenDurable(g, wal.Options{
+			Dir:          *dataDir,
+			Policy:       policy,
+			Interval:     *fsyncIvl,
+			SegmentBytes: *segBytes,
+		}, eopts)
+		if err != nil {
+			fatalf("open data dir: %v", err)
+		}
+		if info.FreshStart {
+			fmt.Printf("dmcsd: initialized %s from %s (epoch 0 checkpointed, fsync=%s)\n", *dataDir, *graphPath, policy)
+		} else {
+			fmt.Printf("dmcsd: recovered %s: epoch=%d (checkpoint=%d + %d replayed records, torn-bytes=%d, skipped-checkpoints=%d, fsync=%s)\n",
+				*dataDir, info.RecoveredEpoch, info.CheckpointEpoch, info.RecordsReplayed,
+				info.TruncatedBytes, info.SkippedCheckpoints, policy)
+		}
+	} else {
+		eng = engine.New(g, eopts)
+	}
 	srv := server.New(eng, server.Config{
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
@@ -94,13 +145,21 @@ func main() {
 		ExpensiveRate:  *expRate,
 		StaleMaxBehind: *staleKeep,
 		Overload:       server.OverloadConfig{SLO: *slo},
+		StateDump:      *stateDump,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := &http.Server{Handler: srv}
 
+	// Bind explicitly so ":0" reports its real port before serving — the
+	// kill-crash harness (and any supervisor) reads it from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
 	done := make(chan error, 1)
-	go func() { done <- hs.ListenAndServe() }()
+	go func() { done <- hs.Serve(ln) }()
+	snap := eng.Snapshot()
 	fmt.Printf("dmcsd: serving %d nodes / %d edges on %s (workers=%d stale-retention=%d slo=%s)\n",
-		g.NumNodes(), g.NumEdges(), *addr, eng.Workers(), *staleKeep, *slo)
+		snap.CSR().NumNodes(), snap.CSR().NumEdges(), ln.Addr(), eng.Workers(), *staleKeep, *slo)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -111,19 +170,34 @@ func main() {
 		fmt.Printf("dmcsd: %s — draining (up to %s)\n", s, *drainTimeout)
 	}
 
-	// Drain: refuse new work immediately, let in-flight requests finish,
-	// then stop the listener and the overload sampler.
+	// Drain: refuse new work immediately, make everything already
+	// acknowledged durable (flush + fsync the WAL before waiting on
+	// in-flight requests — if the bounded wait is cut short, durability
+	// is already settled), let in-flight requests finish, then stop the
+	// listener and the overload sampler, checkpoint, and close the log.
 	srv.StartDrain()
+	if err := eng.SyncWAL(); err != nil {
+		fmt.Fprintf(os.Stderr, "dmcsd: drain wal sync: %v\n", err)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "dmcsd: drain incomplete: %v\n", err)
 	}
 	srv.Close()
+	if *dataDir != "" {
+		if _, err := eng.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmcsd: final checkpoint: %v\n", err)
+		}
+		if err := eng.CloseWAL(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmcsd: close wal: %v\n", err)
+		}
+	}
 	st := eng.Stats()
-	fmt.Printf("dmcsd: drained. served=%d cache-hits=%d stale-served=%d shed=%d rejected=%d timed-out=%d errors=%d invalidated=%d retained=%d\n",
+	durable, _ := eng.DurableEpoch()
+	fmt.Printf("dmcsd: drained. served=%d cache-hits=%d stale-served=%d shed=%d rejected=%d timed-out=%d errors=%d invalidated=%d retained=%d durable-epoch=%d\n",
 		st.Queries, st.CacheHits, st.StaleServed, st.Shed, st.Rejected, st.TimedOut, st.Errors,
-		st.Invalidated, st.Retained)
+		st.Invalidated, st.Retained, durable)
 }
 
 func fatalf(format string, args ...any) {

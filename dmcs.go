@@ -107,7 +107,8 @@
 //	b.AddEdge(7, 42)
 //	b.SetWeight(3, 9, 2.5)
 //	b.RemoveEdge(1, 2)
-//	stats := eng.Apply(b) // stats.Epoch, stats.RefloodedNodes, ...
+//	stats, err := eng.Apply(b) // stats.Epoch, stats.RefloodedNodes, ...; err is
+//	                           // always nil unless a write-ahead log is attached
 //
 // Apply merges the batch into the current packed snapshot in one sweep
 // over the CSR arrays (no round-trip through the map-backed Graph),

@@ -132,7 +132,7 @@ func TestPublicEngineApply(t *testing.T) {
 	var b dmcs.EngineBatch
 	b.RemoveEdge(4, 5) // cut the bridge
 	b.AddNode(10)
-	st := eng.Apply(b)
+	st, _ := eng.Apply(b)
 	if st.Epoch != 1 || st.EdgesRemoved != 1 || st.NodesAdded != 1 {
 		t.Fatalf("ApplyStats = %+v, want epoch 1 with one removal and one new node", st)
 	}

@@ -42,8 +42,8 @@ func main() {
 	// Bridge the clusters and hang a new member off node 0.
 	var batch dmcs.EngineBatch
 	batch.AddEdge(4, 5)
-	batch.AddEdge(0, 10) // node 10 springs into existence
-	st := eng.Apply(batch)
+	batch.AddEdge(0, 10)      // node 10 springs into existence
+	st, _ := eng.Apply(batch) // error is always nil without a WAL attached
 	fmt.Printf("apply: epoch=%d edges+%d nodes+%d reflooded=%d components=%d\n",
 		st.Epoch, st.EdgesAdded, st.NodesAdded, st.RefloodedNodes, st.Components)
 
@@ -53,7 +53,7 @@ func main() {
 	// Cut the bridge again — only the merged component is re-flooded.
 	batch.Reset()
 	batch.RemoveEdge(4, 5)
-	st = eng.Apply(batch)
+	st, _ = eng.Apply(batch)
 	fmt.Printf("apply: epoch=%d edges-%d reflooded=%d components=%d\n",
 		st.Epoch, st.EdgesRemoved, st.RefloodedNodes, st.Components)
 

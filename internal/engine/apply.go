@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"fmt"
+
 	"dmcs/internal/faultinject"
 	"dmcs/internal/graph"
+	"dmcs/internal/wal"
 )
 
 // Batch stages an ordered set of graph mutations for Engine.Apply. The
@@ -107,33 +110,55 @@ type ApplyStats struct {
 // whole snapshot, independent of batch size), and component maintenance
 // is incremental — insertions union in near-constant time, and only
 // components that lost an edge are re-flooded.
-func (e *Engine) Apply(b Batch) ApplyStats {
+//
+// On an engine opened through OpenDurable, the batch is appended to the
+// write-ahead log BEFORE the snapshot is published, and an append
+// failure fails the whole Apply: the error return is non-nil, nothing
+// was published, queries keep seeing the pre-batch version, and no
+// un-logged state is ever served or acknowledged. On an engine without
+// a WAL (New), Apply never returns an error.
+func (e *Engine) Apply(b Batch) (ApplyStats, error) {
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
 	// The slow-Apply injection point: chaos profiles inject latency here
 	// to stall mutation while queries keep draining on the old snapshot
 	// (writers hold applyMu, so the stall also backs up later Applies —
 	// exactly the failure being modeled). Error directives are
-	// meaningless for Apply — it has no error return — and deliberately
-	// dropped; an injected panic propagates to the caller with applyMu
-	// released by the defer above.
+	// deliberately dropped for compatibility with the pre-durability
+	// chaos profiles — the faultinject.WALAppend point inside the log is
+	// where injected errors fail an Apply; an injected panic propagates
+	// to the caller with applyMu released by the defer above.
 	_ = faultinject.Fire(faultinject.EngineApply)
 	cur := e.snap.Load()
 	if len(b.ops) == 0 {
-		return ApplyStats{Epoch: cur.epoch, Components: len(cur.comps)}
+		return ApplyStats{Epoch: cur.epoch, Components: len(cur.comps)}, nil
 	}
 	csr, info := graph.MergeCSR(cur.csr, b.ops)
 	if info.NodesAdded == 0 && len(info.Inserted) == 0 && len(info.Removed) == 0 && info.WeightsChanged == 0 {
 		// Every op normalized away (removes of absent edges, re-adds of
 		// existing ones): the merged graph is bit-identical, so keep the
-		// current version and its warm result/sub-CSR caches.
-		return ApplyStats{Epoch: cur.epoch, Components: len(cur.comps)}
+		// current version and its warm result/sub-CSR caches. Nothing is
+		// logged either — ineffective batches do not consume an epoch, so
+		// the log's epoch sequence stays dense and replayable.
+		return ApplyStats{Epoch: cur.epoch, Components: len(cur.comps)}, nil
 	}
 	compID, comps, carried, reflooded := graph.UpdateComponents(csr, cur.compID, len(cur.comps), info)
 	next, invalidated, retained := newSnapshotFrom(cur, csr, compID, comps, carried, cur.epoch+1, e.staleRetention)
+	if e.wal != nil {
+		// Durability point: the raw staged ops (replay renormalizes them
+		// identically) plus the version stamps of the touched components,
+		// which recovery re-derives and verifies. Runs before the swap so
+		// a failed append leaves the engine exactly at the pre-batch
+		// version.
+		rec := wal.Record{Epoch: next.epoch, Stamps: touchedStamps(next), Ops: b.ops}
+		if err := e.wal.Append(rec); err != nil {
+			return ApplyStats{}, fmt.Errorf("engine: apply epoch %d not durable: %w", next.epoch, err)
+		}
+	}
 	e.invalidated.Add(uint64(invalidated))
 	e.retained.Add(uint64(retained))
 	e.snap.Store(next)
+	e.maybeCheckpoint()
 	return ApplyStats{
 		Epoch:          next.epoch,
 		NodesAdded:     info.NodesAdded,
@@ -144,5 +169,28 @@ func (e *Engine) Apply(b Batch) ApplyStats {
 		Components:     len(comps),
 		Invalidated:    invalidated,
 		Retained:       retained,
+	}, nil
+}
+
+// maybeCheckpoint triggers a background checkpoint every
+// Options.CheckpointEvery effective Applies. At most one runs at a
+// time; a trigger that finds one in flight folds into it (the running
+// checkpoint captures whatever snapshot is current when it reads).
+func (e *Engine) maybeCheckpoint() {
+	if e.wal == nil || e.checkpointEvery <= 0 {
+		return
 	}
+	if e.sinceCkpt.Add(1) < int64(e.checkpointEvery) {
+		return
+	}
+	if !e.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	e.sinceCkpt.Store(0)
+	go func() {
+		defer e.ckptBusy.Store(false)
+		if _, err := e.Checkpoint(); err != nil {
+			e.ckptFails.Add(1)
+		}
+	}()
 }

@@ -47,7 +47,7 @@ func TestApplyPublishesNewVersion(t *testing.T) {
 	var b Batch
 	b.AddEdge(2, 3)
 	b.AddNode(6)
-	st := e.Apply(b)
+	st, _ := e.Apply(b)
 	if st.Epoch != 1 || e.Epoch() != 1 {
 		t.Fatalf("epoch after Apply = %d/%d, want 1", st.Epoch, e.Epoch())
 	}
@@ -74,7 +74,7 @@ func TestApplyPublishesNewVersion(t *testing.T) {
 	// component (7 nodes), not the isolated one.
 	var rm Batch
 	rm.RemoveEdge(2, 3)
-	st = e.Apply(rm)
+	st, _ = e.Apply(rm)
 	if st.Epoch != 2 || st.EdgesRemoved != 1 {
 		t.Fatalf("stats = %+v, want epoch 2 with 1 removal", st)
 	}
@@ -99,14 +99,14 @@ func TestApplyNoOpBatchKeepsVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := e.Apply(Batch{}); st.Epoch != 0 {
+	if st, _ := e.Apply(Batch{}); st.Epoch != 0 {
 		t.Fatalf("empty batch bumped epoch to %d", st.Epoch)
 	}
 	var b Batch
 	b.RemoveEdge(0, 2) // absent (the fixture has no (i, i+2) chord)
 	b.AddEdge(0, 1)    // present with weight 1 already
 	b.AddNode(5)       // node exists
-	if st := e.Apply(b); st.Epoch != 0 {
+	if st, _ := e.Apply(b); st.Epoch != 0 {
 		t.Fatalf("fully-no-op batch bumped epoch to %d", st.Epoch)
 	}
 	again, err := e.Search(ctx, q)
@@ -130,7 +130,7 @@ func TestApplyRefloodsOnlyAffectedComponent(t *testing.T) {
 	base := graph.Node(3 * size)
 	b.RemoveEdge(base, base+7)
 	b.RemoveEdge(base+1, base+14)
-	st := e.Apply(b)
+	st, _ := e.Apply(b)
 	if st.EdgesRemoved != 2 {
 		t.Fatalf("EdgesRemoved = %d, want 2", st.EdgesRemoved)
 	}
@@ -143,7 +143,7 @@ func TestApplyRefloodsOnlyAffectedComponent(t *testing.T) {
 	// Weight-only batches never reflood.
 	var w Batch
 	w.SetWeight(base, base+1, 2.5)
-	if st := e.Apply(w); st.RefloodedNodes != 0 || st.WeightsChanged != 1 {
+	if st, _ := e.Apply(w); st.RefloodedNodes != 0 || st.WeightsChanged != 1 {
 		t.Fatalf("weight-only batch: %+v, want 0 refloods, 1 weight change", st)
 	}
 }

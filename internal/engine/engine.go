@@ -86,6 +86,7 @@ import (
 	"dmcs/internal/dmcs"
 	"dmcs/internal/faultinject"
 	"dmcs/internal/graph"
+	"dmcs/internal/wal"
 )
 
 // defaultCacheSize is the LRU capacity when Options.CacheSize is zero.
@@ -117,6 +118,12 @@ type Options struct {
 	// version (non-stale) answers. Results for components an Apply did
 	// not touch are never stale and are unaffected by this knob.
 	StaleRetention int
+	// CheckpointEvery, when > 0 on an engine opened through OpenDurable,
+	// writes a background checkpoint after every CheckpointEvery
+	// effective Applies, bounding how much log a recovery must replay.
+	// Ignored without a WAL; 0 leaves checkpointing to explicit
+	// Checkpoint calls (e.g. the serving tier's drain path).
+	CheckpointEvery int
 }
 
 // Query is one community-search request.
@@ -164,6 +171,16 @@ type Engine struct {
 	workers        int
 	defaultTimeout time.Duration
 	staleRetention int
+
+	// Durability (nil / zero without OpenDurable): the write-ahead log
+	// Apply appends to before publishing, the periodic-checkpoint
+	// cadence, and what recovery reconstructed.
+	wal             *wal.Log
+	checkpointEvery int
+	sinceCkpt       atomic.Int64 // effective Applies since the last checkpoint trigger
+	ckptBusy        atomic.Bool  // at most one periodic checkpoint in flight
+	ckptFails       atomic.Uint64
+	recovery        *RecoveryInfo
 }
 
 // workerScratch is the reusable per-query state one serving goroutine
@@ -193,8 +210,17 @@ func (e *Engine) putScratch(ws *workerScratch) {
 
 // New packs a read-optimized snapshot of g and returns an Engine serving
 // it. The graph itself is not retained — queries run entirely off the
-// snapshot's flat arrays.
+// snapshot's flat arrays. For an engine whose state survives restarts,
+// use OpenDurable instead.
 func New(g *graph.Graph, opts Options) *Engine {
+	e := newEngine(opts)
+	e.snap.Store(NewSnapshot(g))
+	return e
+}
+
+// newEngine builds everything but the initial snapshot — shared by New
+// (snapshot from a graph) and OpenDurable (snapshot from recovery).
+func newEngine(opts Options) *Engine {
 	w := opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -226,7 +252,6 @@ func New(g *graph.Graph, opts Options) *Engine {
 			stripe: int((e.stripeCtr.Add(1) - 1) & uint32(e.stats.numStripes()-1)),
 		}
 	}
-	e.snap.Store(NewSnapshot(g))
 	return e
 }
 
@@ -246,6 +271,12 @@ func (e *Engine) Stats() Stats {
 	st := e.stats.snapshot(e.cache.len())
 	st.Invalidated = e.invalidated.Load()
 	st.Retained = e.retained.Load()
+	if e.wal != nil {
+		st.DurableEpoch = e.wal.DurableEpoch()
+		st.LastCheckpoint, _ = e.wal.LastCheckpoint()
+		st.CheckpointFailures = e.ckptFails.Load()
+		st.WALSyncErrors = e.wal.SyncErrors()
+	}
 	return st
 }
 

@@ -93,7 +93,7 @@ func TestComponentEpochChainedDifferential(t *testing.T) {
 				raceRes[c], raceErr[c] = e.Search(ctx, qs[c])
 			}(c)
 		}
-		st := e.Apply(b)
+		st, _ := e.Apply(b)
 		post := e.Snapshot()
 		wg.Wait()
 

@@ -266,7 +266,7 @@ func TestLookupStale(t *testing.T) {
 	// maxBehind 0, and never flagged stale.
 	var untouched Batch
 	untouched.RemoveEdge(16, 23) // a chord inside component 1
-	if st := e.Apply(untouched); st.Epoch != 1 {
+	if st, _ := e.Apply(untouched); st.Epoch != 1 {
 		t.Fatalf("Apply epoch = %d, want 1", st.Epoch)
 	}
 	got, ver, stale, ok := e.LookupStale(q, 0)
@@ -284,7 +284,7 @@ func TestLookupStale(t *testing.T) {
 	// cached answer is no longer current.
 	var touching Batch
 	touching.RemoveEdge(0, 7) // a chord inside component 0; ring stays connected
-	if st := e.Apply(touching); st.Epoch != 2 {
+	if st, _ := e.Apply(touching); st.Epoch != 2 {
 		t.Fatalf("Apply epoch = %d, want 2", st.Epoch)
 	}
 

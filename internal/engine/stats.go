@@ -83,6 +83,17 @@ type Stats struct {
 	// of how component-scoped invalidation is paying off under the
 	// current churn pattern.
 	Invalidated, Retained uint64
+	// DurableEpoch, LastCheckpoint, CheckpointFailures, and
+	// WALSyncErrors are the durability counters of an engine opened
+	// through OpenDurable (all zero without a WAL): the newest epoch the
+	// write-ahead log considers durable under its fsync policy, the
+	// epoch of the newest successful checkpoint, how many periodic
+	// checkpoints have failed, and how many background fsyncs have
+	// failed.
+	DurableEpoch       uint64
+	LastCheckpoint     uint64
+	CheckpointFailures uint64
+	WALSyncErrors      uint64
 	// CacheEntries is the current number of cached results.
 	CacheEntries int
 	// P50, P95, and P99 are latency percentiles over a sliding window of

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"dmcs/internal/graph"
+	"dmcs/internal/wal"
+)
+
+// walBenchBatch is the BenchmarkEngineApplyUpdates workload: consecutive
+// op pairs remove then restore the same 8 edges inside one component, so
+// the graph returns to its start state every two ops and every batch is
+// guaranteed effective (the epoch sequence stays dense).
+func walBenchBatch(i int) Batch {
+	comp := (i / 2) % benchComponents
+	base := graph.Node(comp * benchCompSize)
+	var batch Batch
+	for k := 0; k < 8; k++ {
+		u := base + graph.Node(((i/2)*11+k*5)%(benchCompSize-1))
+		if i%2 == 0 {
+			batch.RemoveEdge(u, u+1)
+		} else {
+			batch.AddEdge(u, u+1)
+		}
+	}
+	return batch
+}
+
+// BenchmarkEngineApplyWALOverhead prices durability on the mutation
+// path: the same toggle-batch workload as BenchmarkEngineApplyUpdates,
+// once against a plain engine (untimed baseline) and once against a
+// durable engine with the production default fsync policy (interval).
+// The reported wal_overhead_ratio is durable-ns-per-op over
+// baseline-ns-per-op; CI gates it at <= 1.5 — the WAL append (encode +
+// buffered write) must stay a fraction of the O(V+E) merge sweep it
+// rides on, not a second copy of it.
+func BenchmarkEngineApplyWALOverhead(b *testing.B) {
+	// Baseline: identical workload and iteration count, no WAL. Measured
+	// with a plain wall clock outside the benchmark timer so only the
+	// durable run below is what b.N calibrates against.
+	base := New(smallQueryEngineGraph(benchComponents, benchCompSize), Options{Workers: 1})
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		base.Apply(walBenchBatch(i))
+	}
+	baseline := time.Since(start)
+
+	e, _, err := OpenDurable(smallQueryEngineGraph(benchComponents, benchCompSize), wal.Options{
+		Dir:    b.TempDir(),
+		Policy: wal.SyncInterval,
+	}, Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.CloseWAL()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Apply(walBenchBatch(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if baseline > 0 {
+		b.ReportMetric(float64(b.Elapsed())/float64(baseline), "wal_overhead_ratio")
+	}
+}
+
+// BenchmarkEngineApplyWALFsyncAlways records (not gates) the cost of the
+// strictest policy: one fsync per acknowledged batch. The gap between
+// this and the interval run above is the price of zero-loss-on-power-cut
+// durability.
+func BenchmarkEngineApplyWALFsyncAlways(b *testing.B) {
+	e, _, err := OpenDurable(smallQueryEngineGraph(benchComponents, benchCompSize), wal.Options{
+		Dir:    b.TempDir(),
+		Policy: wal.SyncAlways,
+	}, Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.CloseWAL()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Apply(walBenchBatch(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -63,6 +63,22 @@ const (
 	// write (the client sees a connection reset / truncated body), the
 	// slow-client / dropped-response chaos case.
 	ServerRespond
+	// WALAppend fires inside wal.Log.Append before the record frame is
+	// written — the full-disk / failed-write case: an injected error here
+	// fails the Apply that triggered the append, and injecting the WAL's
+	// ErrTornWrite sentinel makes Append leave a deliberately truncated
+	// frame on disk before failing (the torn-write crash image recovery
+	// must tolerate at the tail and refuse mid-log).
+	WALAppend
+	// WALSync fires before each fsync of the active WAL segment (both the
+	// per-append sync of the `always` policy and the background flusher of
+	// `interval`) — the place to inject fsync latency or failure.
+	WALSync
+	// CheckpointWrite fires at the top of wal.Log.WriteCheckpoint — an
+	// injected error aborts the checkpoint (the previous one stays
+	// authoritative), and ErrTornWrite leaves a truncated checkpoint file
+	// that recovery must reject by checksum and fall past.
+	CheckpointWrite
 	numPoints
 )
 
@@ -80,6 +96,12 @@ func (p Point) String() string {
 		return "server.decode"
 	case ServerRespond:
 		return "server.respond"
+	case WALAppend:
+		return "wal.append"
+	case WALSync:
+		return "wal.sync"
+	case CheckpointWrite:
+		return "wal.checkpoint"
 	}
 	return "unknown"
 }

@@ -69,6 +69,11 @@ type Config struct {
 	// Default 100ms; negative disables the sampler (tests drive the state
 	// directly).
 	SampleInterval time.Duration
+	// StateDump enables GET /debug/state, which streams the engine's
+	// canonical binary state image (engine.EncodeState). Off by default:
+	// it serializes the whole graph per request, so it is a diagnostic /
+	// harness endpoint, not a serving one.
+	StateDump bool
 }
 
 func (c *Config) defaults() {
@@ -155,6 +160,9 @@ func New(eng *engine.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/apply", s.handleApply)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.StateDump {
+		s.mux.HandleFunc("/debug/state", s.handleStateDump)
+	}
 	if cfg.SampleInterval > 0 {
 		go s.sample()
 	} else {
@@ -465,7 +473,16 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid", err.Error(), 0)
 		return
 	}
-	st := s.eng.Apply(batch)
+	st, err := s.eng.Apply(batch)
+	if err != nil {
+		// The WAL refused the append: nothing was published and nothing is
+		// acknowledged. 503 + Retry-After because a transient fsync stall
+		// is retryable; a failed-stop log keeps answering this until the
+		// process is restarted (which runs recovery).
+		writeError(w, http.StatusServiceUnavailable, "durability",
+			"batch not applied: "+err.Error(), s.cfg.SampleInterval)
+		return
+	}
 	s.writeJSON(w, applyResponse{
 		Epoch:          st.Epoch,
 		NodesAdded:     st.NodesAdded,
@@ -480,7 +497,9 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsResponse is the GET /stats shape: raw engine counters plus the
-// admission tier's live state. Durations are nanoseconds.
+// admission tier's live state. Durations are nanoseconds. The durable
+// block is present only when the engine runs with a WAL; recovery is
+// present only when this process recovered state at boot.
 type statsResponse struct {
 	Engine engine.Stats `json:"engine"`
 	Server struct {
@@ -490,6 +509,29 @@ type statsResponse struct {
 		InflightCap int    `json:"inflight_cap"`
 		Epoch       uint64 `json:"epoch"`
 	} `json:"server"`
+	Durable  *durableStats        `json:"durable,omitempty"`
+	Recovery *engine.RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// durableStats is the /stats and /healthz durability block.
+type durableStats struct {
+	// DurableEpoch is the newest epoch the WAL guarantees survives a
+	// crash under its fsync policy; Epoch - DurableEpoch is the
+	// acknowledged-but-not-yet-fsynced window (0 under -fsync always).
+	DurableEpoch uint64 `json:"durable_epoch"`
+	// LastCheckpoint is the epoch of the newest checkpoint; replay after
+	// a crash starts there.
+	LastCheckpoint uint64 `json:"last_checkpoint"`
+}
+
+// durable returns the durability block, or nil without a WAL.
+func (s *Server) durable() *durableStats {
+	ep, ok := s.eng.DurableEpoch()
+	if !ok {
+		return nil
+	}
+	st := s.eng.Stats()
+	return &durableStats{DurableEpoch: ep, LastCheckpoint: st.LastCheckpoint}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -500,6 +542,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Server.Inflight = len(s.inflight)
 	resp.Server.InflightCap = cap(s.inflight)
 	resp.Server.Epoch = s.eng.Epoch()
+	resp.Durable = s.durable()
+	if ri, ok := s.eng.Recovery(); ok {
+		resp.Recovery = &ri
+	}
 	s.writeJSON(w, resp)
 }
 
@@ -508,10 +554,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = http.StatusServiceUnavailable
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"state":    s.State().String(),
 		"draining": s.draining.Load(),
-	})
+	}
+	if d := s.durable(); d != nil {
+		body["durable_epoch"] = d.DurableEpoch
+		body["last_checkpoint"] = d.LastCheckpoint
+		if ri, ok := s.eng.Recovery(); ok {
+			body["recovered_epoch"] = ri.RecoveredEpoch
+			body["recovery_fresh"] = ri.FreshStart
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// handleStateDump streams the engine's canonical state image — the
+// checkpoint encoding of the current snapshot. Two processes hold
+// bit-identical graph state iff their dumps are byte-equal, which is
+// exactly how the kill-crash harness compares a recovered server
+// against its reference.
+func (s *Server) handleStateDump(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "invalid", "GET only", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = s.eng.WriteStateDump(w)
 }

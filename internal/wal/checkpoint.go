@@ -1,0 +1,296 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dmcs/internal/faultinject"
+	"dmcs/internal/graph"
+)
+
+// Checkpoint is a complete, self-contained image of one engine snapshot:
+// the packed CSR plus the component partition and its version vector.
+// Recovery = newest valid checkpoint + replay of the log records after
+// its epoch. The same encoding doubles as the engine's canonical state
+// dump — two engines hold bit-identical graph state iff their encoded
+// checkpoints are byte-equal — which is what the kill-crash differential
+// harness compares. (Per-component stale-read ancestry is deliberately
+// NOT part of the image: it is a bounded serving-side cache of history,
+// empty after every recovery, and including it would make the dump
+// depend on how a state was reached rather than what it is.)
+type Checkpoint struct {
+	// Epoch is the graph version this image captures.
+	Epoch uint64
+	// NextCompKey is the engine's next unissued component identity;
+	// persisting it keeps component keys unique across restarts.
+	NextCompKey uint64
+	// CSR is the packed adjacency with its cached aggregates.
+	CSR *graph.CSR
+	// CompID maps node id -> component id (len == CSR.NumNodes()).
+	CompID []int32
+	// CompKeys, CompVers, and CompWG are the per-component version
+	// vector: stable identity, last-touched epoch, and the frozen
+	// normalization weight w_G (parallel slices, one entry per component).
+	CompKeys []uint64
+	CompVers []uint64
+	CompWG   []float64
+}
+
+// checkpointMagic brands checkpoint files; the trailing digit is the
+// format version.
+const checkpointMagic = "DMCSCKP1"
+
+// AppendCheckpoint appends cp's payload encoding to dst and returns the
+// extended slice. This is the canonical state encoding (no file header,
+// no checksum — WriteCheckpoint adds those for the on-disk form).
+func AppendCheckpoint(dst []byte, cp *Checkpoint) []byte {
+	dst = binary.AppendUvarint(dst, cp.Epoch)
+	dst = binary.AppendUvarint(dst, cp.NextCompKey)
+	dst = graph.AppendCSR(dst, cp.CSR)
+	dst = binary.AppendUvarint(dst, uint64(len(cp.CompKeys)))
+	for _, id := range cp.CompID {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+	}
+	for _, k := range cp.CompKeys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+	for _, v := range cp.CompVers {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	for _, w := range cp.CompWG {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w))
+	}
+	return dst
+}
+
+// DecodeCheckpoint decodes an AppendCheckpoint payload, validating the
+// cross-field invariants recovery depends on: the component id map
+// covers every node, ids index the version vector, versions never
+// exceed the checkpoint epoch, and every component key is below
+// NextCompKey. The whole buffer must be consumed.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	epoch, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: checkpoint epoch", ErrCodec)
+	}
+	off := k
+	nck, k := binary.Uvarint(b[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: checkpoint next component key", ErrCodec)
+	}
+	off += k
+	csr, k, err := graph.DecodeCSR(b[off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint csr: %v", ErrCodec, err)
+	}
+	off += k
+	nc64, k := binary.Uvarint(b[off:])
+	if k <= 0 || nc64 > uint64(csr.NumNodes())+1 {
+		return nil, fmt.Errorf("%w: checkpoint component count", ErrCodec)
+	}
+	off += k
+	n, nc := csr.NumNodes(), int(nc64)
+	if n > 0 && nc == 0 {
+		return nil, fmt.Errorf("%w: checkpoint has nodes but no components", ErrCodec)
+	}
+	need := 4*n + (8+8+8)*nc
+	if len(b)-off != need {
+		return nil, fmt.Errorf("%w: checkpoint body is %d bytes, want %d", ErrCodec, len(b)-off, need)
+	}
+	cp.Epoch = epoch
+	cp.NextCompKey = nck
+	cp.CSR = csr
+	cp.CompID = make([]int32, n)
+	for i := range cp.CompID {
+		id := int32(binary.LittleEndian.Uint32(b[off:]))
+		if id < 0 || int(id) >= nc {
+			return nil, fmt.Errorf("%w: checkpoint component id %d of node %d out of range", ErrCodec, id, i)
+		}
+		cp.CompID[i] = id
+		off += 4
+	}
+	cp.CompKeys = make([]uint64, nc)
+	for i := range cp.CompKeys {
+		cp.CompKeys[i] = binary.LittleEndian.Uint64(b[off:])
+		if cp.CompKeys[i] >= nck {
+			return nil, fmt.Errorf("%w: checkpoint component key %d not below next key %d", ErrCodec, cp.CompKeys[i], nck)
+		}
+		off += 8
+	}
+	cp.CompVers = make([]uint64, nc)
+	for i := range cp.CompVers {
+		cp.CompVers[i] = binary.LittleEndian.Uint64(b[off:])
+		if cp.CompVers[i] > epoch {
+			return nil, fmt.Errorf("%w: checkpoint component version %d beyond epoch %d", ErrCodec, cp.CompVers[i], epoch)
+		}
+		off += 8
+	}
+	cp.CompWG = make([]float64, nc)
+	for i := range cp.CompWG {
+		cp.CompWG[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return cp, nil
+}
+
+// WriteCheckpoint atomically persists cp and prunes history it
+// supersedes: the payload goes to a temp file, is fsynced, renamed to
+// its final checkpoint-<epoch>.ckpt name, and the directory is fsynced
+// — so a crash at any point leaves either the old checkpoint set or the
+// new one, never a half-written file under a valid name. On success,
+// older checkpoints and the log segments wholly covered by cp.Epoch are
+// deleted. Concurrent with appends; serialized against other
+// checkpoint writers by the caller (the engine runs at most one).
+func (l *Log) WriteCheckpoint(cp *Checkpoint) error {
+	payload := AppendCheckpoint(nil, cp)
+	if err := faultinject.Fire(faultinject.CheckpointWrite); err != nil {
+		if errors.Is(err, ErrTornWrite) {
+			return l.tearCheckpoint(cp, payload)
+		}
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	final := filepath.Join(l.dir, checkpointName(cp.Epoch))
+	if err := writeFileSynced(final+".tmp", checkpointFileBytes(payload)); err != nil {
+		return err
+	}
+	if err := os.Rename(final+".tmp", final); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.lastCkpt.Store(cp.Epoch)
+	l.hasCkpt.Store(true)
+	l.prune(cp.Epoch)
+	return nil
+}
+
+// tearCheckpoint is the injected torn-checkpoint path: a truncated image
+// lands under the FINAL name (the worst crash placement — a plausible-
+// looking but unreadable newest checkpoint), and the previous checkpoint
+// must remain authoritative. Nothing is pruned.
+func (l *Log) tearCheckpoint(cp *Checkpoint, payload []byte) error {
+	full := checkpointFileBytes(payload)
+	torn := full[:len(full)/2]
+	final := filepath.Join(l.dir, checkpointName(cp.Epoch))
+	if err := os.WriteFile(final, torn, 0o644); err != nil {
+		return fmt.Errorf("wal: torn-checkpoint injection: %w", err)
+	}
+	return fmt.Errorf("wal: checkpoint epoch %d: %w", cp.Epoch, ErrTornWrite)
+}
+
+// checkpointFileBytes wraps a payload in the on-disk checkpoint file
+// form: magic, length, crc32c, payload.
+func checkpointFileBytes(payload []byte) []byte {
+	out := make([]byte, 0, len(checkpointMagic)+8+len(payload))
+	out = append(out, checkpointMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	return append(out, payload...)
+}
+
+// parseCheckpointFile validates a checkpoint file image and returns the
+// decoded checkpoint.
+func parseCheckpointFile(b []byte) (*Checkpoint, error) {
+	hdr := len(checkpointMagic) + 8
+	if len(b) < hdr {
+		return nil, fmt.Errorf("%w: checkpoint file truncated header", ErrCodec)
+	}
+	if string(b[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad checkpoint magic", ErrCodec)
+	}
+	n := binary.LittleEndian.Uint32(b[len(checkpointMagic):])
+	if int(n) != len(b)-hdr {
+		return nil, fmt.Errorf("%w: checkpoint payload length %d does not match file", ErrCodec, n)
+	}
+	payload := b[hdr:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[len(checkpointMagic)+4:]); got != want {
+		return nil, fmt.Errorf("%w: checkpoint checksum mismatch", ErrCodec)
+	}
+	return DecodeCheckpoint(payload)
+}
+
+// writeFileSynced writes data to path and fsyncs it before closing.
+func writeFileSynced(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint create: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	return nil
+}
+
+// prune deletes checkpoints older than keepEpoch and log segments whose
+// every record is at or below keepEpoch (a segment is covered when the
+// NEXT segment starts at keepEpoch+1 or earlier). The active segment is
+// never deleted. Prune failures are silent by design — leftover files
+// cost disk, not correctness, and the next successful checkpoint
+// retries.
+func (l *Log) prune(keepEpoch uint64) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	var segs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if ep, ok := parseCheckpointName(name); ok && ep < keepEpoch {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+		if ep, ok := parseSegmentName(name); ok {
+			segs = append(segs, ep)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	l.mu.Lock()
+	active := l.segFirst
+	l.mu.Unlock()
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] == active || segs[i+1] > keepEpoch+1 {
+			continue
+		}
+		os.Remove(filepath.Join(l.dir, segmentName(segs[i])))
+	}
+}
+
+// parseSegmentName extracts the first-epoch of a wal-<hex>.log name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	var ep uint64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), "%016x", &ep); err != nil {
+		return 0, false
+	}
+	return ep, true
+}
+
+// parseCheckpointName extracts the epoch of a checkpoint-<hex>.ckpt name.
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	var ep uint64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".ckpt"), "%016x", &ep); err != nil {
+		return 0, false
+	}
+	return ep, true
+}

@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"dmcs/internal/graph"
+)
+
+// Frame layout, the only thing the on-disk log is made of:
+//
+//	| u32 payloadLen (LE) | u32 crc32c(payload) (LE) | payload |
+//
+// The CRC is Castagnoli (crc32c) over the payload bytes only. A frame
+// whose length field, checksum, or payload decode fails is a bad frame;
+// recovery's tolerance for bad frames depends on where they sit (see
+// scanSegment in recover.go).
+//
+// Record payload layout (recTypeDelta):
+//
+//	| u8 recType | uvarint epoch | uvarint nStamps | nStamps × (uvarint key, uvarint ver) | delta batch (graph.AppendDeltas) |
+//
+// Compatibility rule: recType is a frozen code point. A future record
+// kind gets a NEW recType byte and old decoders reject it loudly
+// (ErrCodec), never skip it silently — skipping would desynchronize the
+// epoch sequence check. See CONTRIBUTING.md "Adding a WAL record type".
+
+// frameHeaderSize is the fixed prefix of every frame: payload length
+// plus checksum.
+const frameHeaderSize = 8
+
+// maxPayloadBytes bounds a frame's declared payload length. A corrupt
+// length field is overwhelmingly likely to decode as garbage far above
+// any real record; the cap turns that into an immediate bad frame
+// instead of a giant allocation.
+const maxPayloadBytes = 1 << 28
+
+// recTypeDelta is the only record kind today: one applied Delta batch.
+const recTypeDelta = 1
+
+// castagnoli is the crc32c table shared by frames and checkpoint files.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCodec is wrapped by every frame- or record-level decode failure.
+var ErrCodec = errors.New("wal: malformed record")
+
+// ComponentStamp is one entry of a record's per-component version
+// stamp: the stable identity and new version (== the record's epoch) of
+// a component the batch touched. Stamps are redundant with deterministic
+// replay — replaying the ops reproduces them — which is exactly why they
+// are logged: recovery re-derives the stamps and verifies them against
+// the logged ones, turning any replay divergence into a loud error
+// instead of a silently wrong cache-invalidation state. They are also
+// the per-component clock a future shard replica consumes for
+// reconciliation without replaying graph state (ROADMAP: sharded
+// scale-out).
+type ComponentStamp struct {
+	Key, Ver uint64
+}
+
+// Record is one durable Apply: the epoch its snapshot published as, the
+// version stamps of the components it touched, and the staged ops
+// exactly as the caller handed them to Apply (pre-normalization; replay
+// renormalizes identically).
+type Record struct {
+	Epoch  uint64
+	Stamps []ComponentStamp
+	Ops    []graph.Delta
+}
+
+// appendRecordPayload appends rec's payload encoding (no frame header)
+// to dst. Pure append-to-parameter, no locks, no allocation beyond the
+// caller's buffer growth — this is the WAL's per-Apply encoding kernel.
+//
+//dmcs:hotpath
+func appendRecordPayload(dst []byte, rec *Record) []byte {
+	dst = append(dst, recTypeDelta)
+	dst = binary.AppendUvarint(dst, rec.Epoch)
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Stamps)))
+	for _, st := range rec.Stamps {
+		dst = binary.AppendUvarint(dst, st.Key)
+		dst = binary.AppendUvarint(dst, st.Ver)
+	}
+	return graph.AppendDeltas(dst, rec.Ops)
+}
+
+// decodeRecordPayload decodes a full record payload. The whole payload
+// must be consumed; trailing bytes mean corruption that happened to
+// keep the checksum valid is still rejected structurally.
+func decodeRecordPayload(b []byte) (Record, error) {
+	var rec Record
+	if len(b) == 0 {
+		return rec, fmt.Errorf("%w: empty payload", ErrCodec)
+	}
+	if b[0] != recTypeDelta {
+		return rec, fmt.Errorf("%w: unknown record type %d", ErrCodec, b[0])
+	}
+	off := 1
+	epoch, k := binary.Uvarint(b[off:])
+	if k <= 0 {
+		return rec, fmt.Errorf("%w: epoch", ErrCodec)
+	}
+	off += k
+	nStamps, k := binary.Uvarint(b[off:])
+	if k <= 0 || nStamps > maxPayloadBytes {
+		return rec, fmt.Errorf("%w: stamp count", ErrCodec)
+	}
+	off += k
+	stamps := make([]ComponentStamp, 0, nStamps)
+	for i := uint64(0); i < nStamps; i++ {
+		key, k := binary.Uvarint(b[off:])
+		if k <= 0 {
+			return rec, fmt.Errorf("%w: stamp %d key", ErrCodec, i)
+		}
+		off += k
+		ver, k := binary.Uvarint(b[off:])
+		if k <= 0 {
+			return rec, fmt.Errorf("%w: stamp %d version", ErrCodec, i)
+		}
+		off += k
+		stamps = append(stamps, ComponentStamp{Key: key, Ver: ver})
+	}
+	ops, k, err := graph.DecodeDeltas(b[off:], nil)
+	if err != nil {
+		return rec, fmt.Errorf("%w: ops: %v", ErrCodec, err)
+	}
+	off += k
+	if off != len(b) {
+		return rec, fmt.Errorf("%w: %d trailing payload bytes", ErrCodec, len(b)-off)
+	}
+	rec.Epoch = epoch
+	rec.Stamps = stamps
+	rec.Ops = ops
+	return rec, nil
+}
+
+// appendFrame wraps payload (which must start at payloadStart within
+// dst — the frame encoder writes the payload in place first, then seals
+// it) with the length/CRC header. Callers lay out the frame as:
+//
+//	dst = append(dst, zeroHeader...)       // 8 placeholder bytes
+//	dst = appendRecordPayload(dst, rec)    // payload in place
+//	sealFrame(dst[frameStart:])            // backfill header
+//
+//dmcs:hotpath
+func sealFrame(frame []byte) {
+	payload := frame[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+}
+
+// parseFrame reads one frame from the front of b. It returns the
+// payload and total frame length on success. A frame that is truncated,
+// oversized, or checksum-corrupt returns an ErrCodec-wrapped error; the
+// caller decides whether that means "torn tail" or "corrupt log".
+func parseFrame(b []byte) (payload []byte, frameLen int, err error) {
+	if len(b) < frameHeaderSize {
+		return nil, 0, fmt.Errorf("%w: truncated frame header (%d bytes)", ErrCodec, len(b))
+	}
+	n := binary.LittleEndian.Uint32(b[0:])
+	if n > maxPayloadBytes {
+		return nil, 0, fmt.Errorf("%w: absurd payload length %d", ErrCodec, n)
+	}
+	total := frameHeaderSize + int(n)
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrCodec, len(b)-frameHeaderSize, n)
+	}
+	payload = b[frameHeaderSize:total]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCodec, got, want)
+	}
+	return payload, total, nil
+}

@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Recovered reports what Open found in the data directory.
+type Recovered struct {
+	// Checkpoint is the newest valid checkpoint, or nil for a directory
+	// with none (fresh, or seeded before the first checkpoint landed).
+	Checkpoint *Checkpoint
+	// Records are the log records after the checkpoint, in replay order
+	// with strictly sequential epochs BaseEpoch+1 .. LastEpoch.
+	Records []Record
+	// BaseEpoch is the checkpoint's epoch (0 with no checkpoint).
+	BaseEpoch uint64
+	// LastEpoch is the newest recovered epoch: BaseEpoch + len(Records).
+	LastEpoch uint64
+	// TruncatedBytes is how much torn tail was cut off the last segment
+	// (0 for a clean log).
+	TruncatedBytes int64
+	// SkippedCheckpoints counts newer-but-invalid checkpoint files that
+	// recovery fell past (a crash mid-checkpoint leaves at most one).
+	SkippedCheckpoints int
+	// Segments is how many log segments were scanned.
+	Segments int
+}
+
+// Open recovers the write-ahead log in opts.Dir and returns it ready
+// for appends, together with what was recovered. The directory is
+// created if absent. Recovery semantics:
+//
+//   - The newest checkpoint that passes magic/checksum/structural
+//     validation is the base; invalid newer ones (torn mid-write) are
+//     skipped, never trusted.
+//   - Log segments are scanned oldest-first; records at or before the
+//     base epoch are skipped, the rest must form a strictly sequential
+//     epoch run starting at base+1.
+//   - A bad frame at the tail of the LAST segment is a torn write: the
+//     segment is truncated at the bad frame's start (everything after a
+//     torn frame is unreachable by the framing and is discarded with
+//     it) and recovery succeeds with the prefix.
+//   - A bad frame in any earlier segment, or an epoch gap, fails Open
+//     with ErrCorrupt: the log's integrity cannot be established, and
+//     refusing loudly beats serving a silently divergent graph.
+func Open(opts Options) (*Log, *Recovered, error) {
+	opts.defaults()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+
+	var ckptEpochs, segEpochs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// Temp files are pre-commit by construction; a crash between
+			// create and rename leaves one behind.
+			os.Remove(filepath.Join(opts.Dir, name))
+			continue
+		}
+		if ep, ok := parseCheckpointName(name); ok {
+			ckptEpochs = append(ckptEpochs, ep)
+		}
+		if ep, ok := parseSegmentName(name); ok {
+			segEpochs = append(segEpochs, ep)
+		}
+	}
+	sort.Slice(ckptEpochs, func(i, j int) bool { return ckptEpochs[i] > ckptEpochs[j] })
+	sort.Slice(segEpochs, func(i, j int) bool { return segEpochs[i] < segEpochs[j] })
+
+	rec := &Recovered{Segments: len(segEpochs)}
+	for _, ep := range ckptEpochs {
+		data, err := os.ReadFile(filepath.Join(opts.Dir, checkpointName(ep)))
+		if err != nil {
+			rec.SkippedCheckpoints++
+			continue
+		}
+		cp, err := parseCheckpointFile(data)
+		if err != nil || cp.Epoch != ep {
+			rec.SkippedCheckpoints++
+			continue
+		}
+		rec.Checkpoint = cp
+		rec.BaseEpoch = cp.Epoch
+		break
+	}
+
+	if err := scanSegments(opts.Dir, segEpochs, rec); err != nil {
+		return nil, nil, err
+	}
+	rec.LastEpoch = rec.BaseEpoch + uint64(len(rec.Records))
+
+	l := &Log{opts: opts, dir: opts.Dir}
+	if n := len(segEpochs); n > 0 {
+		l.segFirst = segEpochs[n-1]
+		path := filepath.Join(opts.Dir, segmentName(l.segFirst))
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: open active segment: %w", err)
+		}
+		size, err := f.Seek(0, 2)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: seek active segment: %w", err)
+		}
+		l.seg = f
+		l.segSize = size
+	} else {
+		l.segFirst = rec.LastEpoch + 1
+		f, err := os.OpenFile(filepath.Join(opts.Dir, segmentName(l.segFirst)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: create segment: %w", err)
+		}
+		l.seg = f
+		if err := syncDir(opts.Dir); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	l.appended.Store(rec.LastEpoch)
+	l.synced.Store(rec.LastEpoch)
+	if rec.Checkpoint != nil {
+		l.lastCkpt.Store(rec.BaseEpoch)
+		l.hasCkpt.Store(true)
+	}
+	if opts.Policy == SyncInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flusher()
+	}
+	return l, rec, nil
+}
+
+// scanSegments walks every segment's frames in order, filling
+// rec.Records and enforcing the torn-tail / mid-log-corruption rules.
+func scanSegments(dir string, segEpochs []uint64, rec *Recovered) error {
+	// lastSeen tracks the epoch of the previous record across segment
+	// boundaries; 0 means "none yet" (epoch 0 is never logged — it is
+	// the seed snapshot's version, persisted by checkpoint only).
+	var lastSeen uint64
+	for si, segEp := range segEpochs {
+		path := filepath.Join(dir, segmentName(segEp))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: read segment %s: %w", segmentName(segEp), err)
+		}
+		isLast := si == len(segEpochs)-1
+		off := 0
+		for off < len(data) {
+			payload, frameLen, ferr := parseFrame(data[off:])
+			var r Record
+			if ferr == nil {
+				r, ferr = decodeRecordPayload(payload)
+			}
+			if ferr != nil {
+				if !isLast {
+					return fmt.Errorf("%w: segment %s offset %d: %v", ErrCorrupt, segmentName(segEp), off, ferr)
+				}
+				// Torn tail: cut the segment at the bad frame. Any bytes
+				// after it are unreachable by the length-prefixed framing
+				// and go with it — a torn write can only be the final
+				// write, so nothing real is ever after one.
+				rec.TruncatedBytes = int64(len(data) - off)
+				if terr := os.Truncate(path, int64(off)); terr != nil {
+					return fmt.Errorf("wal: truncate torn tail of %s: %w", segmentName(segEp), terr)
+				}
+				return nil
+			}
+			off += frameLen
+			if r.Epoch == 0 {
+				return fmt.Errorf("%w: record with epoch 0", ErrCorrupt)
+			}
+			if r.Epoch <= rec.BaseEpoch {
+				// Superseded history the checkpoint already covers: it only
+				// has to be monotonic, not contiguous — a tail truncated
+				// below a newer checkpoint legitimately leaves a gap that
+				// the checkpoint bridges.
+				if r.Epoch <= lastSeen {
+					return fmt.Errorf("%w: epoch %d after %d", ErrCorrupt, r.Epoch, lastSeen)
+				}
+				lastSeen = r.Epoch
+				continue
+			}
+			want := rec.BaseEpoch + 1
+			if lastSeen > rec.BaseEpoch {
+				want = lastSeen + 1
+			}
+			if r.Epoch != want {
+				return fmt.Errorf("%w: epoch %d where %d was expected", ErrCorrupt, r.Epoch, want)
+			}
+			lastSeen = r.Epoch
+			rec.Records = append(rec.Records, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,411 @@
+// Package wal is the durability layer of the engine: a CRC32C-framed,
+// length-prefixed write-ahead log of applied graph.Delta batches plus
+// checkpointed snapshots of the packed CSR and component version
+// vector, so a process that dies — cleanly or mid-write — restarts into
+// exactly the graph state of its last durable epoch.
+//
+// The contract, end to end:
+//
+//   - Engine.Apply appends a record BEFORE publishing the new snapshot;
+//     an append failure fails the Apply, so no un-logged state is ever
+//     served or acknowledged.
+//   - Records carry strictly sequential epochs. Recovery loads the
+//     newest valid checkpoint and replays the log suffix after it;
+//     because the merge pipeline is deterministic, replay reproduces
+//     the pre-crash snapshots bit-for-bit (each record's logged
+//     component stamps are re-derived and verified during replay).
+//   - A bad frame at the tail of the LAST segment is a torn write: the
+//     log is truncated at the frame start and everything before it
+//     recovers. A bad frame anywhere else — or an epoch gap — is real
+//     corruption, and Open refuses rather than serve a divergent graph.
+//
+// Fsync policy decides what "durable" means: SyncAlways survives power
+// loss at one fsync per Apply; SyncInterval batches fsyncs on a timer,
+// so an acknowledged Apply survives process death (the OS has the
+// bytes) but the tail since the last sync may be lost to power failure;
+// SyncOff never fsyncs. DurableEpoch reports the conservative bound.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmcs/internal/faultinject"
+)
+
+// SyncPolicy selects when the log fsyncs its active segment.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs after every append; Append does not return (and
+	// therefore Apply does not acknowledge) until the record is on disk.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval appends to the OS buffer and fsyncs on a background
+	// timer (Options.Interval). The default.
+	SyncInterval
+	// SyncOff never fsyncs (Close still flushes file handles).
+	SyncOff
+)
+
+// ParseSyncPolicy maps the -fsync flag values onto policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval", "":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory (created if absent). It holds the log
+	// segments (wal-<firstEpoch>.log) and checkpoints
+	// (checkpoint-<epoch>.ckpt).
+	Dir string
+	// Policy is the fsync policy; zero value is SyncAlways.
+	Policy SyncPolicy
+	// Interval is the background fsync period under SyncInterval.
+	// 0 means 50ms.
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// 0 means 64 MiB. Rotation bounds how much log a checkpoint can
+	// prune and how much one recovery scan reads per file.
+	SegmentBytes int64
+}
+
+func (o *Options) defaults() {
+	if o.Interval == 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 64 << 20
+	}
+}
+
+// ErrTornWrite is the injection sentinel for torn writes: arming
+// faultinject.WALAppend (or CheckpointWrite) with this error makes the
+// log deliberately leave a truncated frame (or checkpoint) on disk
+// before failing, producing exactly the disk image of a crash mid-write
+// without killing the process. It is also wrapped in the resulting
+// append error.
+var ErrTornWrite = errors.New("wal: torn write injected")
+
+// ErrCorrupt marks unrecoverable log damage: a bad frame that is not at
+// the tail of the last segment, or an epoch sequence gap. Open refuses
+// with it; operators restore from a checkpoint/backup rather than let
+// the engine serve a divergent graph.
+var ErrCorrupt = errors.New("wal: log corrupt")
+
+// ErrLogFailed is returned by Append and Sync after the log has hit an
+// unrecoverable write error (including an injected torn write): the
+// on-disk tail is no longer trustworthy for further appends, so the log
+// fails stop — every later Apply fails too — instead of appending valid
+// frames after garbage, which recovery would have to refuse wholesale.
+var ErrLogFailed = errors.New("wal: log failed; restart to recover")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// Log is an open write-ahead log. One writer at a time appends (the
+// engine serializes Applies already; the log's own mutex makes misuse
+// safe rather than fast), checkpoints may be written concurrently with
+// appends, and the epoch accessors are wait-free.
+type Log struct {
+	opts Options
+	dir  string
+
+	mu       sync.Mutex
+	seg      *os.File // active segment, positioned at its end
+	segSize  int64
+	segFirst uint64 // epoch the active segment is named by
+	buf      []byte // reusable frame-encode buffer
+	failed   bool   // sticky: an append left untrustworthy bytes on disk
+	closed   bool
+
+	appended atomic.Uint64 // epoch of the last fully appended record
+	synced   atomic.Uint64 // epoch of the last record known fsynced
+	lastCkpt atomic.Uint64 // epoch of the newest successful checkpoint
+	hasCkpt  atomic.Bool
+
+	syncErrs atomic.Uint64 // background fsync failures (observability)
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// segmentName returns the file name of the segment whose first record
+// has the given epoch. Fixed-width hex keeps lexicographic order equal
+// to epoch order, so recovery can sort by name.
+func segmentName(firstEpoch uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstEpoch)
+}
+
+// checkpointName returns the file name of the checkpoint at epoch.
+func checkpointName(epoch uint64) string {
+	return fmt.Sprintf("checkpoint-%016x.ckpt", epoch)
+}
+
+// Append durably stages one record. The record's epoch must be exactly
+// AppendedEpoch()+1 — the log enforces the strict sequencing recovery
+// depends on. Under SyncAlways the call returns only after fsync; under
+// SyncInterval/SyncOff it returns once the OS has the bytes (see the
+// policy docs for what that guarantees). On error nothing was durably
+// appended: either the partial write was truncated away, or the log has
+// failed stop and every subsequent Append fails as well.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed {
+		return ErrLogFailed
+	}
+	if want := l.appended.Load() + 1; rec.Epoch != want {
+		return fmt.Errorf("wal: append epoch %d out of sequence (want %d)", rec.Epoch, want)
+	}
+	if err := faultinject.Fire(faultinject.WALAppend); err != nil {
+		if errors.Is(err, ErrTornWrite) {
+			return l.tearAppend(&rec)
+		}
+		return fmt.Errorf("wal: append: %w", err)
+	}
+
+	frame := l.encodeFrame(&rec)
+	if l.segSize > 0 && l.segSize+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotate(rec.Epoch); err != nil {
+			return err
+		}
+	}
+	if err := l.writeFrame(frame); err != nil {
+		return err
+	}
+	l.appended.Store(rec.Epoch)
+	switch l.opts.Policy {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			// The record is appended (recovery will replay it) but not
+			// acknowledged as durable; fail the Apply so the caller never
+			// serves state the disk may not have.
+			l.failed = true
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	case SyncOff:
+		// No stronger guarantee exists to wait for; the append itself is
+		// the durability point.
+		l.synced.Store(rec.Epoch)
+	}
+	return nil
+}
+
+// encodeFrame builds the record's frame in the log's reusable buffer.
+func (l *Log) encodeFrame(rec *Record) []byte {
+	buf := l.buf[:0]
+	var hdr [frameHeaderSize]byte
+	buf = append(buf, hdr[:]...)
+	buf = appendRecordPayload(buf, rec)
+	sealFrame(buf)
+	l.buf = buf
+	return buf
+}
+
+// writeFrame writes one sealed frame to the active segment. A short or
+// failed write is undone by truncating back to the pre-write size; if
+// even that fails, the log fails stop.
+func (l *Log) writeFrame(frame []byte) error {
+	n, err := l.seg.Write(frame)
+	if err != nil || n != len(frame) {
+		if terr := l.seg.Truncate(l.segSize); terr != nil {
+			l.failed = true
+			return fmt.Errorf("wal: write failed (%v) and truncate failed (%v): %w", err, terr, ErrLogFailed)
+		}
+		if _, serr := l.seg.Seek(l.segSize, 0); serr != nil {
+			l.failed = true
+			return fmt.Errorf("wal: write failed (%v) and seek failed (%v): %w", err, serr, ErrLogFailed)
+		}
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	l.segSize += int64(len(frame))
+	return nil
+}
+
+// tearAppend is the injected torn-write path: it writes the frame
+// header plus a prefix of the payload — the exact disk image of a crash
+// mid-write — then fails the log stop. Only recovery (which truncates
+// the torn tail) makes the directory appendable again.
+func (l *Log) tearAppend(rec *Record) error {
+	frame := l.encodeFrame(rec)
+	cut := frameHeaderSize + (len(frame)-frameHeaderSize)/2
+	if _, err := l.seg.Write(frame[:cut]); err != nil {
+		l.failed = true
+		return fmt.Errorf("wal: torn-write injection: %w", err)
+	}
+	l.segSize += int64(cut)
+	l.failed = true
+	return fmt.Errorf("wal: append epoch %d: %w", rec.Epoch, ErrTornWrite)
+}
+
+// rotate closes the active segment (fsyncing it regardless of policy —
+// a sealed segment is immutable history) and starts a new one whose
+// name records the epoch of its first record.
+func (l *Log) rotate(firstEpoch uint64) error {
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate sync: %w", err)
+	}
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(firstEpoch)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		l.failed = true
+		return fmt.Errorf("wal: rotate open: %w", err)
+	}
+	l.seg = f
+	l.segSize = 0
+	l.segFirst = firstEpoch
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sync fsyncs the active segment, advancing the durable epoch to
+// everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed {
+		return ErrLogFailed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := faultinject.Fire(faultinject.WALSync); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := l.seg.Sync(); err != nil {
+		return err
+	}
+	l.synced.Store(l.appended.Load())
+	return nil
+}
+
+// flusher is the SyncInterval background goroutine: group-commit by
+// timer. Sync failures are counted, not fatal — the next Append under
+// SyncAlways semantics they are fatal, but interval mode's contract is
+// already "tail may be lost"; persistent failures surface via
+// SyncErrors and, eventually, a failing checkpoint.
+func (l *Log) flusher() {
+	defer close(l.flushDone)
+	tick := time.NewTicker(l.opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-tick.C:
+			l.mu.Lock()
+			if !l.closed && !l.failed && l.synced.Load() != l.appended.Load() {
+				if err := l.syncLocked(); err != nil {
+					l.syncErrs.Add(1)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// AppendedEpoch returns the epoch of the last fully appended record (0
+// before any append in a fresh directory).
+func (l *Log) AppendedEpoch() uint64 { return l.appended.Load() }
+
+// DurableEpoch returns the newest epoch the log considers durable under
+// its policy: last-fsynced under SyncAlways/SyncInterval, last-appended
+// under SyncOff.
+func (l *Log) DurableEpoch() uint64 { return l.synced.Load() }
+
+// LastCheckpoint returns the epoch of the newest successful checkpoint
+// and whether one exists.
+func (l *Log) LastCheckpoint() (uint64, bool) { return l.lastCkpt.Load(), l.hasCkpt.Load() }
+
+// SyncErrors returns how many background fsyncs have failed.
+func (l *Log) SyncErrors() uint64 { return l.syncErrs.Load() }
+
+// Dir returns the data directory the log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the log. Safe to call once; the log is
+// unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	stop := l.flushStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.flushDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var firstErr error
+	if !l.failed && l.opts.Policy != SyncOff {
+		if err := l.seg.Sync(); err != nil {
+			firstErr = err
+		} else {
+			l.synced.Store(l.appended.Load())
+		}
+	}
+	if err := l.seg.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry is
+// durable. Required for the rename-based checkpoint commit and segment
+// creation on filesystems where metadata is not ordered with data.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: sync dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: close dir: %w", cerr)
+	}
+	return nil
+}
